@@ -1,0 +1,49 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one paper table/figure: it runs the experiment once
+inside the ``benchmark`` fixture (so pytest-benchmark records wall time),
+prints the paper-style rows, and writes them to ``benchmarks/results/`` so
+``bench_output.txt`` and the per-figure text files both capture them.
+
+Scale knob: set ``REPRO_BENCH_SCALE=full`` for larger sweeps (closer to the
+paper's full datasets); the default ``small`` finishes the whole bench suite
+in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """"small" (default) or "full"."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir):
+    """Print a report and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

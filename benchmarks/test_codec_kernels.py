@@ -1,0 +1,66 @@
+"""Microbenchmarks of the codec kernels (classic pytest-benchmark style).
+
+These track the substrate's performance over time rather than reproducing a
+paper figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.arith import ArithmeticDecoder, ArithmeticEncoder
+from repro.codec.dwt import Wavelet, forward_dwt2d, inverse_dwt2d
+from repro.codec.jpeg2000 import CodecConfig, ImageCodec
+from repro.codec.ratemodel import RateModel
+from repro.imagery.noise import fractal_noise
+
+
+@pytest.fixture(scope="module")
+def image256():
+    return fractal_noise((256, 256), seed=99, octaves=5, base_cells=4)
+
+
+def test_bench_dwt_forward(benchmark, image256):
+    benchmark(lambda: forward_dwt2d(image256, 3, Wavelet.CDF97))
+
+
+def test_bench_dwt_roundtrip(benchmark, image256):
+    def roundtrip():
+        return inverse_dwt2d(forward_dwt2d(image256, 3, Wavelet.CDF97))
+
+    recon = benchmark(roundtrip)
+    assert np.abs(recon - image256).max() < 1e-9
+
+
+def test_bench_arith_encode_10k(benchmark, rng=np.random.default_rng(1)):
+    bits = rng.integers(0, 2, 10_000)
+    ctxs = rng.integers(0, 4, 10_000)
+
+    def encode():
+        enc = ArithmeticEncoder()
+        for b, c in zip(bits, ctxs):
+            enc.encode(int(b), int(c))
+        return enc.finish()
+
+    data = benchmark(encode)
+    dec = ArithmeticDecoder(data)
+    assert [dec.decode(int(c)) for c in ctxs[:100]] == [int(b) for b in bits[:100]]
+
+
+def test_bench_tile_encode_real_coder(benchmark, image256):
+    codec = ImageCodec(CodecConfig(tile_size=64, base_step=1 / 256))
+    tile = image256[:64, :64]
+    benchmark(lambda: codec.encode(tile))
+
+
+def test_bench_rate_model_encode(benchmark, image256):
+    model = RateModel(CodecConfig(tile_size=64))
+    result = benchmark(lambda: model.encode(image256, 1 / 512))
+    assert result.coded_bytes > 0
+
+
+def test_bench_rate_model_step_search(benchmark, image256):
+    model = RateModel(CodecConfig(tile_size=64))
+    result = benchmark(
+        lambda: model.find_step_for_bytes(image256, 4000)
+    )
+    assert result.coded_bytes <= 4400

@@ -1,0 +1,40 @@
+"""Figure 4: changed-tile fraction vs reference-image age.
+
+Paper: ~15 % of tiles changed at age 10 days, roughly tripling by 50 days.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+
+
+def test_fig04_change_vs_age(benchmark, emit, bench_scale):
+    anchors = 10 if bench_scale == "full" else 5
+    tiles = (32, 32) if bench_scale == "full" else (20, 20)
+    result = run_once(
+        benchmark,
+        lambda: F.fig04_change_vs_age(
+            ages_days=[5, 10, 20, 30, 40, 50, 60],
+            tiles_shape=tiles,
+            n_anchors=anchors,
+        ),
+    )
+    rows = [
+        [age, f"{measured:.1%}", f"{analytic:.1%}"]
+        for age, measured, analytic in zip(
+            result["ages_days"], result["measured"], result["analytic"]
+        )
+    ]
+    emit(
+        "fig04_change_vs_age",
+        format_table(
+            ["age (days)", "changed tiles (measured)", "changed (analytic)"],
+            rows,
+            title="Figure 4 - changed tiles vs reference age "
+            "(paper: ~15% @ 10d, 3x by 50d)",
+        ),
+    )
+    measured = dict(zip(result["ages_days"], result["measured"]))
+    assert 0.08 <= measured[10] <= 0.25
+    assert 2.0 <= measured[50] / measured[10] <= 4.0

@@ -1,0 +1,103 @@
+"""Figure 11: PSNR vs downlink-bandwidth trade-off, both datasets.
+
+Paper: Earth+ saves 1.3-2.0x downlink at matched PSNR on Sentinel-2 and
+2.8-3.3x on the Planet (large-constellation) dataset.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.figures import equal_psnr_saving
+from repro.analysis.tables import format_table
+from repro.core.config import EarthPlusConfig
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import sentinel2_dataset
+
+GAMMAS = [0.08, 0.2, 0.5]
+
+
+def _render(name: str, curves: dict) -> str:
+    rows = []
+    for policy, points in curves.items():
+        for point in points:
+            rows.append(
+                [
+                    policy,
+                    point["gamma"],
+                    f"{point['downlink_bytes'] / 1e3:.1f}",
+                    f"{point['downlink_bps'] / 1e3:.2f}",
+                    f"{point['psnr']:.2f}",
+                    f"{point['downloaded_fraction']:.2f}",
+                ]
+            )
+    return format_table(
+        ["policy", "gamma", "downlink KB", "required kbps", "PSNR dB",
+         "tiles downloaded"],
+        rows,
+        title=name,
+    )
+
+
+def test_fig11a_sentinel2(benchmark, emit, bench_scale):
+    if bench_scale == "full":
+        dataset = sentinel2_dataset(
+            locations=["A", "B", "E", "I"],
+            bands=["B2", "B4", "B8", "B11"],
+            horizon_days=365.0,
+        )
+    else:
+        dataset = sentinel2_dataset(
+            locations=["A", "B"],
+            bands=["B4", "B11"],
+            horizon_days=240.0,
+        )
+    result = run_once(
+        benchmark, lambda: F.fig11_rate_distortion(dataset, GAMMAS)
+    )
+    saving = equal_psnr_saving(result["curves"])
+    emit(
+        "fig11a_sentinel2",
+        _render(
+            "Figure 11a - Sentinel-2-like RD curves "
+            f"(equal-PSNR saving {saving:.2f}x; paper: 1.3-2.0x)",
+            result["curves"],
+        ),
+    )
+    earth = result["curves"]["earthplus"]
+    kodan = result["curves"]["kodan"]
+    # Same gamma -> Earth+ never spends more downlink than Kodan.
+    for e, k in zip(earth, kodan):
+        assert e["downlink_bytes"] <= k["downlink_bytes"] * 1.05
+
+
+def test_fig11b_planet(benchmark, emit, bench_scale):
+    if bench_scale == "full":
+        dataset = planet_dataset(
+            n_satellites=32, image_shape=(256, 256), horizon_days=90.0
+        )
+    else:
+        dataset = planet_dataset(
+            n_satellites=16, image_shape=(192, 192), horizon_days=60.0
+        )
+    result = run_once(
+        benchmark,
+        lambda: F.fig11_rate_distortion(dataset, [0.15, 0.3, 0.6]),
+    )
+    saving = equal_psnr_saving(result["curves"])
+    emit(
+        "fig11b_planet",
+        _render(
+            "Figure 11b - Planet-like RD curves "
+            f"(equal-PSNR saving {saving:.2f}x; paper: 2.8-3.3x)",
+            result["curves"],
+        ),
+    )
+    earth = result["curves"]["earthplus"]
+    kodan = result["curves"]["kodan"]
+    ratios = [
+        k["downlink_bytes"] / e["downlink_bytes"]
+        for e, k in zip(earth, kodan)
+        if e["downlink_bytes"]
+    ]
+    assert max(ratios) > 2.0

@@ -1,0 +1,51 @@
+"""Figure 15: on-board storage breakdown per policy.
+
+Paper: SatRoI 30 GB, Kodan 255 GB, Earth+ 24 GB; Earth+ stores only
+changed tiles plus heavily-downsampled references.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+
+
+def test_fig15_storage(benchmark, emit):
+    rows_by_policy = run_once(benchmark, F.fig15_storage)
+    rows = [
+        [
+            policy,
+            f"{data['captured_gb']:.1f}",
+            f"{data['reference_gb']:.1f}",
+            f"{data['total_gb']:.1f}",
+        ]
+        for policy, data in rows_by_policy.items()
+    ]
+    emit(
+        "fig15_storage",
+        format_table(
+            ["policy", "captured GB", "reference GB", "total GB"],
+            rows,
+            title="Figure 15 - Doves-scale storage model "
+            "(paper: SatRoI 30, Kodan 255, Earth+ 24 GB)",
+        ),
+    )
+    assert rows_by_policy["kodan"]["total_gb"] > 5 * rows_by_policy[
+        "earthplus"
+    ]["total_gb"]
+    assert (
+        rows_by_policy["earthplus"]["total_gb"]
+        <= rows_by_policy["satroi"]["total_gb"]
+    )
+    assert (
+        rows_by_policy["earthplus"]["reference_gb"]
+        < rows_by_policy["satroi"]["reference_gb"]
+    )
+    # Appendix A's ~9 % reference/captured claim holds at the paper's own
+    # operating point (2601x reference compression, downsample 36).
+    from repro.core.config import EarthPlusConfig
+
+    paper_point = F.fig15_storage(
+        config=EarthPlusConfig(reference_downsample=36)
+    )["earthplus"]
+    assert paper_point["reference_gb"] < 0.15 * paper_point["captured_gb"]

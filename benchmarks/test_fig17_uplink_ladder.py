@@ -1,0 +1,50 @@
+"""Figure 17: reference compression ladder vs required uplink ratio.
+
+Paper: downsampling + delta updates compress the reference stream by over
+10 000x, clearing the ratio the 250 kbps uplink requires.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+from repro.core.config import EarthPlusConfig
+from repro.datasets.sentinel2 import sentinel2_dataset
+
+
+def test_fig17_uplink_ladder(benchmark, emit, bench_scale):
+    horizon = 365.0 if bench_scale == "full" else 200.0
+    dataset = sentinel2_dataset(
+        locations=["A"], bands=["B4", "B11"], horizon_days=horizon,
+        image_shape=(256, 256),
+    )
+    config = EarthPlusConfig(gamma_bpp=0.3)
+    result = run_once(
+        benchmark, lambda: F.fig17_uplink_ladder(dataset, config)
+    )
+    rows = [
+        [row["scheme"], f"{row['ratio']:.0f}x"] for row in result["rows"]
+    ]
+    rows.append(
+        ["(required for current uplink)", f"{result['required_ratio']:.0f}x"]
+    )
+    emit(
+        "fig17_uplink_ladder",
+        format_table(
+            ["scheme", "reference compression"],
+            rows,
+            title="Figure 17 - uplink compression ladder "
+            "(paper: >10000x with downsampling + deltas)",
+        ),
+    )
+    ladder = {row["scheme"]: row["ratio"] for row in result["rows"]}
+    assert ladder["w/ downsampling"] > 50
+    assert (
+        ladder["w/ downsampling + update changes"]
+        >= ladder["w/ downsampling"]
+    )
+    # Delta updates beat re-sending the full downsampled reference.
+    assert (
+        ladder["w/ downsampling + update changes"]
+        >= result["full_update_ratio"]
+    )

@@ -1,0 +1,49 @@
+"""Figure 18: more uplink budget, less downlink demand.
+
+Paper: growing the uplink from 250 kbps to 4 Mbps buys a 22 Mbps downlink
+reduction.  We sweep the per-contact uplink budget (scaled to our image
+geometry) and check the monotone trade.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+from repro.core.config import EarthPlusConfig
+from repro.datasets.sentinel2 import sentinel2_dataset
+
+
+def test_fig18_uplink_sweep(benchmark, emit, bench_scale):
+    horizon = 300.0 if bench_scale == "full" else 200.0
+    dataset = sentinel2_dataset(
+        locations=["A"], bands=["B4", "B11"], horizon_days=horizon,
+        image_shape=(192, 192),
+    )
+    budgets = [0, 30, 120, 600, 5000]
+    result = run_once(
+        benchmark,
+        lambda: F.fig18_uplink_sweep(
+            dataset, budgets, EarthPlusConfig(gamma_bpp=0.3)
+        ),
+    )
+    rows = [
+        [
+            row["uplink_bytes_per_contact"],
+            f"{row['downlink_bytes'] / 1e3:.1f}",
+            row["updates_skipped"],
+            f"{row['psnr']:.1f}",
+        ]
+        for row in result["rows"]
+    ]
+    emit(
+        "fig18_uplink_sweep",
+        format_table(
+            ["uplink B/contact", "downlink KB", "updates skipped", "PSNR dB"],
+            rows,
+            title="Figure 18 - downlink demand vs uplink budget "
+            "(paper: more uplink -> less downlink)",
+        ),
+    )
+    by_budget = {r["uplink_bytes_per_contact"]: r for r in result["rows"]}
+    assert by_budget[0]["downlink_bytes"] >= by_budget[5000]["downlink_bytes"]
+    assert by_budget[0]["updates_skipped"] >= by_budget[5000]["updates_skipped"]

@@ -1,0 +1,60 @@
+"""Figure 19: compression ratio grows with constellation size.
+
+Paper: Earth+'s compression ratio rises from 3x to 10x as the constellation
+grows from 1 to 16 satellites; "download everything" anchors at 1x.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+from repro.core.config import EarthPlusConfig
+
+
+def test_fig19_constellation_size(benchmark, emit, bench_scale):
+    if bench_scale == "full":
+        sizes = [1, 2, 4, 8, 16]
+        shape = (192, 192)
+        horizon = 90.0
+    else:
+        sizes = [1, 2, 4, 8, 16]
+        shape = (128, 128)
+        horizon = 60.0
+    result = run_once(
+        benchmark,
+        lambda: F.fig19_constellation_size(
+            sizes=sizes,
+            image_shape=shape,
+            horizon_days=horizon,
+            config=EarthPlusConfig(gamma_bpp=0.3),
+        ),
+    )
+    rows = [
+        [
+            "download everything" if r["satellites"] == 0
+            else f"Earth+ {r['satellites']} satellites",
+            f"{r['compression_ratio']:.1f}x"
+            if np.isfinite(r["compression_ratio"])
+            else "n/a",
+        ]
+        for r in result["rows"]
+    ]
+    emit(
+        "fig19_constellation_size",
+        format_table(
+            ["configuration", "compression ratio"],
+            rows,
+            title="Figure 19 - compression vs constellation size "
+            "(paper: 3x -> 10x from 1 to 16 satellites)",
+        ),
+    )
+    ratios = {
+        r["satellites"]: r["compression_ratio"]
+        for r in result["rows"]
+        if r["satellites"] > 0 and np.isfinite(r["compression_ratio"])
+    }
+    assert len(ratios) >= 3
+    ordered = sorted(ratios)
+    assert ratios[ordered[-1]] > ratios[ordered[0]]
+    assert ratios[ordered[-1]] > 2.0

@@ -1,0 +1,22 @@
+"""Table 1: Doves constellation specification."""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+
+
+def test_tab01_specs(benchmark, emit):
+    rows = run_once(benchmark, F.tab01_specs)
+    emit(
+        "tab01_specs",
+        format_table(
+            ["Property", "Value"],
+            rows,
+            title="Table 1 - Doves constellation specification",
+        ),
+    )
+    values = dict(rows)
+    assert values["Uplink bandwidth"] == "250 kbps"
+    assert values["Downlink bandwidth"] == "200 Mbps"
+    assert values["Ground contact per day"] == "7 times"

@@ -1,0 +1,30 @@
+"""Table 2: evaluation-dataset inventory."""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.tables import format_table
+
+
+def test_tab02_datasets(benchmark, emit):
+    rows = run_once(
+        benchmark,
+        lambda: F.tab02_datasets(
+            sentinel_kwargs={"horizon_days": 365.0},
+            planet_kwargs={"horizon_days": 90.0},
+        ),
+    )
+    emit(
+        "tab02_datasets",
+        format_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Table 2 - datasets (synthetic stand-ins, same axes)",
+        ),
+    )
+    by_name = {r["dataset"]: r for r in rows}
+    assert by_name["sentinel2"]["satellites"] == 2
+    assert by_name["sentinel2"]["locations"] == 11
+    assert by_name["sentinel2"]["bands"] == 13
+    assert by_name["planet"]["satellites"] == 48
+    assert by_name["planet"]["bands"] == 4

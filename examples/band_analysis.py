@@ -1,0 +1,85 @@
+"""Band analysis: why Earth+ helps some spectral bands more than others.
+
+§5 of the paper observes that Sentinel-2's bands behave very differently:
+vegetation bands (B7/B8/B8a) churn quickly with temperature, visible
+ground bands change moderately, and air bands (B1/B9/B10) barely change on
+cloud-free ground — so Earth+ detects changes *band by band* and downloads
+different amounts per band.  This example measures both the underlying
+change rates and the resulting per-band downlink.
+
+Run:
+    python examples/band_analysis.py
+"""
+
+from repro import EarthPlusConfig, run_policy, sentinel2_dataset
+from repro.analysis.tables import format_table
+from repro.imagery.bands import get_band
+
+BANDS = ["B2", "B4", "B8", "B9", "B11"]
+
+
+def main() -> None:
+    print("Measuring 60-day content-change rates per band...")
+    dataset = sentinel2_dataset(
+        locations=["B"],  # agriculture-heavy: strong band contrast
+        bands=BANDS,
+        horizon_days=240.0,
+        image_shape=(192, 192),
+    )
+    earth = dataset.earth_models["B"]
+    change_rows = []
+    for name in BANDS:
+        band = get_band(name)
+        fraction = earth.change_model(name).changed_fraction(0.0, 60.0)
+        change_rows.append(
+            [name, band.category.value, f"{fraction:.1%}"]
+        )
+    print()
+    print(
+        format_table(
+            ["band", "category", "tiles changed in 60 d"],
+            change_rows,
+            title="Underlying change rates (vegetation > ground > air)",
+        )
+    )
+
+    print()
+    print("Simulating Earth+ and measuring per-band downlink...")
+    config = EarthPlusConfig(gamma_bpp=0.3)
+    earth_result = run_policy(dataset, "earthplus", config)
+    kodan_result = run_policy(dataset, "kodan", config)
+    earth_bytes = earth_result.per_band_bytes()
+    kodan_bytes = kodan_result.per_band_bytes()
+    rows = []
+    for name in BANDS:
+        saving = (
+            kodan_bytes.get(name, 0) / earth_bytes[name]
+            if earth_bytes.get(name)
+            else float("nan")
+        )
+        rows.append(
+            [
+                name,
+                f"{earth_bytes.get(name, 0) / 1e3:.1f}",
+                f"{kodan_bytes.get(name, 0) / 1e3:.1f}",
+                f"{saving:.2f}x",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["band", "Earth+ KB", "Kodan KB", "saving"],
+            rows,
+            title="Per-band downlink (Figure 14, bottom)",
+        )
+    )
+    print()
+    print(
+        "Earth+ treats each band separately (§5): a nearly-static water-"
+        "vapour band costs almost nothing, while vegetation bands are "
+        "re-downloaded where chlorophyll actually moved."
+    )
+
+
+if __name__ == "__main__":
+    main()

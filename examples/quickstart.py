@@ -1,0 +1,58 @@
+"""Quickstart: compress a constellation's year with Earth+ vs the baselines.
+
+Builds a small Sentinel-2-like dataset (one location, two bands), runs
+Earth+, Kodan, and SatRoI through the same simulator, and prints the
+downlink / quality / uplink summary — the smallest end-to-end tour of the
+system.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import EarthPlusConfig, run_policy, sentinel2_dataset
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    print("Building a Sentinel-2-like dataset (1 location, 2 bands, 6 months)...")
+    dataset = sentinel2_dataset(
+        locations=["A"],
+        bands=["B4", "B11"],
+        horizon_days=180.0,
+        image_shape=(256, 256),
+    )
+    config = EarthPlusConfig(gamma_bpp=0.3)
+    rows = []
+    for policy in ("earthplus", "kodan", "satroi"):
+        print(f"Simulating {policy} ...")
+        result = run_policy(dataset, policy, config)
+        delivered = result.delivered()
+        rows.append(
+            [
+                policy,
+                f"{result.downlink_bytes / 1e3:.1f}",
+                f"{result.mean_psnr():.1f}",
+                f"{result.mean_downloaded_fraction():.2f}",
+                f"{result.uplink_bytes / 1e3:.1f}",
+                f"{len(delivered)}/{len(result.records)}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "downlink KB", "PSNR dB", "tiles downloaded",
+             "uplink KB", "delivered"],
+            rows,
+            title="Earth+ vs baselines (same codec, clouds, and scoring)",
+        )
+    )
+    print()
+    print(
+        "Earth+ downloads only tiles that changed versus a fresh,"
+        " constellation-wide reference; Kodan re-downloads everything"
+        " non-cloudy; SatRoI diffs against a fixed, aging reference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Wildfire monitoring: how compression efficiency becomes reaction speed.
+
+The paper's introduction motivates Earth+ with ground applications like
+forest-fire alerts whose *reaction delay* is bounded by the downlink: a
+capture is useless until its bytes reach the ground, and captures queue
+behind each other on a fixed-rate link.  Earth+ shrinks every capture by
+~3x, so the queue drains ~3x faster — which is exactly the "reduces
+reaction delays by up to 3x" claim.
+
+This example simulates a constrained downlink: each policy's captures
+enter a FIFO byte queue drained at a fixed rate during ground contacts,
+and we measure how long each capture waits before it is fully received.
+
+Run:
+    python examples/wildfire_monitoring.py
+"""
+
+import numpy as np
+
+from repro import EarthPlusConfig, run_policy, sentinel2_dataset
+from repro.analysis.tables import format_table
+
+
+def delivery_delays(records, drain_bytes_per_day: float) -> list[float]:
+    """FIFO drain: when does each capture finish downloading?
+
+    Args:
+        records: Delivered capture records (time-ordered).
+        drain_bytes_per_day: Downlink throughput available to this
+            location's data.
+
+    Returns:
+        Per-capture delay (days) between capture and full reception.
+    """
+    delays = []
+    backlog_free_at = 0.0
+    for record in records:
+        start = max(record.t_days, backlog_free_at)
+        transfer_days = record.bytes_downlinked / drain_bytes_per_day
+        finished = start + transfer_days
+        delays.append(finished - record.t_days)
+        backlog_free_at = finished
+    return delays
+
+
+def main() -> None:
+    print("Simulating a fire-prone forest location for one year...")
+    dataset = sentinel2_dataset(
+        locations=["C"],  # forest/mountain mix
+        bands=["B4", "B8", "B11"],  # red + NIR + SWIR: the fire bands
+        horizon_days=365.0,
+        image_shape=(256, 256),
+    )
+    config = EarthPlusConfig(gamma_bpp=0.3)
+    results = {
+        policy: run_policy(dataset, policy, config)
+        for policy in ("earthplus", "kodan")
+    }
+    # Provision the downlink so that Kodan is mildly backlogged — the
+    # regime where compression efficiency turns into reaction speed.
+    kodan_daily = results["kodan"].downlink_bytes / 365.0
+    drain = kodan_daily * 1.2
+    rows = []
+    for policy, result in results.items():
+        delays = delivery_delays(result.delivered(), drain)
+        rows.append(
+            [
+                policy,
+                f"{result.downlink_bytes / 1e3:.1f}",
+                f"{np.mean(delays):.2f}",
+                f"{np.max(delays):.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "downlink KB/year", "mean delay (days)",
+             "worst delay (days)"],
+            rows,
+            title="Reaction delay under a constrained downlink",
+        )
+    )
+    earth_delay = np.mean(
+        delivery_delays(results["earthplus"].delivered(), drain)
+    )
+    kodan_delay = np.mean(
+        delivery_delays(results["kodan"].delivered(), drain)
+    )
+    print()
+    print(
+        f"Earth+ mean reaction delay is {kodan_delay / max(earth_delay, 1e-9):.1f}x "
+        "shorter than Kodan's at the same link rate — fresher fire alerts "
+        "from the same radio."
+    )
+
+
+if __name__ == "__main__":
+    main()

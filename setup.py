@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the legacy ``setup.py develop``
+path, which needs no wheel.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

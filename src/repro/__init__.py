@@ -1,0 +1,50 @@
+"""Earth+ reproduction: on-board satellite imagery compression via
+constellation-wide reference sharing (ASPLOS 2025).
+
+Quick start::
+
+    from repro import run_policy, sentinel2_dataset, EarthPlusConfig
+
+    dataset = sentinel2_dataset(locations=["A"], bands=["B4"],
+                                horizon_days=60)
+    result = run_policy(dataset, "earthplus", EarthPlusConfig())
+    print(result.required_downlink_bps(), result.mean_psnr())
+
+Subsystems
+----------
+``repro.imagery``
+    Synthetic Earth surface, clouds, illumination, multi-band sensors.
+``repro.codec``
+    JPEG-2000-style codec: lifting DWT, bit-plane + arithmetic coding,
+    ROI, quality layers, and a calibrated fast rate model.
+``repro.orbit``
+    Constellation visit schedules, ground contacts, link budgets.
+``repro.core``
+    Earth+ itself: change detection, cloud detectors, reference
+    management, the on-board encoder, ground segment, and the end-to-end
+    simulator.
+``repro.baselines``
+    Kodan, SatRoI, and download-everything policies.
+``repro.datasets``
+    Sentinel-2-like and Planet-like synthetic datasets.
+``repro.analysis``
+    Experiment runners and table/series formatting for every figure and
+    table in the paper's evaluation.
+"""
+
+from repro._version import __version__
+from repro.core.config import DovesSpec, EarthPlusConfig
+from repro.core.system import ConstellationSimulator, RunResult
+from repro.datasets import planet_dataset, sentinel2_dataset
+from repro.analysis.experiments import run_policy
+
+__all__ = [
+    "__version__",
+    "DovesSpec",
+    "EarthPlusConfig",
+    "ConstellationSimulator",
+    "RunResult",
+    "planet_dataset",
+    "sentinel2_dataset",
+    "run_policy",
+]

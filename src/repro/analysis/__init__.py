@@ -1,0 +1,22 @@
+"""Experiment harness: runners, statistics, and table formatting.
+
+:mod:`repro.analysis.experiments` holds one runner per paper figure/table
+(the benchmarks are thin wrappers over these), :mod:`repro.analysis.stats`
+the CDF/summary helpers, and :mod:`repro.analysis.tables` the plain-text
+rendering used to print paper-style rows.
+"""
+
+from repro.analysis.experiments import run_policy, compare_policies, PolicyComparison
+from repro.analysis.stats import cdf, summarize, Summary
+from repro.analysis.tables import format_table, format_series
+
+__all__ = [
+    "run_policy",
+    "compare_policies",
+    "PolicyComparison",
+    "cdf",
+    "summarize",
+    "Summary",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,171 @@
+"""Threshold calibration: the paper's year-1 profiling protocol (§5).
+
+Earth+ has one data-dependent parameter, the change threshold ``theta``.
+The paper chooses it by "profiling last year's data on one single location"
+and then applies it to this year's data at all locations.  This module
+implements exactly that workflow against the synthetic substrate:
+
+1. replay a profiling window at one location, collecting per-tile
+   difference scores between consecutive cloud-free captures;
+2. label each tile with the ground-truth change oracle;
+3. pick the smallest theta whose false-positive rate stays under a target
+   (:func:`repro.core.change_detection.calibrate_threshold`);
+4. evaluate the transferred theta on a different window/location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.change_detection import calibrate_threshold, detect_changes
+from repro.core.reference import downsample_image, quantize_reference
+from repro.core.tiles import TileGrid
+from repro.datasets.generator import SyntheticDataset
+from repro.errors import PipelineError
+
+
+def _score_truth_pairs(
+    dataset: SyntheticDataset,
+    location: str,
+    band: str,
+    t_start: float,
+    t_end: float,
+    downsample: int,
+    tile_size: int,
+    max_cloud: float = 0.05,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Collect (tile-score grid, oracle changed grid) pairs in a window.
+
+    Consecutive cloud-free captures of the location are differenced exactly
+    as the on-board detector would (downsampled, illumination-aligned,
+    uint8 reference quantization), and labelled with the Earth model's
+    change oracle.
+    """
+    sensor = dataset.sensors[location]
+    earth = dataset.earth_models[location]
+    grid = TileGrid(dataset.image_shape, tile_size)
+    visits = dataset.schedule.visits_in(location, t_start, t_end)
+    clear = []
+    for visit in visits:
+        capture = sensor.capture(visit.satellite_id, visit.t_days)
+        if capture.cloud_coverage <= max_cloud:
+            clear.append(capture)
+    scores: list[np.ndarray] = []
+    truths: list[np.ndarray] = []
+    for previous, current in zip(clear, clear[1:]):
+        reference_lr = downsample_image(
+            previous.pixels[band], downsample
+        )
+        reference_lr = (
+            quantize_reference(reference_lr).astype(np.float64) / 255.0
+        )
+        capture_lr = downsample_image(current.pixels[band], downsample)
+        detection = detect_changes(
+            reference_lr, capture_lr, grid, downsample, theta=0.0
+        )
+        scores.append(detection.tile_scores)
+        truths.append(
+            earth.true_changed_tiles(band, previous.t_days, current.t_days)
+        )
+    return scores, truths
+
+
+@dataclass(frozen=True)
+class ThetaEvaluation:
+    """Transferred-threshold quality on an evaluation window.
+
+    Attributes:
+        theta: The calibrated threshold.
+        false_positive_rate: Unchanged tiles flagged changed.
+        recall: Truly-changed tiles flagged.
+        n_pairs: Capture pairs evaluated.
+    """
+
+    theta: float
+    false_positive_rate: float
+    recall: float
+    n_pairs: int
+
+
+def profile_theta(
+    dataset: SyntheticDataset,
+    location: str,
+    band: str,
+    t_start: float,
+    t_end: float,
+    downsample: int = 8,
+    tile_size: int = 64,
+    target_false_positive_rate: float = 0.01,
+) -> float:
+    """Calibrate theta on one location's profiling window.
+
+    Args:
+        dataset: The profiling dataset (the paper uses the previous year).
+        location: The single profiling location.
+        band: Band to profile on.
+        t_start: Window start (days).
+        t_end: Window end (days).
+        downsample: Reference downsampling used on board.
+        tile_size: Tile edge.
+        target_false_positive_rate: Acceptable unchanged-flagged fraction.
+
+    Returns:
+        The calibrated theta.
+
+    Raises:
+        PipelineError: If the window yields no usable capture pairs.
+    """
+    scores, truths = _score_truth_pairs(
+        dataset, location, band, t_start, t_end, downsample, tile_size
+    )
+    if not scores:
+        raise PipelineError(
+            f"no cloud-free capture pairs for {location}/{band} in "
+            f"[{t_start}, {t_end}]"
+        )
+    return calibrate_threshold(
+        scores, truths, target_false_positive_rate
+    )
+
+
+def evaluate_theta(
+    dataset: SyntheticDataset,
+    location: str,
+    band: str,
+    theta: float,
+    t_start: float,
+    t_end: float,
+    downsample: int = 8,
+    tile_size: int = 64,
+) -> ThetaEvaluation:
+    """Score a (possibly transferred) theta on an evaluation window."""
+    scores, truths = _score_truth_pairs(
+        dataset, location, band, t_start, t_end, downsample, tile_size
+    )
+    if not scores:
+        raise PipelineError(
+            f"no cloud-free capture pairs for {location}/{band} in "
+            f"[{t_start}, {t_end}]"
+        )
+    flat_scores = np.concatenate([s.ravel() for s in scores])
+    flat_truth = np.concatenate([t.ravel() for t in truths])
+    flagged = flat_scores > theta
+    unchanged = ~flat_truth
+    false_positive_rate = (
+        float((flagged & unchanged).sum() / unchanged.sum())
+        if unchanged.any()
+        else 0.0
+    )
+    recall = (
+        float((flagged & flat_truth).sum() / flat_truth.sum())
+        if flat_truth.any()
+        else 1.0
+    )
+    return ThetaEvaluation(
+        theta=theta,
+        false_positive_rate=false_positive_rate,
+        recall=recall,
+        n_pairs=len(scores),
+    )

@@ -1,0 +1,153 @@
+"""Experiment runners: one entry point per simulation-backed comparison.
+
+:func:`run_policy` is the single place a dataset + policy + config turn into
+a :class:`~repro.core.system.RunResult`; every benchmark goes through it so
+all comparisons share detectors, codec, and scoring.  Figure-specific
+drivers (reference-age CDFs, uplink ladders, constellation sweeps) live in
+:mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.kodan import KodanPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.satroi import SatRoIPolicy
+from repro.core.cloud import train_ground_detector, train_onboard_detector
+from repro.core.config import EarthPlusConfig
+from repro.core.ground_segment import GroundSegment
+from repro.core.system import ConstellationSimulator, EarthPlusPolicy, RunResult
+from repro.datasets.generator import SyntheticDataset
+from repro.errors import ConfigError
+from repro.orbit.links import FluctuationModel
+
+POLICY_NAMES = ("earthplus", "kodan", "satroi", "naive")
+
+
+def run_policy(
+    dataset: SyntheticDataset,
+    policy: str,
+    config: EarthPlusConfig | None = None,
+    uplink_bytes_per_contact: int | None = None,
+    fluctuation: FluctuationModel | None = None,
+    ground_detector_for_scoring: bool = True,
+    seed: int = 0,
+) -> RunResult:
+    """Simulate ``dataset`` under one compression policy.
+
+    Args:
+        dataset: A synthetic dataset from :mod:`repro.datasets`.
+        policy: One of ``earthplus``, ``kodan``, ``satroi``, ``naive``.
+        config: Earth+ tunables (shared knobs also steer baselines).
+        uplink_bytes_per_contact: Override the Table-1 default uplink
+            capacity (only Earth+ uses the uplink).
+        fluctuation: Optional per-contact bandwidth fluctuation model.
+        ground_detector_for_scoring: Whether the ground re-screens
+            downloads with the accurate detector before mosaic ingest.
+        seed: Ground-segment seed (random update skipping).
+
+    Returns:
+        The aggregated :class:`RunResult`.
+
+    Raises:
+        ConfigError: For unknown policy names.
+    """
+    if policy not in POLICY_NAMES:
+        raise ConfigError(
+            f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
+        )
+    config = config if config is not None else EarthPlusConfig()
+    bands = dataset.bands
+    image_shape = dataset.image_shape
+    cheap = train_onboard_detector(bands, tile_size=config.tile_size)
+    accurate = train_ground_detector(bands)
+    ground = GroundSegment(
+        config=config,
+        bands=bands,
+        image_shape=image_shape,
+        ground_detector=accurate if ground_detector_for_scoring else None,
+        seed=seed,
+    )
+
+    def factory(satellite_id: int):
+        if policy == "earthplus":
+            return EarthPlusPolicy(config, bands, image_shape, cheap)
+        if policy == "kodan":
+            return KodanPolicy(config, bands, image_shape, accurate)
+        if policy == "satroi":
+            return SatRoIPolicy(config, bands, image_shape, cheap)
+        return NaivePolicy(config, bands, image_shape)
+
+    simulator = ConstellationSimulator(
+        sensors=dataset.sensors,
+        bands=bands,
+        schedule=dataset.schedule,
+        image_shape=image_shape,
+        config=config,
+        policy_factory=factory,
+        ground_segment=ground,
+        uplink_bytes_per_contact=(
+            uplink_bytes_per_contact
+            if uplink_bytes_per_contact is not None
+            else int(250e3 * 600 / 8)
+        ),
+        fluctuation=fluctuation,
+    )
+    return simulator.run()
+
+
+@dataclass
+class PolicyComparison:
+    """Side-by-side results of several policies on one dataset.
+
+    Attributes:
+        results: Policy name -> run result.
+    """
+
+    results: dict[str, RunResult]
+
+    def downlink_saving(self, against: str = "strongest") -> float:
+        """Earth+'s downlink saving factor (the paper's Figure 14 metric).
+
+        Args:
+            against: ``"strongest"`` compares against the baseline with the
+                lowest downlink among those whose PSNR does not exceed
+                Earth+'s by more than 0.5 dB (the paper's "strongest
+                baseline with lower PSNR"); or a policy name.
+
+        Returns:
+            Baseline downlink bytes divided by Earth+ downlink bytes.
+        """
+        earthplus = self.results["earthplus"]
+        candidates = {
+            name: result
+            for name, result in self.results.items()
+            if name != "earthplus"
+        }
+        if against != "strongest":
+            baseline = self.results[against]
+        else:
+            eligible = {
+                name: result
+                for name, result in candidates.items()
+                if result.mean_psnr() <= earthplus.mean_psnr() + 0.5
+            }
+            pool = eligible if eligible else candidates
+            baseline = min(pool.values(), key=lambda r: r.downlink_bytes)
+        if earthplus.downlink_bytes == 0:
+            return float("inf")
+        return baseline.downlink_bytes / earthplus.downlink_bytes
+
+
+def compare_policies(
+    dataset: SyntheticDataset,
+    policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+    config: EarthPlusConfig | None = None,
+    **kwargs,
+) -> PolicyComparison:
+    """Run several policies on one dataset and bundle the results."""
+    results = {
+        name: run_policy(dataset, name, config, **kwargs) for name in policies
+    }
+    return PolicyComparison(results=results)

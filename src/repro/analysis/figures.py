@@ -1,0 +1,715 @@
+"""Per-figure experiment drivers: one function per paper figure/table.
+
+Each driver returns plain data (lists/dicts) that the corresponding bench
+in ``benchmarks/`` renders with :mod:`repro.analysis.tables`.  Sizes are
+parameterized so tests can run them small and benches can scale up; the
+index in DESIGN.md maps figure -> driver -> bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.experiments import PolicyComparison, compare_policies, run_policy
+from repro.analysis.stats import cdf
+from repro.core.change_detection import detect_changes
+from repro.core.config import DovesSpec, EarthPlusConfig
+from repro.core.reference import downsample_image, quantize_reference
+from repro.core.tiles import TileGrid
+from repro.datasets.generator import SyntheticDataset
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import sentinel2_dataset
+from repro.imagery.bands import PLANET_BANDS
+from repro.imagery.clouds import CloudModel
+from repro.imagery.earth_model import EarthModel, LocationSpec, TerrainClass
+from repro.imagery.events import expected_changed_fraction
+from repro.imagery.noise import stable_hash
+from repro.orbit.constellation import Constellation
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — changed-tile fraction vs reference age
+# ----------------------------------------------------------------------
+def fig04_change_vs_age(
+    ages_days: list[float] | None = None,
+    tiles_shape: tuple[int, int] = (24, 24),
+    n_anchors: int = 6,
+    seed: int = 4,
+) -> dict:
+    """Measured and analytic changed-fraction vs reference-image age.
+
+    The paper's Figure 4 measures ~15 % changed tiles at 10 days growing
+    ~3x by 50 days on cloud-free Planet imagery.  We sample the same curve
+    from the tile-change process at several anchor times and compare with
+    the closed-form Gamma-Poisson expectation.
+    """
+    if ages_days is None:
+        ages_days = [5, 10, 20, 30, 40, 50, 60]
+    from repro.imagery.events import TileChangeModel
+
+    measured: dict[float, list[float]] = {age: [] for age in ages_days}
+    for anchor_idx in range(n_anchors):
+        model = TileChangeModel(
+            tiles_shape=tiles_shape,
+            seed=stable_hash(seed, "fig04", anchor_idx),
+        )
+        anchor = 10.0 * anchor_idx
+        for age in ages_days:
+            measured[age].append(model.changed_fraction(anchor, anchor + age))
+    return {
+        "ages_days": ages_days,
+        "measured": [float(np.mean(measured[a])) for a in ages_days],
+        "analytic": [expected_changed_fraction(a) for a in ages_days],
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — reference-age CDF: satellite-local vs constellation-wide
+# ----------------------------------------------------------------------
+def fig05_reference_age_cdf(
+    n_satellites: int = 48,
+    horizon_days: float = 720.0,
+    base_revisit_days: float = 12.0,
+    clear_probability: float = 0.22,
+    max_cloud: float = 0.01,
+    seed: int = 5,
+) -> dict:
+    """Age of the freshest cloud-free reference under both strategies.
+
+    Reproduces the paper's 51-day (satellite-local) vs 4.2-day
+    (constellation-wide) contrast: per visit, look back for the latest
+    prior capture with cloud coverage below ``max_cloud``, by the same
+    satellite vs by anyone.
+    """
+    constellation = Constellation(
+        n_satellites=n_satellites,
+        base_revisit_days=base_revisit_days,
+        seed=seed,
+    )
+    schedule = constellation.build_schedule(["site"], horizon_days)
+    clouds = CloudModel(
+        seed=stable_hash(seed, "fig05-clouds"),
+        shape=(32, 32),
+        clear_probability=clear_probability,
+    )
+    visits = schedule.visits_in("site", 0.0, horizon_days)
+    coverage = {v.t_days: clouds.coverage_at(v.t_days) for v in visits}
+    local_ages: list[float] = []
+    wide_ages: list[float] = []
+    for idx, visit in enumerate(visits):
+        if visit.t_days < horizon_days * 0.3:
+            continue  # warm-up so look-back has history
+        best_local = None
+        best_wide = None
+        for prior in reversed(visits[:idx]):
+            if coverage[prior.t_days] > max_cloud:
+                continue
+            if best_wide is None:
+                best_wide = visit.t_days - prior.t_days
+            if best_local is None and prior.satellite_id == visit.satellite_id:
+                best_local = visit.t_days - prior.t_days
+            if best_local is not None and best_wide is not None:
+                break
+        if best_local is not None and best_wide is not None:
+            local_ages.append(best_local)
+            wide_ages.append(best_wide)
+    local_x, local_p = cdf(local_ages)
+    wide_x, wide_p = cdf(wide_ages)
+    return {
+        "local_ages": local_ages,
+        "wide_ages": wide_ages,
+        "local_mean": float(np.mean(local_ages)) if local_ages else float("nan"),
+        "wide_mean": float(np.mean(wide_ages)) if wide_ages else float("nan"),
+        "local_cdf": (local_x.tolist(), local_p.tolist()),
+        "wide_cdf": (wide_x.tolist(), wide_p.tolist()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — detection accuracy vs reference compression ratio
+# ----------------------------------------------------------------------
+def fig08_downsampled_detection(
+    ratios: list[int] | None = None,
+    image_shape: tuple[int, int] = (256, 256),
+    tile_size: int = 64,
+    n_pairs: int = 10,
+    pair_gap_days: float = 8.0,
+    download_budget_fraction: float = 0.4,
+    raw_bytes_per_pixel: int = 2,
+    seed: int = 8,
+) -> dict:
+    """Undetected changed tiles vs reference compression ratio.
+
+    Mirrors the paper's protocol: for each downsampling ratio, pick the
+    per-ratio threshold so a *fixed* fraction of tiles is flagged (the
+    download budget), then count truly-changed tiles that escaped.  The
+    paper finds only ~1.7 % escape at 2601x compression.
+    """
+    if ratios is None:
+        ratios = [1, 2, 4, 8, 16, 32]
+    spec = LocationSpec(
+        name="fig08",
+        shape=image_shape,
+        terrain_mix={
+            TerrainClass.AGRICULTURE: 0.5,
+            TerrainClass.FOREST: 0.3,
+            TerrainClass.CITY: 0.2,
+        },
+        seed=stable_hash(seed, "fig08-loc"),
+        change_cell_px=tile_size,
+    )
+    earth = EarthModel(spec, PLANET_BANDS)
+    band = PLANET_BANDS[0].name
+    grid = TileGrid(image_shape, tile_size)
+    from repro.imagery.illumination import IlluminationModel
+
+    illum = IlluminationModel(seed=stable_hash(seed, "fig08-illum"))
+    noise_rng = np.random.default_rng(stable_hash(seed, "fig08-noise"))
+    pairs = []
+    for k in range(n_pairs):
+        t0 = 5.0 + 11.0 * k
+        t1 = t0 + pair_gap_days
+        # Cloud-free, but realistically illuminated and noisy captures —
+        # the noise floor is what lets coarse references miss changes.
+        reference = illum.sample(t0).apply(earth.ground_truth(band, t0))
+        capture = np.clip(
+            illum.sample(t1).apply(earth.ground_truth(band, t1))
+            + noise_rng.normal(0.0, 0.003, size=image_shape),
+            0.0,
+            1.0,
+        )
+        oracle = earth.true_changed_tiles(band, t0, t1)
+        pairs.append((reference, capture, oracle))
+    rows = []
+    for ratio in ratios:
+        scores_all = []
+        oracle_all = []
+        for reference, capture, oracle in pairs:
+            ref_lr = downsample_image(reference, ratio)
+            # Quantize to the uint8 wire format so coarse references carry
+            # their real quantization error.
+            ref_lr = quantize_reference(ref_lr).astype(np.float64) / 255.0
+            cap_lr = downsample_image(capture, ratio)
+            detection = detect_changes(
+                ref_lr, cap_lr, grid, ratio, theta=0.0
+            )
+            scores_all.append(detection.tile_scores.ravel())
+            oracle_all.append(oracle.ravel())
+        scores = np.concatenate(scores_all)
+        oracle = np.concatenate(oracle_all)
+        # Flag exactly the budgeted fraction of tiles (highest scores).
+        threshold = float(np.quantile(scores, 1.0 - download_budget_fraction))
+        flagged = scores > threshold
+        missed = oracle & ~flagged
+        compression = ratio * ratio * raw_bytes_per_pixel
+        rows.append(
+            {
+                "ratio": ratio,
+                "compression": compression,
+                "flagged_fraction": float(flagged.mean()),
+                "undetected_changed_fraction": float(missed.mean()),
+                "oracle_changed_fraction": float(oracle.mean()),
+            }
+        )
+    return {"budget_fraction": download_budget_fraction, "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — rate-distortion (downlink bandwidth vs PSNR)
+# ----------------------------------------------------------------------
+def fig11_rate_distortion(
+    dataset: SyntheticDataset,
+    gammas: list[float] | None = None,
+    policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+    base_config: EarthPlusConfig | None = None,
+) -> dict:
+    """Downlink-bandwidth vs PSNR curves for all policies.
+
+    The paper's headline: Earth+ needs 1.3-2.0x (Sentinel-2) / 2.8-3.3x
+    (Planet) less downlink at matched PSNR.
+    """
+    if gammas is None:
+        gammas = [0.08, 0.2, 0.5]
+    base_config = base_config if base_config is not None else EarthPlusConfig()
+    curves: dict[str, list[dict]] = {p: [] for p in policies}
+    for gamma in gammas:
+        config = base_config.with_overrides(gamma_bpp=gamma)
+        for policy in policies:
+            result = run_policy(dataset, policy, config)
+            curves[policy].append(
+                {
+                    "gamma": gamma,
+                    "downlink_bytes": result.downlink_bytes,
+                    "downlink_bps": result.required_downlink_bps(),
+                    "psnr": result.mean_psnr(),
+                    "downloaded_fraction": result.mean_downloaded_fraction(),
+                }
+            )
+    return {"gammas": gammas, "curves": curves}
+
+
+def equal_psnr_saving(curves: dict[str, list[dict]], policy: str = "earthplus") -> float:
+    """Earth+'s byte saving vs the strongest baseline at matched PSNR.
+
+    For each Earth+ operating point, every baseline's curve is linearly
+    interpolated (in log-bytes vs PSNR) to Earth+'s PSNR; the saving is the
+    smallest interpolated baseline size divided by Earth+'s size, averaged
+    over Earth+ points that fall inside the baseline's PSNR range.
+    """
+    earth_points = curves[policy]
+    savings = []
+    for point in earth_points:
+        target_psnr = point["psnr"]
+        best_baseline_bytes = None
+        for name, base_points in curves.items():
+            if name == policy or len(base_points) < 2:
+                continue
+            psnrs = [p["psnr"] for p in base_points]
+            sizes = [p["downlink_bytes"] for p in base_points]
+            order = np.argsort(psnrs)
+            psnrs = np.array(psnrs)[order]
+            sizes = np.array(sizes, dtype=np.float64)[order]
+            if not psnrs[0] <= target_psnr <= psnrs[-1]:
+                continue
+            interp = float(
+                np.exp(np.interp(target_psnr, psnrs, np.log(sizes)))
+            )
+            if best_baseline_bytes is None or interp < best_baseline_bytes:
+                best_baseline_bytes = interp
+        if best_baseline_bytes is not None and point["downlink_bytes"] > 0:
+            savings.append(best_baseline_bytes / point["downlink_bytes"])
+    return float(np.mean(savings)) if savings else float("nan")
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — CDFs of downloaded-tile fraction and PSNR
+# ----------------------------------------------------------------------
+def fig12_cdfs(
+    dataset: SyntheticDataset,
+    config: EarthPlusConfig | None = None,
+    policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+) -> dict:
+    """Per-image downloaded-fraction and PSNR distributions per policy."""
+    config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    out: dict[str, dict] = {}
+    for policy in policies:
+        result = run_policy(dataset, policy, config)
+        fractions = [r.downloaded_fraction for r in result.delivered()]
+        psnrs = [r.psnr for r in result.delivered() if np.isfinite(r.psnr)]
+        out[policy] = {
+            "fractions": fractions,
+            "psnrs": psnrs,
+            "frac_cdf": tuple(x.tolist() for x in cdf(fractions)),
+            "psnr_cdf": tuple(x.tolist() for x in cdf(psnrs)),
+            "fully_downloaded": float(np.mean([f >= 0.99 for f in fractions]))
+            if fractions
+            else 0.0,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — per-location time series
+# ----------------------------------------------------------------------
+def fig13_timeseries(
+    dataset: SyntheticDataset,
+    location: str,
+    config: EarthPlusConfig | None = None,
+    policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+) -> dict:
+    """Downloaded fraction and PSNR over time at one location."""
+    config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    out: dict[str, list[dict]] = {}
+    for policy in policies:
+        result = run_policy(dataset, policy, config)
+        out[policy] = [
+            {
+                "t_days": r.t_days,
+                "downloaded_fraction": r.downloaded_fraction,
+                "psnr": r.psnr,
+                "guaranteed": r.guaranteed,
+            }
+            for r in result.timeseries(location)
+        ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — savings per location and per band
+# ----------------------------------------------------------------------
+def fig14_locations_bands(
+    locations: list[str],
+    bands: list[str],
+    image_shape: tuple[int, int] = (256, 256),
+    horizon_days: float = 365.0,
+    config: EarthPlusConfig | None = None,
+    policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+    seed: int = 20,
+) -> dict:
+    """Downlink saving grouped by location and by band (Sentinel-2-like).
+
+    The paper finds >1x saving at 10/11 locations (snowy D and H are the
+    weak spots) and on all 13 bands (air bands least).
+    """
+    config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    dataset = sentinel2_dataset(
+        locations=locations,
+        bands=bands,
+        image_shape=image_shape,
+        horizon_days=horizon_days,
+        seed=seed,
+    )
+    results = {p: run_policy(dataset, p, config) for p in policies}
+    earth = results["earthplus"]
+    baselines = {p: r for p, r in results.items() if p != "earthplus"}
+
+    def strongest(by: dict[str, dict[str, int]], key: str) -> float:
+        candidates = [
+            by[p].get(key, 0) for p in baselines if by[p].get(key, 0) > 0
+        ]
+        return float(min(candidates)) if candidates else float("nan")
+
+    loc_bytes = {p: r.per_location_bytes() for p, r in results.items()}
+    band_bytes = {p: r.per_band_bytes() for p, r in results.items()}
+    location_savings = {}
+    for location in locations:
+        earth_bytes = loc_bytes["earthplus"].get(location, 0)
+        base = strongest(loc_bytes, location)
+        location_savings[location] = (
+            base / earth_bytes if earth_bytes else float("nan")
+        )
+    band_savings = {}
+    for band in bands:
+        earth_bytes = band_bytes["earthplus"].get(band, 0)
+        base = strongest(band_bytes, band)
+        band_savings[band] = base / earth_bytes if earth_bytes else float("nan")
+    return {
+        "location_savings": location_savings,
+        "band_savings": band_savings,
+        "per_location_psnr": {
+            p: r.per_location_psnr() for p, r in results.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — on-board storage breakdown
+# ----------------------------------------------------------------------
+def fig15_storage(
+    spec: DovesSpec | None = None,
+    config: EarthPlusConfig | None = None,
+    downloaded_fraction: dict[str, float] | None = None,
+    kodan_backlog_contacts: float = 20.0,
+    reference_area_factor: float = 16.0,
+    satroi_reference_fraction: float = 0.35,
+) -> dict:
+    """Doves-scale storage model per policy (paper: 30/255/24 GB).
+
+    Structure follows the paper's Appendix A and §6 discussion:
+
+    * every policy holds its *encoded captured data* for two consecutive
+      ground contacts (retransmission safety), scaled by how much of each
+      capture it actually keeps (its downloaded-tile fraction);
+    * **Kodan** additionally buffers a processing/download backlog — it
+      re-downloads everything non-cloudy every revisit and its accurate
+      detector is slow, so un-downloaded captures pile up across many
+      contacts (this is what makes its bar ~10x the others');
+    * **SatRoI** keeps fixed *full-resolution* reference images on board;
+    * **Earth+** caches references for every location in its revisit cycle
+      (more locations than SatRoI's working set) but downsampled by the
+      configured ratio, which is why its reference share stays small
+      (Appendix A: ~9 % of captured).
+
+    Args:
+        spec: Satellite spec (Table 1 defaults).
+        config: Earth+ tunables (reference compression ratio).
+        downloaded_fraction: Per-policy mean downloaded-tile fraction
+            (defaults to this reproduction's measured values).
+        kodan_backlog_contacts: Contacts' worth of backlog Kodan buffers.
+        reference_area_factor: Reference-covered area relative to one
+            contact's downloads (Appendix A's 160a over a 10-contact
+            cycle).
+        satroi_reference_fraction: SatRoI's full-res reference working set
+            relative to one two-contact capture hold.
+    """
+    spec = spec if spec is not None else DovesSpec()
+    config = config if config is not None else EarthPlusConfig()
+    if downloaded_fraction is None:
+        downloaded_fraction = {
+            "kodan": 0.85,
+            "satroi": 0.65,
+            "earthplus": 0.30,
+        }
+    # Bytes of capture data behind one contact's downloads, held twice
+    # (the paper keeps imagery for two consecutive contacts).
+    hold_bytes = 2.0 * spec.downlink_bytes_per_contact
+
+    rows = {}
+    for policy in ("kodan", "satroi", "earthplus"):
+        captured = hold_bytes * downloaded_fraction[policy]
+        if policy == "kodan":
+            captured *= kodan_backlog_contacts / 2.0
+            reference = 0.0
+        elif policy == "satroi":
+            reference = hold_bytes * satroi_reference_fraction
+        else:
+            reference = (
+                hold_bytes
+                * reference_area_factor
+                / config.reference_compression_ratio()
+            )
+        rows[policy] = {
+            "captured_gb": captured / 1e9,
+            "reference_gb": reference / 1e9,
+            "total_gb": (captured + reference) / 1e9,
+        }
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — reference compression ladder vs uplink requirement
+# ----------------------------------------------------------------------
+def fig17_uplink_ladder(
+    dataset: SyntheticDataset | None = None,
+    config: EarthPlusConfig | None = None,
+    spec: DovesSpec | None = None,
+) -> dict:
+    """Reference compression achieved by each §4.3 technique.
+
+    Rungs: raw reference, + downsampling, + delta updates; compared to the
+    ratio the real uplink requires.  The paper reaches >10 000x.
+    """
+    config = config if config is not None else EarthPlusConfig()
+    spec = spec if spec is not None else DovesSpec()
+    if dataset is None:
+        dataset = sentinel2_dataset(
+            locations=["A"],
+            bands=["B4", "B11"],
+            horizon_days=180.0,
+            image_shape=(256, 256),
+        )
+    # Measure the steady-state per-update uplink bytes with and without
+    # delta encoding (cold-start full uploads are tracked separately).
+    result_delta = run_policy(dataset, "earthplus", config)
+    no_delta = config.with_overrides(
+        delta_reference_updates=False, cache_references_onboard=True
+    )
+    result_full = run_policy(dataset, "earthplus", no_delta)
+    height, width = dataset.image_shape
+    raw_ref_bytes = height * width * config.raw_bytes_per_pixel
+
+    def mean_update_bytes(result, kind: str) -> float:
+        stats = result.uplink_stats
+        count = stats.get(f"{kind}_update_count", 0)
+        if count == 0:
+            return float("nan")
+        return stats[f"{kind}_update_bytes"] / count
+
+    delta_bytes = mean_update_bytes(result_delta, "delta")
+    full_bytes = mean_update_bytes(result_full, "full")
+    downsample_only_bytes = (
+        (height // config.reference_downsample)
+        * (width // config.reference_downsample)
+        * config.reference_bytes_per_pixel
+    )
+    # Required ratio: a reference per capture per band must fit the uplink
+    # available between captures, scaled to our geometry.
+    uplink_scaled = spec.uplink_bytes_per_contact * (
+        (height * width) / spec.image_pixels
+    )
+    required_ratio = raw_ref_bytes / max(1.0, uplink_scaled)
+    rows = [
+        {"scheme": "uncompressed", "ratio": 1.0},
+        {
+            "scheme": "w/ downsampling",
+            "ratio": raw_ref_bytes / downsample_only_bytes,
+        },
+        {
+            "scheme": "w/ downsampling + update changes",
+            "ratio": (
+                raw_ref_bytes / delta_bytes
+                if np.isfinite(delta_bytes)
+                else float("nan")
+            ),
+        },
+    ]
+    return {
+        "rows": rows,
+        "required_ratio": required_ratio,
+        "full_update_ratio": (
+            raw_ref_bytes / full_bytes
+            if np.isfinite(full_bytes)
+            else float("nan")
+        ),
+        "delta_update_mean_bytes": delta_bytes,
+        "full_update_mean_bytes": full_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 18 — more uplink, less downlink
+# ----------------------------------------------------------------------
+def fig18_uplink_sweep(
+    dataset: SyntheticDataset,
+    uplink_bytes_options: list[int],
+    config: EarthPlusConfig | None = None,
+) -> dict:
+    """Earth+ downlink demand as the per-contact uplink budget grows."""
+    config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    rows = []
+    for budget in uplink_bytes_options:
+        result = run_policy(
+            dataset, "earthplus", config, uplink_bytes_per_contact=budget
+        )
+        rows.append(
+            {
+                "uplink_bytes_per_contact": budget,
+                "downlink_bytes": result.downlink_bytes,
+                "downlink_bps": result.required_downlink_bps(),
+                "uplink_bytes_used": result.uplink_bytes,
+                "updates_skipped": result.updates_skipped,
+                "psnr": result.mean_psnr(),
+            }
+        )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Figure 19 — compression ratio vs constellation size
+# ----------------------------------------------------------------------
+def fig19_constellation_size(
+    sizes: list[int] | None = None,
+    image_shape: tuple[int, int] = (192, 192),
+    horizon_days: float = 60.0,
+    config: EarthPlusConfig | None = None,
+    seed: int = 19,
+) -> dict:
+    """Compression ratio (1 / mean downloaded area) vs constellation size.
+
+    Mirrors the paper's thumbnail-based estimate: compression ratio is the
+    reciprocal of the average downloaded-tile fraction; "download
+    everything" anchors at 1x.  The paper sees 3x -> 10x from 1 to 16
+    satellites.
+    """
+    if sizes is None:
+        sizes = [1, 2, 4, 8, 16]
+    config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    rows = [{"satellites": 0, "policy": "naive", "compression_ratio": 1.0}]
+    for size in sizes:
+        dataset = planet_dataset(
+            n_satellites=size,
+            image_shape=image_shape,
+            horizon_days=horizon_days,
+            seed=seed,
+        )
+        result = run_policy(dataset, "earthplus", config)
+        fraction = result.mean_downloaded_fraction()
+        n_delivered = len(result.delivered())
+        rows.append(
+            {
+                "satellites": size,
+                "policy": "earthplus",
+                "compression_ratio": (
+                    1.0 / fraction if fraction > 0 else float("nan")
+                ),
+                "downloaded_fraction": fraction,
+                "delivered": n_delivered,
+            }
+        )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# §5 downlink adaptation — layered codec
+# ----------------------------------------------------------------------
+def downlink_layer_adaptation(
+    image_shape: tuple[int, int] = (192, 192),
+    n_layers: int = 3,
+    n_captures: int = 4,
+    base_step: float = 1.0 / 1024.0,
+    seed: int = 55,
+) -> dict:
+    """Quality layers let the ground trade bytes for quality per contact.
+
+    §5: "the ground can download more layers to receive high-quality
+    imagery when having sufficient downlink bandwidth or download fewer
+    layers when the downlink is limited."  We encode representative
+    captures with the real layered codec and measure the bytes/PSNR each
+    layer prefix delivers.
+    """
+    from repro.codec.jpeg2000 import CodecConfig, ImageCodec
+    from repro.codec.metrics import psnr as psnr_metric
+    from repro.imagery.illumination import IlluminationModel
+
+    spec = LocationSpec(
+        name="layers",
+        shape=image_shape,
+        terrain_mix={
+            TerrainClass.AGRICULTURE: 0.4,
+            TerrainClass.CITY: 0.3,
+            TerrainClass.FOREST: 0.3,
+        },
+        seed=stable_hash(seed, "layer-loc"),
+    )
+    earth = EarthModel(spec, PLANET_BANDS)
+    illum = IlluminationModel(seed=stable_hash(seed, "layer-illum"))
+    codec = ImageCodec(CodecConfig(tile_size=64, base_step=base_step))
+    per_layer_bytes = np.zeros(n_layers)
+    per_layer_mse = np.zeros(n_layers)
+    for k in range(n_captures):
+        t_days = 3.0 + 9.0 * k
+        image = illum.sample(t_days).apply(
+            earth.ground_truth("Red", t_days)
+        )
+        encoded = codec.encode(image, n_layers=n_layers)
+        for layer in range(1, n_layers + 1):
+            recon = codec.decode(encoded, layers=layer)
+            per_layer_bytes[layer - 1] += encoded.payload_bytes(layer)
+            err = image - recon
+            per_layer_mse[layer - 1] += float(np.mean(err * err))
+    rows = []
+    for layer in range(n_layers):
+        mean_mse = per_layer_mse[layer] / n_captures
+        rows.append(
+            {
+                "layers": layer + 1,
+                "bytes": per_layer_bytes[layer] / n_captures,
+                "psnr": (
+                    -10.0 * np.log10(mean_mse) if mean_mse > 0 else float("inf")
+                ),
+            }
+        )
+    return {"rows": rows, "n_captures": n_captures}
+
+
+# ----------------------------------------------------------------------
+# Tables 1 & 2
+# ----------------------------------------------------------------------
+def tab01_specs(spec: DovesSpec | None = None) -> list[tuple[str, str]]:
+    """Doves specification rows (paper Table 1)."""
+    spec = spec if spec is not None else DovesSpec()
+    return [
+        ("Ground contact duration", f"{spec.ground_contact_duration_s / 60:.0f} minutes"),
+        ("Ground contact per day", f"{spec.ground_contacts_per_day} times"),
+        ("Uplink bandwidth", f"{spec.uplink_bps / 1e3:.0f} kbps"),
+        ("Downlink bandwidth", f"{spec.downlink_bps / 1e6:.0f} Mbps"),
+        ("On-board storage", f"{spec.onboard_storage_bytes / 1e9:.0f} GB"),
+        (
+            "Image resolution",
+            f"{spec.image_resolution[1]}x{spec.image_resolution[0]}",
+        ),
+        ("Image channels", f"RGB + InfraRed ({spec.image_channels})"),
+        ("Raw image file size", f"{spec.raw_image_bytes / 1e6:.0f} MB"),
+        ("Ground sampling distance", f"{spec.ground_sampling_distance_m} meters"),
+    ]
+
+
+def tab02_datasets(
+    sentinel_kwargs: dict | None = None, planet_kwargs: dict | None = None
+) -> list[dict]:
+    """Dataset inventory rows (paper Table 2)."""
+    sentinel = sentinel2_dataset(**(sentinel_kwargs or {}))
+    planet = planet_dataset(**(planet_kwargs or {}))
+    return [sentinel.describe(), planet.describe()]

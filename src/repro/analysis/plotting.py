@@ -1,0 +1,118 @@
+"""ASCII plotting: CDFs, series, and bars for terminal-native figures.
+
+The benches and examples render paper figures as text; these helpers give
+them honest little plots (monospace, fixed grid) without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Scatter/step plot of one or more (xs, ys) series.
+
+    Each series gets a marker character (``*``, ``o``, ``+``, ``x`` in
+    order); axes are linearly scaled to the union of the data.
+
+    Args:
+        series: Mapping label -> (xs, ys).
+        width: Plot columns.
+        height: Plot rows.
+        x_label: X-axis caption.
+        y_label: Y-axis caption.
+        title: Optional title line.
+
+    Returns:
+        The multi-line plot.
+    """
+    markers = "*o+x@#%&"
+    all_x = np.concatenate(
+        [np.asarray(xs, dtype=np.float64) for xs, _ in series.values()]
+    )
+    all_y = np.concatenate(
+        [np.asarray(ys, dtype=np.float64) for _, ys in series.values()]
+    )
+    finite = np.isfinite(all_x) & np.isfinite(all_y)
+    if not finite.any():
+        return "(no finite data)"
+    x_min, x_max = float(all_x[finite].min()), float(all_x[finite].max())
+    y_min, y_max = float(all_y[finite].min()), float(all_y[finite].max())
+    x_span = max(x_max - x_min, 1e-12)
+    y_span = max(y_max - y_min, 1e-12)
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            if not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            canvas[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3g} +" + "-" * width)
+    for row in canvas:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<10.3g}{x_label:^{max(1, width - 20)}}{x_max:>10.3g}"
+    )
+    legend = "   ".join(
+        f"{markers[idx % len(markers)]} {label}"
+        for idx, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    samples: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "value",
+    title: str | None = None,
+) -> str:
+    """CDF plot of one or more samples."""
+    series = {}
+    for label, values in samples.items():
+        arr = np.sort(np.asarray(list(values), dtype=np.float64))
+        if arr.size == 0:
+            continue
+        probs = np.arange(1, arr.size + 1) / arr.size
+        series[label] = (arr, probs)
+    if not series:
+        return "(no data)"
+    return ascii_plot(
+        series, width=width, height=height,
+        x_label=x_label, y_label="CDF", title=title,
+    )
+
+
+def ascii_bars(
+    values: dict[str, float],
+    width: int = 48,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (Figure 15/16 style)."""
+    if not values:
+        return "(no data)"
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(abs(value) / peak * width)))
+        lines.append(f"{label:<{label_width}}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

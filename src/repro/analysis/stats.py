@@ -1,0 +1,90 @@
+"""Statistical helpers shared by the experiment runners.
+
+Small, dependency-free utilities: empirical CDFs (the paper plots several),
+five-number summaries, and weighted means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus-mean summary of a sample.
+
+    Attributes:
+        n: Sample size.
+        mean: Arithmetic mean.
+        std: Standard deviation.
+        minimum: Smallest value.
+        median: 50th percentile.
+        maximum: Largest value.
+    """
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values) -> Summary:
+    """Summarize a 1-D sample.
+
+    Args:
+        values: Any sequence of numbers (non-finite entries are dropped).
+
+    Returns:
+        The :class:`Summary`; all-NaN for empty input.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan)
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Args:
+        values: Sequence of numbers.
+
+    Returns:
+        ``(sorted_values, cumulative_probabilities)`` suitable for plotting
+        or for quantile lookups.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, probs
+
+
+def cdf_at(values, threshold: float) -> float:
+    """Fraction of the sample at or below ``threshold``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float((arr <= threshold).mean())
+
+
+def quantile(values, q: float) -> float:
+    """The ``q``-quantile of the sample (0 <= q <= 1)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return float("nan")
+    return float(np.quantile(arr, q))

@@ -1,0 +1,60 @@
+"""Plain-text tables and series: how benches print paper-style output.
+
+Every benchmark regenerates its figure/table as text rows via these helpers,
+so the numbers land in ``bench_output.txt`` in a stable, diffable format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cell values (stringified; floats get 4 significant
+            digits).
+        title: Optional title line.
+
+    Returns:
+        The formatted multi-line string.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, value in enumerate(row):
+            if idx < len(widths):
+                widths[idx] = max(widths[idx], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(value.ljust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=title)

@@ -1,0 +1,22 @@
+"""Baseline on-board compression policies the paper evaluates against.
+
+* :class:`~repro.baselines.kodan.KodanPolicy` — Kodan (ASPLOS'23 [37]):
+  drop low-value cloudy data with an *accurate but expensive* on-board
+  cloud detector, then download every remaining non-cloudy tile.
+* :class:`~repro.baselines.satroi.SatRoIPolicy` — SatRoI (Sensors'23 [61]):
+  reference-based region-of-interest encoding against a *fixed* on-board
+  full-resolution reference that ages over the mission.
+* :class:`~repro.baselines.naive.NaivePolicy` — download everything,
+  the Figure 19 "Download everything" anchor.
+
+All baselines run inside the same :class:`repro.core.system.ConstellationSimulator`
+loop as Earth+, sharing cloud fields, illumination, the codec, and scoring,
+so comparisons isolate exactly the policy difference.
+"""
+
+from repro.baselines.base import BaselinePolicy
+from repro.baselines.kodan import KodanPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.satroi import SatRoIPolicy
+
+__all__ = ["BaselinePolicy", "KodanPolicy", "NaivePolicy", "SatRoIPolicy"]

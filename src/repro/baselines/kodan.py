@@ -1,0 +1,73 @@
+"""Kodan baseline: accurate on-board cloud filtering, download the rest.
+
+Kodan (Denby et al., ASPLOS'23 [37]) attacks the downlink bottleneck by
+discarding *low-value* data — clouds — on board, using an accurate (and
+therefore expensive, Figure 16) cloud detector, then downloading every
+surviving tile.  It never exploits temporal redundancy: an unchanged field
+is re-downloaded on every clear pass, which is exactly the gap Earth+
+targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselinePolicy
+from repro.core.cloud import CloudDetector
+from repro.core.config import EarthPlusConfig
+from repro.core.encoder import CaptureEncodeResult
+from repro.imagery.bands import Band
+from repro.imagery.sensor import Capture
+
+
+class KodanPolicy(BaselinePolicy):
+    """Drop detected cloud, download all remaining tiles at gamma bpp.
+
+    Args:
+        config: Shared tunables.
+        bands: Band set.
+        image_shape: Capture pixel shape.
+        cloud_detector: The *accurate* detector (Kodan spends compute here).
+    """
+
+    def __init__(
+        self,
+        config: EarthPlusConfig,
+        bands: tuple[Band, ...],
+        image_shape: tuple[int, int],
+        cloud_detector: CloudDetector,
+    ) -> None:
+        super().__init__(config, bands, image_shape)
+        self.name = "kodan"
+        self.cloud_detector = cloud_detector
+
+    def process(
+        self, capture: Capture, guaranteed_due: bool = False
+    ) -> CaptureEncodeResult:
+        """Cloud-filter and download everything that survives."""
+        cloud_pixels = self.cloud_detector.detect(
+            capture.pixels, capture.bands, self.grid
+        )
+        coverage = float(cloud_pixels.mean())
+        if coverage > self.config.drop_cloud_fraction:
+            return self.assemble(capture, dropped=True, coverage=coverage,
+                                 band_results=[])
+        cloudy_tiles = self.grid.reduce_fraction(cloud_pixels) > 0.5
+        download = ~cloudy_tiles
+        band_results = []
+        for band in self.bands:
+            cleaned = np.where(cloud_pixels, 0.0, capture.pixels[band.name])
+            band_results.append(
+                self.encode_band(
+                    capture,
+                    band,
+                    cleaned,
+                    download,
+                    cloudy_tiles,
+                    changed_fraction=float(download.mean()),
+                    cloudy_pixels=cloud_pixels,
+                )
+            )
+        return self.assemble(
+            capture, dropped=False, coverage=coverage, band_results=band_results
+        )

@@ -1,0 +1,43 @@
+"""Download-everything baseline: no filtering, no references.
+
+The anchor of the paper's Figure 19 ("Download everything") and the upper
+bound on downlink demand: every tile of every capture is encoded at gamma
+bits per pixel and shipped down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselinePolicy
+from repro.core.encoder import CaptureEncodeResult
+from repro.imagery.sensor import Capture
+
+
+class NaivePolicy(BaselinePolicy):
+    """Encode and download every tile of every capture."""
+
+    def __init__(self, config, bands, image_shape) -> None:
+        super().__init__(config, bands, image_shape)
+        self.name = "naive"
+
+    def process(
+        self, capture: Capture, guaranteed_due: bool = False
+    ) -> CaptureEncodeResult:
+        """Download the full frame, clouds and all."""
+        download = np.ones(self.grid.grid_shape, dtype=bool)
+        no_cloud = np.zeros(self.grid.grid_shape, dtype=bool)
+        band_results = [
+            self.encode_band(
+                capture,
+                band,
+                capture.pixels[band.name],
+                download,
+                no_cloud,
+                changed_fraction=1.0,
+            )
+            for band in self.bands
+        ]
+        return self.assemble(
+            capture, dropped=False, coverage=0.0, band_results=band_results
+        )

@@ -1,0 +1,122 @@
+"""SatRoI baseline: reference-based encoding against a fixed reference.
+
+SatRoI (Schwartz et al., Sensors'23 [61]) pioneered region-of-interest
+satellite compression against an on-board reference image — but the
+reference is *fixed*: chosen once (the first sufficiently clear capture)
+and stored at full resolution on board, it ages over the mission.  As the
+gap grows, more and more tiles legitimately differ from it (the paper's
+Figure 4 dynamic), until SatRoI downloads nearly everything (Figure 12).
+
+Its change detection also runs at full resolution, which is why its runtime
+exceeds Earth+'s in Figure 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselinePolicy
+from repro.core.change_detection import detect_changes
+from repro.core.cloud import CloudDetector
+from repro.core.config import EarthPlusConfig
+from repro.core.encoder import CaptureEncodeResult
+from repro.imagery.bands import Band
+from repro.imagery.sensor import Capture
+
+
+class SatRoIPolicy(BaselinePolicy):
+    """Fixed-reference ROI encoding with the cheap cloud detector.
+
+    Args:
+        config: Shared tunables.
+        bands: Band set.
+        image_shape: Capture pixel shape.
+        cloud_detector: The cheap detector (same as Earth+).
+        reference_max_cloud: Cloud ceiling for a capture to become the
+            fixed reference.
+    """
+
+    def __init__(
+        self,
+        config: EarthPlusConfig,
+        bands: tuple[Band, ...],
+        image_shape: tuple[int, int],
+        cloud_detector: CloudDetector,
+        reference_max_cloud: float = 0.05,
+    ) -> None:
+        super().__init__(config, bands, image_shape)
+        self.name = "satroi"
+        self.cloud_detector = cloud_detector
+        self.reference_max_cloud = reference_max_cloud
+        # (location, band) -> fixed full-resolution reference image.
+        self._references: dict[tuple[str, str], np.ndarray] = {}
+
+    def reference_storage_bytes(self) -> int:
+        """Full-resolution references at raw pixel width."""
+        return sum(
+            ref.size * self.config.raw_bytes_per_pixel
+            for ref in self._references.values()
+        )
+
+    def process(
+        self, capture: Capture, guaranteed_due: bool = False
+    ) -> CaptureEncodeResult:
+        """ROI-encode changes against the fixed reference (if any)."""
+        cloud_pixels = self.cloud_detector.detect(
+            capture.pixels, capture.bands, self.grid
+        )
+        coverage = float(cloud_pixels.mean())
+        if coverage > self.config.drop_cloud_fraction:
+            return self.assemble(capture, dropped=True, coverage=coverage,
+                                 band_results=[])
+        cloudy_tiles = self.grid.reduce_fraction(cloud_pixels) > 0.5
+        band_results = []
+        can_seed_reference = coverage <= self.reference_max_cloud
+        for band in self.bands:
+            image = capture.pixels[band.name]
+            cleaned = np.where(cloud_pixels, 0.0, image)
+            key = (capture.location, band.name)
+            reference = self._references.get(key)
+            if reference is None:
+                # No reference yet: download everything non-cloudy; seed the
+                # fixed reference if the sky is clear enough.
+                download = ~cloudy_tiles
+                result = self.encode_band(
+                    capture,
+                    band,
+                    cleaned,
+                    download,
+                    cloudy_tiles,
+                    changed_fraction=float(download.mean()),
+                    cloudy_pixels=cloud_pixels,
+                )
+                if can_seed_reference:
+                    self._references[key] = image.copy()
+                band_results.append(result)
+                continue
+            detection = detect_changes(
+                reference,
+                cleaned,
+                self.grid,
+                downsample=1,
+                theta=self.config.theta,
+                valid_lr=~cloud_pixels,
+            )
+            download = detection.changed_tiles & ~cloudy_tiles
+            band_results.append(
+                self.encode_band(
+                    capture,
+                    band,
+                    cleaned,
+                    download,
+                    cloudy_tiles,
+                    changed_fraction=detection.changed_fraction,
+                    gain=detection.gain,
+                    offset=detection.offset,
+                    had_reference=True,
+                    cloudy_pixels=cloud_pixels,
+                )
+            )
+        return self.assemble(
+            capture, dropped=False, coverage=coverage, band_results=band_results
+        )

@@ -1,0 +1,211 @@
+"""Command-line interface: run simulations and experiments from a shell.
+
+Usage::
+
+    python -m repro run --dataset sentinel2 --policy earthplus --gamma 0.3
+    python -m repro compare --dataset planet --satellites 16
+    python -m repro calibrate --band B4
+    python -m repro specs
+
+Every command prints plain-text tables (and CD/series plots where useful);
+all options have small laptop-friendly defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import POLICY_NAMES, run_policy
+from repro.analysis.tables import format_table
+from repro.core.config import EarthPlusConfig
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import SENTINEL2_LOCATIONS, sentinel2_dataset
+
+
+def _build_dataset(args: argparse.Namespace):
+    if args.dataset == "sentinel2":
+        locations = (
+            args.locations.split(",") if args.locations else ["A", "B"]
+        )
+        bands = args.bands.split(",") if args.bands else ["B4", "B11"]
+        return sentinel2_dataset(
+            locations=locations,
+            bands=bands,
+            horizon_days=args.days,
+            image_shape=(args.size, args.size),
+        )
+    return planet_dataset(
+        n_satellites=args.satellites,
+        horizon_days=args.days,
+        image_shape=(args.size, args.size),
+    )
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=("sentinel2", "planet"), default="sentinel2",
+        help="which synthetic dataset to simulate",
+    )
+    parser.add_argument(
+        "--locations", default=None,
+        help="comma-separated Sentinel-2 location letters (default: A,B)",
+    )
+    parser.add_argument(
+        "--bands", default=None,
+        help="comma-separated band names (default: B4,B11)",
+    )
+    parser.add_argument(
+        "--satellites", type=int, default=16,
+        help="constellation size for the planet dataset",
+    )
+    parser.add_argument(
+        "--days", type=float, default=180.0, help="simulated horizon in days"
+    )
+    parser.add_argument(
+        "--size", type=int, default=192, help="image edge in pixels"
+    )
+    parser.add_argument(
+        "--gamma", type=float, default=0.3,
+        help="bits per downloaded pixel (the paper's gamma)",
+    )
+    parser.add_argument(
+        "--codec", choices=("model", "real"), default="model",
+        help="fast rate model or full arithmetic-coded codec",
+    )
+
+
+def _result_row(policy: str, result) -> list:
+    return [
+        policy,
+        f"{result.downlink_bytes / 1e3:.1f}",
+        f"{result.mean_psnr():.1f}",
+        f"{result.mean_downloaded_fraction():.2f}",
+        f"{result.uplink_bytes / 1e3:.1f}",
+        f"{len(result.delivered())}/{len(result.records)}",
+    ]
+
+
+_RESULT_HEADERS = [
+    "policy", "downlink KB", "PSNR dB", "tiles downloaded",
+    "uplink KB", "delivered",
+]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    config = EarthPlusConfig(gamma_bpp=args.gamma, codec_backend=args.codec)
+    result = run_policy(dataset, args.policy, config)
+    print(
+        format_table(
+            _RESULT_HEADERS,
+            [_result_row(args.policy, result)],
+            title=f"{args.policy} on {dataset.name} "
+            f"({dataset.n_satellites} satellites, {args.days:.0f} days)",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    config = EarthPlusConfig(gamma_bpp=args.gamma, codec_backend=args.codec)
+    rows = []
+    for policy in ("earthplus", "kodan", "satroi"):
+        result = run_policy(dataset, policy, config)
+        rows.append(_result_row(policy, result))
+    print(
+        format_table(
+            _RESULT_HEADERS,
+            rows,
+            title=f"policy comparison on {dataset.name}",
+        )
+    )
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.calibration import evaluate_theta, profile_theta
+
+    dataset = sentinel2_dataset(
+        locations=[args.location],
+        bands=[args.band],
+        horizon_days=args.days * 2,
+        image_shape=(args.size, args.size),
+    )
+    theta = profile_theta(
+        dataset, args.location, args.band, 0.0, args.days
+    )
+    evaluation = evaluate_theta(
+        dataset, args.location, args.band, theta, args.days, args.days * 2
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["calibrated theta", f"{theta:.4f}"],
+                ["transfer FPR", f"{evaluation.false_positive_rate:.3f}"],
+                ["transfer recall", f"{evaluation.recall:.3f}"],
+                ["evaluation pairs", evaluation.n_pairs],
+            ],
+            title=f"theta calibration on location {args.location}, "
+            f"band {args.band} (paper default: 0.01)",
+        )
+    )
+    return 0
+
+
+def cmd_specs(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import tab01_specs
+
+    print(
+        format_table(
+            ["Property", "Value"], tab01_specs(),
+            title="Doves constellation specification (paper Table 1)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Earth+ reproduction: simulations and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one policy")
+    _add_dataset_args(run_parser)
+    run_parser.add_argument(
+        "--policy", choices=POLICY_NAMES, default="earthplus"
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="simulate Earth+ and both baselines"
+    )
+    _add_dataset_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    calibrate_parser = sub.add_parser(
+        "calibrate", help="profile the change threshold theta (paper §5)"
+    )
+    calibrate_parser.add_argument("--location", default="A")
+    calibrate_parser.add_argument("--band", default="B4")
+    calibrate_parser.add_argument("--days", type=float, default=180.0)
+    calibrate_parser.add_argument("--size", type=int, default=192)
+    calibrate_parser.set_defaults(func=cmd_calibrate)
+
+    specs_parser = sub.add_parser("specs", help="print the Table-1 spec")
+    specs_parser.set_defaults(func=cmd_specs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

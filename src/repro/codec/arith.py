@@ -1,0 +1,201 @@
+"""Adaptive binary arithmetic (range) coder with context modelling.
+
+This is the entropy-coding engine under the bit-plane coder.  It is a
+carry-less byte-oriented range coder (the classic Subbotin construction)
+driven by per-context adaptive probability estimates: each context keeps
+scaled 0/1 counts and halves them periodically so the model tracks local
+statistics, exactly the role the MQ coder plays inside JPEG 2000.
+
+Correctness contract (property-tested): for any sequence of (bit, context)
+pairs, decoding the encoder's output with the same fresh context set returns
+the original bits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamError
+
+_TOP = 1 << 24
+_BOTTOM = 1 << 16
+_MASK32 = 0xFFFFFFFF
+
+#: Probability precision: P(bit = 0) is stored as count0 / total scaled into
+#: a 16-bit range split.
+_MAX_TOTAL = 1 << 12
+
+
+class ContextModel:
+    """Adaptive probability estimate for one binary context.
+
+    Maintains Laplace-smoothed counts of zeroes and ones, halved whenever the
+    total reaches ``_MAX_TOTAL`` so that the estimate adapts to
+    non-stationary sources.
+    """
+
+    __slots__ = ("count0", "count1")
+
+    def __init__(self) -> None:
+        self.count0 = 1
+        self.count1 = 1
+
+    def probability0_scaled(self) -> int:
+        """P(bit = 0) scaled to 1..65535 (never 0 or 65536)."""
+        total = self.count0 + self.count1
+        scaled = (self.count0 << 16) // total
+        if scaled < 1:
+            return 1
+        if scaled > 65535:
+            return 65535
+        return scaled
+
+    def update(self, bit: int) -> None:
+        """Fold an observed bit into the estimate."""
+        if bit:
+            self.count1 += 1
+        else:
+            self.count0 += 1
+        if self.count0 + self.count1 >= _MAX_TOTAL:
+            self.count0 = (self.count0 + 1) >> 1
+            self.count1 = (self.count1 + 1) >> 1
+
+
+class ContextSet:
+    """A named family of :class:`ContextModel` instances.
+
+    Encoder and decoder must build their context sets identically (same
+    labels, fresh counts); the coder itself is stateless beyond this.
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[object, ContextModel] = {}
+
+    def get(self, label: object) -> ContextModel:
+        """Fetch (creating on first use) the model for ``label``."""
+        model = self._models.get(label)
+        if model is None:
+            model = ContextModel()
+            self._models[label] = model
+        return model
+
+
+class ArithmeticEncoder:
+    """Range encoder producing a byte string from (bit, context) decisions."""
+
+    def __init__(self, contexts: ContextSet | None = None) -> None:
+        self.contexts = contexts if contexts is not None else ContextSet()
+        self._low = 0
+        self._range = _MASK32
+        self._out = bytearray()
+
+    def encode(self, bit: int, context_label: object) -> None:
+        """Encode one bit under the adaptive model for ``context_label``."""
+        model = self.contexts.get(context_label)
+        p0 = model.probability0_scaled()
+        split = (self._range >> 16) * p0
+        if bit == 0:
+            self._range = split
+        else:
+            self._low = (self._low + split) & _MASK32
+            self._range -= split
+        model.update(bit)
+        self._normalize()
+
+    def encode_bit_raw(self, bit: int) -> None:
+        """Encode one bit at fixed probability 1/2 (bypass mode)."""
+        split = self._range >> 1
+        if bit == 0:
+            self._range = split
+        else:
+            self._low = (self._low + split) & _MASK32
+            self._range -= split
+        self._normalize()
+
+    def _normalize(self) -> None:
+        # Subbotin carry-less renormalization: emit top bytes while the
+        # range is small or while low/top bytes are pinned.
+        while True:
+            if (self._low ^ (self._low + self._range)) < _TOP:
+                pass  # top byte settled; emit below
+            elif self._range < _BOTTOM:
+                self._range = (-self._low) & (_BOTTOM - 1)
+            else:
+                return
+            self._out.append((self._low >> 24) & 0xFF)
+            self._low = (self._low << 8) & _MASK32
+            self._range = (self._range << 8) & _MASK32
+
+    def finish(self) -> bytes:
+        """Flush and return the complete codeword."""
+        for _ in range(4):
+            self._out.append((self._low >> 24) & 0xFF)
+            self._low = (self._low << 8) & _MASK32
+        return bytes(self._out)
+
+
+class ArithmeticDecoder:
+    """Range decoder; mirror image of :class:`ArithmeticEncoder`."""
+
+    def __init__(self, data: bytes, contexts: ContextSet | None = None) -> None:
+        self.contexts = contexts if contexts is not None else ContextSet()
+        self._data = data
+        self._pos = 0
+        self._low = 0
+        self._range = _MASK32
+        self._code = 0
+        for _ in range(4):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+
+    def _next_byte(self) -> int:
+        if self._pos < len(self._data):
+            byte = self._data[self._pos]
+            self._pos += 1
+            return byte
+        # Reading past the end is legal for truncated (embedded) streams:
+        # the decoder just sees zero bits, mirroring JPEG 2000 behaviour.
+        self._pos += 1
+        if self._pos > len(self._data) + 64:
+            raise BitstreamError("arithmetic decoder ran far past end of data")
+        return 0
+
+    def decode(self, context_label: object) -> int:
+        """Decode one bit under the adaptive model for ``context_label``."""
+        model = self.contexts.get(context_label)
+        p0 = model.probability0_scaled()
+        split = (self._range >> 16) * p0
+        offset = (self._code - self._low) & _MASK32
+        if offset < split:
+            bit = 0
+            self._range = split
+        else:
+            bit = 1
+            self._low = (self._low + split) & _MASK32
+            self._range -= split
+        model.update(bit)
+        self._normalize()
+        return bit
+
+    def decode_bit_raw(self) -> int:
+        """Decode one bypass-mode bit (fixed probability 1/2)."""
+        split = self._range >> 1
+        offset = (self._code - self._low) & _MASK32
+        if offset < split:
+            bit = 0
+            self._range = split
+        else:
+            bit = 1
+            self._low = (self._low + split) & _MASK32
+            self._range -= split
+        self._normalize()
+        return bit
+
+    def _normalize(self) -> None:
+        while True:
+            if (self._low ^ (self._low + self._range)) < _TOP:
+                pass
+            elif self._range < _BOTTOM:
+                self._range = (-self._low) & (_BOTTOM - 1)
+            else:
+                return
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+            self._low = (self._low << 8) & _MASK32
+            self._range = (self._range << 8) & _MASK32

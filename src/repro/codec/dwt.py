@@ -1,0 +1,345 @@
+"""Multilevel 2-D lifting discrete wavelet transform.
+
+Implements the two wavelets JPEG 2000 standardizes, both via lifting with
+whole-point symmetric boundary extension and support for arbitrary (odd)
+lengths:
+
+* **CDF 9/7** — the irreversible float transform used for lossy coding;
+* **LeGall 5/3** — the reversible integer transform used for lossless
+  coding (bit-exact perfect reconstruction on integer inputs).
+
+Coefficients are organized pywt-style: ``[LL_n, (HL_n, LH_n, HH_n), ...,
+(HL_1, LH_1, HH_1)]`` coarsest-first.  Perfect reconstruction for every
+shape/level combination is property-tested.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+
+# CDF 9/7 lifting constants (ITU-T T.800 Annex F).
+_ALPHA = -1.586134342059924
+_BETA = -0.052980118572961
+_GAMMA = 0.882911075530934
+_DELTA = 0.443506852043971
+_KAPPA = 1.230174104914001
+
+
+class Wavelet(enum.Enum):
+    """Supported wavelet filters."""
+
+    CDF97 = "cdf97"
+    LEGALL53 = "legall53"
+
+
+@dataclass
+class WaveletCoeffs:
+    """Multilevel DWT coefficients.
+
+    Attributes:
+        approx: The coarsest LL subband.
+        details: Detail triples ``(HL, LH, HH)`` coarsest-first.
+        shape: Original image shape (needed to invert odd sizes).
+        wavelet: Which filter produced the decomposition.
+    """
+
+    approx: np.ndarray
+    details: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+    shape: tuple[int, int]
+    wavelet: Wavelet
+
+    @property
+    def levels(self) -> int:
+        """Number of decomposition levels."""
+        return len(self.details)
+
+    def subbands(self) -> list[tuple[str, int, np.ndarray]]:
+        """Flatten to ``(name, level, array)`` triples, coarsest-first.
+
+        Level numbering follows JPEG 2000: level ``levels`` is coarsest.
+        """
+        out: list[tuple[str, int, np.ndarray]] = [
+            ("LL", self.levels, self.approx)
+        ]
+        for idx, (hl, lh, hh) in enumerate(self.details):
+            level = self.levels - idx
+            out.append(("HL", level, hl))
+            out.append(("LH", level, lh))
+            out.append(("HH", level, hh))
+        return out
+
+    def total_coefficients(self) -> int:
+        """Total coefficient count (equals the pixel count of the image)."""
+        total = self.approx.size
+        for hl, lh, hh in self.details:
+            total += hl.size + lh.size + hh.size
+        return total
+
+
+def _sym_index(idx: int, length: int) -> int:
+    """Whole-point symmetric extension index for out-of-range ``idx``."""
+    if length == 1:
+        return 0
+    period = 2 * (length - 1)
+    idx = idx % period
+    if idx < 0:
+        idx += period
+    if idx >= length:
+        idx = period - idx
+    return idx
+
+
+def _analysis_53(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """1-D LeGall 5/3 analysis along the first axis (integer, reversible)."""
+    length = signal.shape[0]
+    if length == 1:
+        return signal.copy(), signal[:0].copy()
+    even = signal[0::2].astype(np.int64)
+    odd = signal[1::2].astype(np.int64)
+    n_odd = odd.shape[0]
+    # Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+    left = even[:n_odd]
+    right_idx = [_sym_index(2 * i + 2, length) for i in range(n_odd)]
+    right = signal[right_idx].astype(np.int64)
+    detail = odd - ((left + right) >> 1)
+    # Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+    n_even = even.shape[0]
+    d_left = np.empty_like(even)
+    d_right = np.empty_like(even)
+    for i in range(n_even):
+        li = i - 1
+        ri = i
+        if li < 0:
+            li = 0 if n_odd > 0 else -1
+        if ri >= n_odd:
+            ri = n_odd - 1
+        d_left[i] = detail[li] if n_odd > 0 else 0
+        d_right[i] = detail[ri] if n_odd > 0 else 0
+    approx = even + ((d_left + d_right + 2) >> 2)
+    return approx, detail
+
+
+def _synthesis_53(
+    approx: np.ndarray, detail: np.ndarray, length: int
+) -> np.ndarray:
+    """Inverse of :func:`_analysis_53`; bit-exact on integer inputs."""
+    if length == 1:
+        return approx.copy()
+    n_even = approx.shape[0]
+    n_odd = detail.shape[0]
+    d_left = np.empty_like(approx)
+    d_right = np.empty_like(approx)
+    for i in range(n_even):
+        li = i - 1
+        ri = i
+        if li < 0:
+            li = 0 if n_odd > 0 else -1
+        if ri >= n_odd:
+            ri = n_odd - 1
+        d_left[i] = detail[li] if n_odd > 0 else 0
+        d_right[i] = detail[ri] if n_odd > 0 else 0
+    even = approx - ((d_left + d_right + 2) >> 2)
+    signal = np.empty((length,) + approx.shape[1:], dtype=np.int64)
+    signal[0::2] = even
+    if n_odd:
+        left = even[:n_odd]
+        right = np.empty_like(detail)
+        for i in range(n_odd):
+            src = _sym_index(2 * i + 2, length)
+            # After reconstruction, even samples live at even indices; the
+            # mirrored index is always even for whole-point extension of an
+            # even-start signal, so it maps into `even` directly.
+            right[i] = even[src // 2] if src % 2 == 0 else 0
+        signal[1::2] = detail + ((left + right) >> 1)
+    return signal
+
+
+def _analysis_97(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """1-D CDF 9/7 lifting analysis along the first axis (float)."""
+    length = signal.shape[0]
+    if length == 1:
+        return signal.astype(np.float64) * _KAPPA, signal[:0].astype(np.float64)
+    x = signal.astype(np.float64)
+    even = x[0::2].copy()
+    odd = x[1::2].copy()
+    n_odd = odd.shape[0]
+    n_even = even.shape[0]
+
+    def mirrored_even(position: int) -> np.ndarray:
+        src = _sym_index(position, length)
+        if src % 2 == 0:
+            return even[src // 2]
+        return odd[src // 2]
+
+    # Step 1 (predict with alpha): d += alpha * (left_even + right_even)
+    right1 = np.empty_like(odd)
+    for i in range(n_odd):
+        right1[i] = mirrored_even(2 * i + 2)
+    odd += _ALPHA * (even[:n_odd] + right1)
+    # Step 2 (update with beta): s += beta * (left_detail + right_detail)
+    if n_odd:
+        d_pad_left = np.concatenate([odd[:1], odd])[:n_even]
+        d_pad_right = odd[:n_even] if n_even <= n_odd else np.concatenate(
+            [odd, odd[-1:]]
+        )[:n_even]
+        even += _BETA * (d_pad_left + d_pad_right)
+    # Step 3 (predict with gamma)
+    if n_odd:
+        s_right = np.concatenate([even[1:], even[-1:]])[:n_odd]
+        odd += _GAMMA * (even[:n_odd] + s_right)
+    # Step 4 (update with delta)
+    if n_odd:
+        d_pad_left = np.concatenate([odd[:1], odd])[:n_even]
+        d_pad_right = odd[:n_even] if n_even <= n_odd else np.concatenate(
+            [odd, odd[-1:]]
+        )[:n_even]
+        even += _DELTA * (d_pad_left + d_pad_right)
+    # Scaling
+    even *= _KAPPA
+    odd /= _KAPPA
+    return even, odd
+
+
+def _synthesis_97(
+    approx: np.ndarray, detail: np.ndarray, length: int
+) -> np.ndarray:
+    """Inverse of :func:`_analysis_97` (floating point)."""
+    if length == 1:
+        return approx / _KAPPA
+    even = approx.astype(np.float64) / _KAPPA
+    odd = detail.astype(np.float64) * _KAPPA
+    n_odd = odd.shape[0]
+    n_even = even.shape[0]
+    # Undo step 4
+    if n_odd:
+        d_pad_left = np.concatenate([odd[:1], odd])[:n_even]
+        d_pad_right = odd[:n_even] if n_even <= n_odd else np.concatenate(
+            [odd, odd[-1:]]
+        )[:n_even]
+        even -= _DELTA * (d_pad_left + d_pad_right)
+    # Undo step 3
+    if n_odd:
+        s_right = np.concatenate([even[1:], even[-1:]])[:n_odd]
+        odd -= _GAMMA * (even[:n_odd] + s_right)
+    # Undo step 2
+    if n_odd:
+        d_pad_left = np.concatenate([odd[:1], odd])[:n_even]
+        d_pad_right = odd[:n_even] if n_even <= n_odd else np.concatenate(
+            [odd, odd[-1:]]
+        )[:n_even]
+        even -= _BETA * (d_pad_left + d_pad_right)
+    # Undo step 1
+    if n_odd:
+        signal = np.empty((length,) + even.shape[1:], dtype=np.float64)
+        signal[0::2] = even
+
+        def mirrored_even(position: int) -> np.ndarray:
+            src = _sym_index(position, length)
+            if src % 2 == 0:
+                return even[src // 2]
+            return odd[src // 2] - 0.0  # odd branch cannot occur (see below)
+
+        right1 = np.empty_like(odd)
+        for i in range(n_odd):
+            right1[i] = mirrored_even(2 * i + 2)
+        odd -= _ALPHA * (even[:n_odd] + right1)
+        signal[1::2] = odd
+        return signal
+    signal = np.empty((length,) + even.shape[1:], dtype=np.float64)
+    signal[0::2] = even
+    return signal
+
+
+def _transform_axis(
+    data: np.ndarray, axis: int, wavelet: Wavelet
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply 1-D analysis along ``axis`` of a 2-D array."""
+    moved = np.moveaxis(data, axis, 0)
+    if wavelet is Wavelet.LEGALL53:
+        approx, detail = _analysis_53(moved)
+    else:
+        approx, detail = _analysis_97(moved)
+    return np.moveaxis(approx, 0, axis), np.moveaxis(detail, 0, axis)
+
+
+def _inverse_axis(
+    approx: np.ndarray,
+    detail: np.ndarray,
+    axis: int,
+    length: int,
+    wavelet: Wavelet,
+) -> np.ndarray:
+    """Apply 1-D synthesis along ``axis``."""
+    approx_m = np.moveaxis(approx, axis, 0)
+    detail_m = np.moveaxis(detail, axis, 0)
+    if wavelet is Wavelet.LEGALL53:
+        merged = _synthesis_53(approx_m, detail_m, length)
+    else:
+        merged = _synthesis_97(approx_m, detail_m, length)
+    return np.moveaxis(merged, 0, axis)
+
+
+def forward_dwt2d(
+    image: np.ndarray, levels: int, wavelet: Wavelet = Wavelet.CDF97
+) -> WaveletCoeffs:
+    """Multilevel 2-D forward DWT.
+
+    Args:
+        image: 2-D array.  For :data:`Wavelet.LEGALL53` it must hold integer
+            values (any dtype castable to int64 without loss).
+        levels: Number of decomposition levels (>= 1).
+        wavelet: Filter to use.
+
+    Returns:
+        The multilevel decomposition.
+
+    Raises:
+        CodecError: For invalid level counts or non-2-D input.
+    """
+    if image.ndim != 2:
+        raise CodecError(f"expected 2-D image, got shape {image.shape}")
+    if levels < 1:
+        raise CodecError(f"levels must be >= 1, got {levels}")
+    max_levels = int(np.floor(np.log2(max(1, min(image.shape)))))
+    if levels > max(1, max_levels):
+        raise CodecError(
+            f"levels={levels} too deep for image of shape {image.shape}"
+        )
+    current = image
+    details: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for _ in range(levels):
+        low_rows, high_rows = _transform_axis(current, 0, wavelet)
+        ll, hl = _transform_axis(low_rows, 1, wavelet)
+        lh, hh = _transform_axis(high_rows, 1, wavelet)
+        details.append((hl, lh, hh))
+        current = ll
+    details.reverse()
+    return WaveletCoeffs(
+        approx=current, details=details, shape=image.shape, wavelet=wavelet
+    )
+
+
+def inverse_dwt2d(coeffs: WaveletCoeffs) -> np.ndarray:
+    """Invert :func:`forward_dwt2d`.
+
+    Returns:
+        The reconstructed image: float64 for CDF 9/7, int64 for LeGall 5/3.
+    """
+    current = coeffs.approx
+    # Reconstruct level shapes top-down: we must know each level's row/col
+    # counts, derived by repeatedly halving the original shape.
+    shapes = [coeffs.shape]
+    for _ in range(coeffs.levels - 1):
+        height, width = shapes[-1]
+        shapes.append(((height + 1) // 2, (width + 1) // 2))
+    for (hl, lh, hh), target in zip(coeffs.details, reversed(shapes)):
+        height, width = target
+        low_rows = _inverse_axis(current, hl, 1, width, coeffs.wavelet)
+        high_rows = _inverse_axis(lh, hh, 1, width, coeffs.wavelet)
+        current = _inverse_axis(low_rows, high_rows, 0, height, coeffs.wavelet)
+    return current

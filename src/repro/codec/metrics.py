@@ -1,0 +1,103 @@
+"""Image quality and rate metrics used throughout the evaluation.
+
+The paper reports Peak Signal-to-Noise Ratio (PSNR) on pixel values
+normalized to [0, 1] and compression ratio relative to raw size; both are
+defined here once so every experiment scores identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape.
+
+    Args:
+        reference: Ground-truth image.
+        test: Reconstructed image.
+
+    Returns:
+        Mean of squared per-pixel differences.
+
+    Raises:
+        ValueError: If shapes differ.
+    """
+    if reference.shape != test.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {test.shape}"
+        )
+    diff = reference.astype(np.float64) - test.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, max_value: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in decibels.
+
+    Args:
+        reference: Ground-truth image.
+        test: Reconstructed image.
+        max_value: Peak signal value (1.0 for normalized imagery).
+
+    Returns:
+        PSNR in dB; ``math.inf`` for identical images.
+    """
+    error = mse(reference, test)
+    if error <= 0.0:
+        return math.inf
+    return 10.0 * math.log10((max_value * max_value) / error)
+
+
+def compression_ratio(raw_bytes: int, coded_bytes: int) -> float:
+    """Raw-to-coded size ratio; ``inf`` when nothing was coded.
+
+    Args:
+        raw_bytes: Uncompressed payload size.
+        coded_bytes: Compressed payload size.
+
+    Returns:
+        ``raw_bytes / coded_bytes`` (``inf`` if ``coded_bytes`` is zero).
+
+    Raises:
+        ValueError: If either argument is negative.
+    """
+    if raw_bytes < 0 or coded_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if coded_bytes == 0:
+        return math.inf
+    return raw_bytes / coded_bytes
+
+
+def weighted_mean_psnr(psnrs: list[float], weights: list[float] | None = None) -> float:
+    """Average PSNR across images, via mean MSE (not mean of dB values).
+
+    Averaging in the MSE domain is the statistically meaningful way to pool
+    quality across images; averaging dB directly overweights easy images.
+    Infinite PSNRs (perfect reconstructions) contribute zero MSE.
+
+    Args:
+        psnrs: Per-image PSNR values in dB.
+        weights: Optional per-image weights (defaults to uniform).
+
+    Returns:
+        Pooled PSNR in dB.
+    """
+    if not psnrs:
+        raise ValueError("psnrs must be non-empty")
+    if weights is None:
+        weights = [1.0] * len(psnrs)
+    if len(weights) != len(psnrs):
+        raise ValueError("weights and psnrs must have equal length")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    mean_mse = 0.0
+    for value, weight in zip(psnrs, weights):
+        mse_value = 0.0 if math.isinf(value) else 10.0 ** (-value / 10.0)
+        mean_mse += weight * mse_value
+    mean_mse /= total_weight
+    if mean_mse <= 0.0:
+        return math.inf
+    return -10.0 * math.log10(mean_mse)

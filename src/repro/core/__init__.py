@@ -1,0 +1,77 @@
+"""Earth+ core: constellation-wide reference-based on-board compression.
+
+This package is the paper's contribution itself, layered over the substrates:
+
+* :mod:`repro.core.config` — Doves-class satellite specification (Table 1)
+  and Earth+ tunables (threshold theta, bit budget gamma, reference
+  downsampling, guaranteed-download period);
+* :mod:`repro.core.tiles` — the 64x64 geographic tile grid everything is
+  expressed in;
+* :mod:`repro.core.cloud` — the cheap on-board decision-tree cloud detector
+  and the accurate ground-side detector (both genuinely trained);
+* :mod:`repro.core.change_detection` — illumination alignment (linear
+  regression) + low-resolution per-tile change detection (§4.3, §5);
+* :mod:`repro.core.reference` — ground reference store, on-board reference
+  cache, downsampled + delta-encoded reference updates over the uplink;
+* :mod:`repro.core.encoder` — the on-board pipeline (cloud removal, image
+  dropping, alignment, detection, ROI encoding, guaranteed download);
+* :mod:`repro.core.ground_segment` — the ground-station side (accurate cloud
+  re-detection, mosaic maintenance, reference selection and upload planning);
+* :mod:`repro.core.system` — the end-to-end constellation simulator that
+  produces every number in EXPERIMENTS.md;
+* :mod:`repro.core.compute` — the runtime cost model behind Figure 16.
+"""
+
+from repro.core.config import DovesSpec, EarthPlusConfig
+from repro.core.tiles import TileGrid
+from repro.core.change_detection import (
+    align_illumination,
+    changed_tile_mask,
+    detect_changes,
+    ChangeDetectionResult,
+)
+from repro.core.cloud import (
+    CloudDetector,
+    train_onboard_detector,
+    train_ground_detector,
+    DetectorQuality,
+)
+from repro.core.reference import (
+    OnboardReferenceCache,
+    ReferenceUpdate,
+    GroundMosaic,
+    downsample_image,
+    upsample_image,
+)
+from repro.core.encoder import EarthPlusEncoder, BandEncodeResult, CaptureEncodeResult
+from repro.core.ground_segment import GroundSegment
+from repro.core.system import ConstellationSimulator, RunResult, CaptureRecord
+from repro.core.compute import RuntimeCostModel, StageTiming
+
+__all__ = [
+    "DovesSpec",
+    "EarthPlusConfig",
+    "TileGrid",
+    "align_illumination",
+    "changed_tile_mask",
+    "detect_changes",
+    "ChangeDetectionResult",
+    "CloudDetector",
+    "train_onboard_detector",
+    "train_ground_detector",
+    "DetectorQuality",
+    "OnboardReferenceCache",
+    "ReferenceUpdate",
+    "GroundMosaic",
+    "downsample_image",
+    "upsample_image",
+    "EarthPlusEncoder",
+    "BandEncodeResult",
+    "CaptureEncodeResult",
+    "GroundSegment",
+    "ConstellationSimulator",
+    "RunResult",
+    "CaptureRecord",
+    "RuntimeCostModel",
+    "StageTiming",
+]

@@ -1,0 +1,327 @@
+"""The Earth+ on-board pipeline (§5): what runs on the satellite.
+
+Per capture, in order:
+
+1. **Cloud removal** — the cheap decision-tree detector flags cloudy tiles;
+   their pixels are zeroed and they are never downloaded.
+2. **Image dropping** — captures over 50 % detected cloud are discarded
+   outright.
+3. **Illumination alignment** — linear fit of the cached low-res reference
+   to the (low-res) capture over non-cloudy pixels.
+4. **Change detection** — per-tile mean absolute difference at reference
+   resolution, thresholded at theta.
+5. **Region-of-interest encoding** — changed, non-cloudy tiles are encoded
+   at ``gamma`` bits per pixel (whole-image bpp = gamma x changed fraction,
+   the paper's Kakadu configuration).
+6. **Guaranteed download** — once per configured period, a sufficiently
+   clear capture is downloaded in its entirety so undetected changes are
+   bounded in age.
+
+When no reference is cached (cold start, or uplink outage since launch) the
+pipeline degrades to Kodan-like behaviour: download everything non-cloudy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.jpeg2000 import CodecConfig
+from repro.codec.ratemodel import RateModel
+from repro.core.change_detection import ChangeDetectionResult, detect_changes
+from repro.core.cloud import CloudDetector
+from repro.core.config import EarthPlusConfig
+from repro.core.reference import OnboardReferenceCache, downsample_image
+from repro.core.tiles import TileGrid
+from repro.errors import PipelineError
+from repro.imagery.bands import Band
+from repro.imagery.sensor import Capture
+
+#: Bytes for the per-band illumination alignment parameters shipped with
+#: each download (two float32 values).
+_ALIGNMENT_BYTES = 8
+
+
+@dataclass
+class BandEncodeResult:
+    """Per-band outcome of processing one capture on board.
+
+    Attributes:
+        band: Band name.
+        downloaded_tiles: Boolean tile grid of downloaded tiles.
+        cloudy_tiles: Boolean tile grid of tiles removed as cloud.
+        changed_fraction: Fraction of tiles the detector flagged changed.
+        bytes_downlinked: Coded bytes for this band (0 if nothing downloaded).
+        psnr_downloaded: PSNR of the coded reconstruction over downloaded
+            tiles (inf when nothing was downloaded).
+        reconstruction: Full-frame reconstruction; valid on downloaded tiles.
+        gain: Illumination gain (reference -> capture); 1.0 without a
+            reference.
+        offset: Illumination offset.
+        had_reference: Whether a cached reference drove change detection.
+        detection: The raw change-detection result (None without reference).
+    """
+
+    band: str
+    downloaded_tiles: np.ndarray
+    cloudy_tiles: np.ndarray
+    changed_fraction: float
+    bytes_downlinked: int
+    psnr_downloaded: float
+    reconstruction: np.ndarray
+    gain: float
+    offset: float
+    had_reference: bool
+    detection: ChangeDetectionResult | None = None
+    cloudy_pixels: np.ndarray | None = None
+
+    @property
+    def downloaded_fraction(self) -> float:
+        """Fraction of tiles downloaded (Figure 12/13's x-axis)."""
+        return float(self.downloaded_tiles.mean())
+
+
+@dataclass
+class CaptureEncodeResult:
+    """Whole-capture outcome of the on-board pipeline.
+
+    Attributes:
+        location: Location name.
+        satellite_id: Observing satellite.
+        t_days: Capture time.
+        dropped: True when the capture was discarded for cloud (> 50 %).
+        guaranteed: True when this was a guaranteed full download.
+        cloud_coverage_detected: On-board detected cloud fraction.
+        bands: Per-band results (empty when dropped).
+        onboard_encoded_bytes: Bytes of encoded capture data held on board.
+    """
+
+    location: str
+    satellite_id: int
+    t_days: float
+    dropped: bool
+    guaranteed: bool
+    cloud_coverage_detected: float
+    bands: list[BandEncodeResult] = field(default_factory=list)
+    onboard_encoded_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total downlink bytes for this capture."""
+        return sum(b.bytes_downlinked for b in self.bands)
+
+
+class EarthPlusEncoder:
+    """The on-board Earth+ encoder for one satellite.
+
+    Args:
+        config: Earth+ tunables.
+        bands: Bands the satellite captures.
+        image_shape: Capture pixel shape.
+        cloud_detector: The cheap on-board detector.
+        cache: This satellite's reference cache (uplinked by the ground).
+        codec_config: Codec geometry (tile size is taken from ``config``).
+    """
+
+    def __init__(
+        self,
+        config: EarthPlusConfig,
+        bands: tuple[Band, ...],
+        image_shape: tuple[int, int],
+        cloud_detector: CloudDetector,
+        cache: OnboardReferenceCache,
+        codec_config: CodecConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.bands = bands
+        self.image_shape = image_shape
+        self.cloud_detector = cloud_detector
+        self.cache = cache
+        self.grid = TileGrid(image_shape, config.tile_size)
+        resolved_codec_config = (
+            codec_config
+            if codec_config is not None
+            else CodecConfig(tile_size=config.tile_size)
+        )
+        if config.codec_backend == "real":
+            from repro.codec.adapter import RealCodecAdapter
+
+            self.rate_model = RealCodecAdapter(
+                resolved_codec_config, n_layers=config.n_quality_layers
+            )
+        else:
+            self.rate_model = RateModel(resolved_codec_config)
+        # Warm-start quantizer steps per (location, band) to speed the
+        # bpp-target search across a timeline.
+        self._last_step: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    def process_capture(
+        self,
+        capture: Capture,
+        guaranteed_due: bool = False,
+    ) -> CaptureEncodeResult:
+        """Run the full §5 pipeline over one capture.
+
+        Args:
+            capture: The observation to compress.
+            guaranteed_due: Whether the guaranteed-download timer has
+                expired for this location (the simulator tracks timers).
+
+        Returns:
+            The per-capture result with real byte accounting.
+        """
+        if capture.shape != self.image_shape:
+            raise PipelineError(
+                f"capture shape {capture.shape} != encoder shape {self.image_shape}"
+            )
+        cloud_pixels = self.cloud_detector.detect(
+            capture.pixels, capture.bands, self.grid
+        )
+        coverage = float(cloud_pixels.mean())
+        if coverage > self.config.drop_cloud_fraction:
+            return CaptureEncodeResult(
+                location=capture.location,
+                satellite_id=capture.satellite_id,
+                t_days=capture.t_days,
+                dropped=True,
+                guaranteed=False,
+                cloud_coverage_detected=coverage,
+            )
+        # A tile with meaningful detected cloud is removed rather than
+        # downloaded: its cloudy pixels carry no ground content, and its
+        # clear remainder will be captured on a later, clearer pass.
+        cloudy_tiles = self.grid.reduce_fraction(cloud_pixels) > 0.3
+        # Guaranteed downloads additionally require a reasonably clear sky,
+        # otherwise they would ship mostly zeros.
+        guaranteed = guaranteed_due and coverage <= 0.05
+        band_results = [
+            self._process_band(capture, band, cloud_pixels, cloudy_tiles, guaranteed)
+            for band in self.bands
+        ]
+        onboard_bytes = sum(b.bytes_downlinked for b in band_results)
+        return CaptureEncodeResult(
+            location=capture.location,
+            satellite_id=capture.satellite_id,
+            t_days=capture.t_days,
+            dropped=False,
+            guaranteed=guaranteed,
+            cloud_coverage_detected=coverage,
+            bands=band_results,
+            onboard_encoded_bytes=onboard_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _process_band(
+        self,
+        capture: Capture,
+        band: Band,
+        cloud_pixels: np.ndarray,
+        cloudy_tiles: np.ndarray,
+        guaranteed: bool,
+    ) -> BandEncodeResult:
+        image = capture.pixels[band.name]
+        ratio = self.config.reference_downsample
+        # Cloud removal: zero out detected cloud before anything else.
+        cleaned = np.where(cloud_pixels, 0.0, image)
+        gain, offset = 1.0, 0.0
+        detection: ChangeDetectionResult | None = None
+        had_reference = self.cache.has(capture.location, band.name)
+        unfilled_tiles = np.zeros(self.grid.grid_shape, dtype=bool)
+        if had_reference:
+            # Always fit illumination against the cached reference (even for
+            # guaranteed full downloads) so the ground can normalize every
+            # ingested tile into one consistent reference basis.
+            _, reference_lr = self.cache.get(capture.location, band.name)
+            capture_lr = downsample_image(cleaned, ratio)
+            valid_lr = downsample_image((~cloud_pixels).astype(np.float64), ratio) > 0.5
+            # Reference pixels the ground marked invalid were never filled
+            # by a download (cold start, or persistent cloud): exclude them
+            # from the illumination fit and force their tiles to "changed"
+            # so the ground can fill them in.
+            unfilled_lr = ~self.cache.get_validity(capture.location, band.name)
+            if unfilled_lr.any():
+                valid_lr &= ~unfilled_lr
+                unfilled_px = (
+                    np.repeat(
+                        np.repeat(unfilled_lr, ratio, axis=0), ratio, axis=1
+                    )[: self.image_shape[0], : self.image_shape[1]]
+                )
+                unfilled_tiles = self.grid.reduce_any(unfilled_px)
+            detection = detect_changes(
+                reference_lr,
+                capture_lr,
+                self.grid,
+                ratio,
+                self.config.theta,
+                valid_lr=valid_lr,
+            )
+            gain, offset = detection.gain, detection.offset
+        if guaranteed or not had_reference:
+            download = ~cloudy_tiles
+            changed_fraction = float(download.mean())
+        else:
+            assert detection is not None
+            changed = detection.changed_tiles | unfilled_tiles
+            changed_fraction = float(changed.mean())
+            download = changed & ~cloudy_tiles
+        if not download.any():
+            return BandEncodeResult(
+                band=band.name,
+                downloaded_tiles=download,
+                cloudy_tiles=cloudy_tiles,
+                changed_fraction=changed_fraction,
+                bytes_downlinked=_ALIGNMENT_BYTES,
+                psnr_downloaded=float("inf"),
+                reconstruction=np.zeros(self.image_shape, dtype=np.float64),
+                gain=gain,
+                offset=offset,
+                had_reference=had_reference,
+                cloudy_pixels=cloud_pixels,
+            )
+        roi_pixels = int(
+            (self.grid.tile_pixel_counts() * download.astype(np.int64)).sum()
+        )
+        target_bytes = max(64, int(self.config.gamma_bpp * roi_pixels / 8.0))
+        result = self._encode_roi(
+            capture.location, band.name, cleaned, download, target_bytes
+        )
+        return BandEncodeResult(
+            band=band.name,
+            downloaded_tiles=download,
+            cloudy_tiles=cloudy_tiles,
+            changed_fraction=changed_fraction,
+            bytes_downlinked=result.coded_bytes + _ALIGNMENT_BYTES,
+            psnr_downloaded=result.psnr_roi,
+            reconstruction=result.reconstruction,
+            gain=gain,
+            offset=offset,
+            had_reference=had_reference,
+            detection=detection,
+            cloudy_pixels=cloud_pixels,
+        )
+
+    def _encode_roi(
+        self,
+        location: str,
+        band: str,
+        image: np.ndarray,
+        roi: np.ndarray,
+        target_bytes: int,
+    ):
+        """Rate-targeted ROI encode with a warm-started step search."""
+        key = (location, band)
+        warm = self._last_step.get(key)
+        if warm is not None:
+            # Try the previous operating point first; accept when within 10 %.
+            result = self.rate_model.encode(image, warm, roi)
+            if result.coded_bytes <= target_bytes and (
+                result.coded_bytes >= 0.9 * target_bytes
+            ):
+                return result
+        result = self.rate_model.find_step_for_bytes(
+            image, target_bytes, roi, tolerance=0.08, max_iterations=14
+        )
+        self._last_step[key] = result.base_step
+        return result

@@ -1,0 +1,28 @@
+"""Synthetic stand-ins for the paper's two evaluation datasets (Table 2).
+
+* :func:`~repro.datasets.sentinel2.sentinel2_dataset` — the "rich content"
+  dataset: 11 Washington-State-like locations (rivers, forests, mountains,
+  agriculture, cities; two snowy locations D and H), 13 Sentinel-2 bands,
+  a 2-satellite constellation, one year.
+* :func:`~repro.datasets.planet.planet_dataset` — the "large constellation"
+  dataset: one coastal location, 4 Planet bands, up to 48 satellites, three
+  months, low-cloud sampling.
+
+Both return a :class:`~repro.datasets.generator.SyntheticDataset` bundling
+sensors, bands, constellation and visit schedule, ready for
+:class:`repro.core.system.ConstellationSimulator`.  Sizes (image shape,
+location/band subsets, horizon) are parameterized so tests run in seconds
+while benches can scale up.
+"""
+
+from repro.datasets.generator import SyntheticDataset, build_dataset
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import sentinel2_dataset, SENTINEL2_LOCATIONS
+
+__all__ = [
+    "SyntheticDataset",
+    "build_dataset",
+    "planet_dataset",
+    "sentinel2_dataset",
+    "SENTINEL2_LOCATIONS",
+]

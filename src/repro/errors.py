@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Earth+ reproduction package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller who wants to treat "anything this library complained about" uniformly
+can catch the single base class.  Sub-hierarchies mirror the subsystem layout:
+codec, orbit, imagery, and the Earth+ core each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CodecError(ReproError):
+    """Base class for codec-subsystem failures."""
+
+
+class BitstreamError(CodecError):
+    """A serialized bitstream is malformed, truncated, or version-mismatched."""
+
+
+class RateControlError(CodecError):
+    """A rate target cannot be met (e.g. bpp too small for the header)."""
+
+
+class OrbitError(ReproError):
+    """Base class for constellation/schedule/link failures."""
+
+
+class LinkBudgetError(OrbitError):
+    """An uplink/downlink transfer exceeds the available link capacity."""
+
+
+class ScheduleError(OrbitError):
+    """A visit/contact schedule query is out of the simulated horizon."""
+
+
+class ImageryError(ReproError):
+    """Base class for synthetic-imagery substrate failures."""
+
+
+class BandError(ImageryError):
+    """An unknown band name or a band-shape mismatch."""
+
+
+class PipelineError(ReproError):
+    """The Earth+ on-board pipeline was driven with inconsistent inputs."""
+
+
+class ReferenceError_(ReproError):
+    """Reference-store failures (missing reference, shape mismatch, stale delta).
+
+    Named with a trailing underscore to avoid shadowing the ``ReferenceError``
+    builtin while keeping the obvious name.
+    """

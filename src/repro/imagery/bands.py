@@ -1,0 +1,123 @@
+"""Spectral band definitions for the synthetic Sentinel-2 and Planet sensors.
+
+The paper evaluates Earth+ on all 13 Sentinel-2 bands (B1-B12 including B8a)
+and on Planet's four bands (RGB + near infrared).  The bands differ in ground
+sampling distance and — critically for Earth+ — in how quickly their content
+changes between cloud-free revisits (§5, "Handling different bands"):
+
+* *air bands* (B9 water vapour, B10 cirrus, B1 coastal aerosol) observe the
+  atmosphere and change little on cloud-free areas, so even a stale reference
+  detects few changes and Earth+'s relative advantage is modest;
+* *vegetation bands* (B7, B8, B8a red edge / NIR) track chlorophyll, which is
+  temperature sensitive, so they churn quickly and fresh references matter
+  most;
+* *ground bands* (visible B2-B4, SWIR B11-B12) sit in between.
+
+Each :class:`Band` carries a ``change_rate_scale`` multiplier applied to the
+location's base tile-change rate, which is what reproduces the per-band
+heterogeneity of the paper's Figure 14.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import BandError
+
+
+class BandCategory(enum.Enum):
+    """Coarse functional grouping of spectral bands used by the Earth model."""
+
+    GROUND = "ground"
+    VEGETATION = "vegetation"
+    AIR = "air"
+    INFRARED = "infrared"
+
+
+@dataclass(frozen=True)
+class Band:
+    """A single spectral band of the simulated sensor.
+
+    Attributes:
+        name: Sentinel-2-style band identifier, e.g. ``"B4"``.
+        description: Human-readable band description.
+        wavelength_nm: Central wavelength in nanometres.
+        gsd_m: Native ground sampling distance in metres.
+        category: Functional grouping (ground / vegetation / air / infrared).
+        change_rate_scale: Multiplier on the location's base tile-change rate.
+            Values below one make the band more static (air bands); values
+            above one make it churn faster (vegetation bands).
+        cloud_brightness: How strongly cloud raises the band's reflectance;
+            visible bands see bright cloud tops, the water-vapour band
+            saturates, and thermal-proxy bands instead read *cold*.
+        cloud_cold: Whether clouds appear as a strong *negative* signal in
+            this band (the thermal-infrared proxy used by the cheap on-board
+            decision-tree cloud detector, §5).
+    """
+
+    name: str
+    description: str
+    wavelength_nm: float
+    gsd_m: float
+    category: BandCategory
+    change_rate_scale: float
+    cloud_brightness: float
+    cloud_cold: bool = False
+
+    @property
+    def is_air_band(self) -> bool:
+        """True for bands that mostly observe the atmosphere."""
+        return self.category is BandCategory.AIR
+
+
+#: The 13 Sentinel-2 MSI bands, in the order the paper plots them (Figure 14).
+SENTINEL2_BANDS: tuple[Band, ...] = (
+    Band("B1", "Coastal aerosol", 443.0, 60.0, BandCategory.AIR, 0.45, 0.55),
+    Band("B2", "Blue", 490.0, 10.0, BandCategory.GROUND, 1.00, 0.80),
+    Band("B3", "Green", 560.0, 10.0, BandCategory.GROUND, 1.00, 0.80),
+    Band("B4", "Red", 665.0, 10.0, BandCategory.GROUND, 1.05, 0.80),
+    Band("B5", "Vegetation red edge 1", 705.0, 20.0, BandCategory.VEGETATION, 1.25, 0.75),
+    Band("B6", "Vegetation red edge 2", 740.0, 20.0, BandCategory.VEGETATION, 1.35, 0.75),
+    Band("B7", "Vegetation red edge 3", 783.0, 20.0, BandCategory.VEGETATION, 1.50, 0.75),
+    Band("B8", "Near infrared (NIR)", 842.0, 10.0, BandCategory.VEGETATION, 1.50, 0.70),
+    Band("B8a", "Narrow NIR", 865.0, 20.0, BandCategory.VEGETATION, 1.45, 0.70),
+    Band("B9", "Water vapour", 945.0, 60.0, BandCategory.AIR, 0.30, 0.90),
+    Band("B10", "Cirrus (SWIR)", 1375.0, 60.0, BandCategory.AIR, 0.35, 0.95, cloud_cold=True),
+    Band("B11", "SWIR 1", 1610.0, 20.0, BandCategory.INFRARED, 0.90, 0.45, cloud_cold=True),
+    Band("B12", "SWIR 2", 2190.0, 20.0, BandCategory.INFRARED, 0.90, 0.40, cloud_cold=True),
+)
+
+#: Planet Doves bands (PS2 instrument): RGB plus near infrared.
+PLANET_BANDS: tuple[Band, ...] = (
+    Band("Blue", "Blue", 490.0, 3.7, BandCategory.GROUND, 1.00, 0.80),
+    Band("Green", "Green", 565.0, 3.7, BandCategory.GROUND, 1.00, 0.80),
+    Band("Red", "Red", 665.0, 3.7, BandCategory.GROUND, 1.05, 0.80),
+    Band("NIR", "Near infrared", 865.0, 3.7, BandCategory.VEGETATION, 1.40, 0.70, cloud_cold=True),
+)
+
+_BY_NAME: dict[str, Band] = {b.name: b for b in SENTINEL2_BANDS + PLANET_BANDS}
+
+
+def get_band(name: str) -> Band:
+    """Look up a band by name across the Sentinel-2 and Planet tables.
+
+    Args:
+        name: Band identifier such as ``"B8a"`` or ``"NIR"``.
+
+    Returns:
+        The matching :class:`Band`.
+
+    Raises:
+        BandError: If the name is not a known band.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise BandError(f"unknown band {name!r}; known bands: {known}") from None
+
+
+def band_names(bands: tuple[Band, ...]) -> list[str]:
+    """Return the names of ``bands`` in order (convenience for tabulation)."""
+    return [b.name for b in bands]

@@ -1,0 +1,155 @@
+"""Satellite sensor model: turns ground truth into observed captures.
+
+A :class:`Capture` is what one satellite records over one location on one
+pass: per-band pixel arrays composed as
+
+    observed = clouds( illumination( ground_truth ) ) + sensor noise
+
+plus the metadata evaluation code needs (true cloud mask, illumination
+sample, capture time, satellite id).  The pipeline under test only sees the
+pixel arrays; the truth fields are for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ImageryError
+from repro.imagery.bands import Band
+from repro.imagery.clouds import CloudModel, CloudSample
+from repro.imagery.earth_model import EarthModel
+from repro.imagery.illumination import IlluminationModel, IlluminationSample
+from repro.imagery.noise import stable_hash
+
+
+@dataclass
+class Capture:
+    """One multi-band observation of a location by one satellite.
+
+    Attributes:
+        location: Location name.
+        satellite_id: Index of the observing satellite in its constellation.
+        t_days: Capture time in days since the simulation epoch.
+        pixels: Mapping band name -> observed image in [0, 1].
+        bands: The band definitions, in capture order.
+        cloud: The true cloud state (evaluation-only oracle).
+        illumination: The true illumination sample (evaluation-only oracle).
+    """
+
+    location: str
+    satellite_id: int
+    t_days: float
+    pixels: dict[str, np.ndarray]
+    bands: tuple[Band, ...]
+    cloud: CloudSample
+    illumination: IlluminationSample
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Pixel shape of the capture (all bands share it)."""
+        first = next(iter(self.pixels.values()))
+        return first.shape  # type: ignore[return-value]
+
+    @property
+    def cloud_coverage(self) -> float:
+        """True fraction of cloudy pixels (oracle)."""
+        return self.cloud.coverage
+
+    def band_names(self) -> list[str]:
+        """Band names present in this capture, in order."""
+        return [b.name for b in self.bands]
+
+
+@dataclass
+class SatelliteSensor:
+    """Renders captures for a (location, constellation) pair.
+
+    Args:
+        earth: The ground-truth model for the location.
+        bands: Bands the sensor records.
+        noise_sigma: Std-dev of additive Gaussian sensor noise.  The paper
+            notes raw-sensor artefacts are absent from public datasets, so
+            the default is small; set to 0 for noise-free analytic tests.
+    """
+
+    earth: EarthModel
+    bands: tuple[Band, ...]
+    noise_sigma: float = 0.002
+    _cloud_model: CloudModel | None = field(default=None, repr=False)
+    _illum_model: IlluminationModel | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ImageryError(
+                f"noise_sigma must be >= 0, got {self.noise_sigma}"
+            )
+        if self._cloud_model is None:
+            self._cloud_model = CloudModel(
+                seed=stable_hash(self.earth.spec.seed, "clouds"),
+                shape=self.earth.spec.shape,
+            )
+        if self._illum_model is None:
+            self._illum_model = IlluminationModel(
+                seed=stable_hash(self.earth.spec.seed, "illumination"),
+            )
+
+    @property
+    def cloud_model(self) -> CloudModel:
+        """The cloud climatology used by this sensor."""
+        assert self._cloud_model is not None
+        return self._cloud_model
+
+    @property
+    def illumination_model(self) -> IlluminationModel:
+        """The illumination process used by this sensor."""
+        assert self._illum_model is not None
+        return self._illum_model
+
+    def capture(self, satellite_id: int, t_days: float) -> Capture:
+        """Record one capture of the location at ``t_days``.
+
+        Cloud and illumination are shared across bands of the same capture
+        (one atmosphere per pass), while sensor noise is independent per
+        band.
+
+        Args:
+            satellite_id: Observing satellite index (enters the noise seed).
+            t_days: Capture time in days (>= 0).
+
+        Returns:
+            A fully-populated :class:`Capture`.
+        """
+        if t_days < 0:
+            raise ImageryError(f"t_days must be >= 0, got {t_days}")
+        cloud = self.cloud_model.sample(t_days)
+        illumination = self.illumination_model.sample(t_days)
+        pixels: dict[str, np.ndarray] = {}
+        for band in self.bands:
+            surface = self.earth.ground_truth(band.name, t_days)
+            lit = illumination.apply(surface)
+            observed = self.cloud_model.render_onto(lit, band, cloud)
+            if self.noise_sigma > 0:
+                rng = np.random.default_rng(
+                    stable_hash(
+                        self.earth.spec.seed,
+                        "sensor-noise",
+                        band.name,
+                        satellite_id,
+                        round(t_days * 1e4),
+                    )
+                )
+                observed = observed + rng.normal(
+                    0.0, self.noise_sigma, size=observed.shape
+                )
+            pixels[band.name] = np.clip(observed, 0.0, 1.0)
+        return Capture(
+            location=self.earth.spec.name,
+            satellite_id=satellite_id,
+            t_days=t_days,
+            pixels=pixels,
+            bands=self.bands,
+            cloud=cloud,
+            illumination=illumination,
+        )

@@ -1,0 +1,31 @@
+"""Constellation, visit-schedule, ground-contact, and link-budget substrate.
+
+The paper's evaluation needs three orbital facts, all modelled here:
+
+* **visit timing** — a single LEO satellite revisits a location only every
+  10-15 days, while a constellation staggers its members' ground tracks so
+  the *combined* revisit is near daily (§2.1, §3);
+* **ground contacts** — each satellite gets about 7 contacts/day of ~10
+  minutes each (Table 1), which bound how many bytes move per day;
+* **link budgets** — 250 kbps uplink and 200 Mbps downlink (Table 1), with
+  optional fluctuation for the bandwidth-variation experiments (§5).
+
+Schedules are deterministic functions of the constellation seed, standing in
+for the TLE-based visit prediction the paper cites (Celestrak [3]).
+"""
+
+from repro.orbit.constellation import Satellite, Constellation
+from repro.orbit.schedule import Visit, VisitSchedule
+from repro.orbit.ground_station import Contact, ContactPlan
+from repro.orbit.links import LinkBudget, FluctuationModel
+
+__all__ = [
+    "Satellite",
+    "Constellation",
+    "Visit",
+    "VisitSchedule",
+    "Contact",
+    "ContactPlan",
+    "LinkBudget",
+    "FluctuationModel",
+]

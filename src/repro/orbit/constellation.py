@@ -1,0 +1,152 @@
+"""Satellites and constellations: who flies over a location, and when.
+
+A sun-synchronous LEO earth-observation satellite re-images a given location
+on a near-fixed cadence (its *revisit period*, 10-15 days for Doves-class
+spacecraft, §3).  A constellation staggers members' orbital phases so their
+combined coverage revisits roughly every ``period / n_satellites`` days —
+this staggering is exactly the freshness pool Earth+ draws references from.
+
+The model is deliberately schedule-level (no SGP4): the paper only consumes
+visit times, which are predictable days ahead from TLEs anyway (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OrbitError
+from repro.imagery.noise import stable_hash
+from repro.orbit.schedule import Visit, VisitSchedule
+
+
+@dataclass(frozen=True)
+class Satellite:
+    """One spacecraft of a constellation.
+
+    Attributes:
+        satellite_id: Index within the constellation.
+        revisit_period_days: Days between successive visits to the same
+            location by this satellite alone.
+        phase_days: Offset of this satellite's first visit to the reference
+            location.
+    """
+
+    satellite_id: int
+    revisit_period_days: float
+    phase_days: float
+
+    def __post_init__(self) -> None:
+        if self.revisit_period_days <= 0:
+            raise OrbitError(
+                f"revisit_period_days must be positive, "
+                f"got {self.revisit_period_days}"
+            )
+
+    def visit_times(self, horizon_days: float, location_offset: float = 0.0) -> np.ndarray:
+        """All visit times to a location within ``[0, horizon_days]``.
+
+        Args:
+            horizon_days: Simulation horizon.
+            location_offset: Per-location phase shift (different longitudes
+                are crossed at different points of the ground-track cycle).
+
+        Returns:
+            Sorted float array of visit times in days.
+        """
+        if horizon_days < 0:
+            raise OrbitError(f"horizon_days must be >= 0, got {horizon_days}")
+        start = (self.phase_days + location_offset) % self.revisit_period_days
+        count = int(np.floor((horizon_days - start) / self.revisit_period_days)) + 1
+        if horizon_days < start:
+            return np.empty(0, dtype=np.float64)
+        return start + self.revisit_period_days * np.arange(max(0, count))
+
+
+class Constellation:
+    """A set of satellites with staggered phases over shared locations.
+
+    Args:
+        n_satellites: Constellation size (Doves flew >100; the paper's Planet
+            sample contains 48).
+        base_revisit_days: Nominal single-satellite revisit period.
+        revisit_jitter_days: Half-width of the uniform per-satellite period
+            perturbation (real constellations drift apart).
+        seed: Seed for period jitter and per-location offsets.
+    """
+
+    def __init__(
+        self,
+        n_satellites: int,
+        base_revisit_days: float = 12.0,
+        revisit_jitter_days: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if n_satellites < 1:
+            raise OrbitError(f"n_satellites must be >= 1, got {n_satellites}")
+        if base_revisit_days <= 0:
+            raise OrbitError(
+                f"base_revisit_days must be positive, got {base_revisit_days}"
+            )
+        if revisit_jitter_days < 0 or revisit_jitter_days >= base_revisit_days:
+            raise OrbitError(
+                "revisit_jitter_days must be in [0, base_revisit_days), "
+                f"got {revisit_jitter_days}"
+            )
+        self.seed = seed
+        rng = np.random.default_rng(stable_hash(seed, "constellation"))
+        self.satellites: list[Satellite] = []
+        for idx in range(n_satellites):
+            period = base_revisit_days + revisit_jitter_days * (
+                2.0 * float(rng.random()) - 1.0
+            )
+            # Even phase staggering plus a little jitter: combined revisit
+            # is ~period / n.
+            phase = (idx * base_revisit_days / n_satellites) + 0.3 * float(
+                rng.random()
+            )
+            self.satellites.append(
+                Satellite(
+                    satellite_id=idx,
+                    revisit_period_days=period,
+                    phase_days=phase % period,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.satellites)
+
+    def location_offset(self, location: str) -> float:
+        """Deterministic per-location phase offset in days."""
+        rng = np.random.default_rng(stable_hash(self.seed, "locoff", location))
+        return float(rng.random()) * 3.0
+
+    def build_schedule(
+        self, locations: list[str], horizon_days: float
+    ) -> VisitSchedule:
+        """Materialize the visit schedule for ``locations`` over a horizon.
+
+        Args:
+            locations: Location names to schedule.
+            horizon_days: End of the simulated window, in days.
+
+        Returns:
+            A queryable :class:`repro.orbit.schedule.VisitSchedule`.
+        """
+        visits: dict[str, list[Visit]] = {}
+        for location in locations:
+            offset = self.location_offset(location)
+            entries: list[Visit] = []
+            for satellite in self.satellites:
+                for t_days in satellite.visit_times(horizon_days, offset):
+                    entries.append(
+                        Visit(
+                            t_days=float(t_days),
+                            satellite_id=satellite.satellite_id,
+                            location=location,
+                        )
+                    )
+            entries.sort(key=lambda v: v.t_days)
+            visits[location] = entries
+        return VisitSchedule(visits=visits, horizon_days=horizon_days)

@@ -1,0 +1,129 @@
+"""Ground-station contact plans.
+
+Each satellite reaches a ground station roughly 7 times per day for ~10
+minutes per pass (Table 1, [14, 33]).  Uploads of reference images and
+downloads of encoded changes can only happen inside these windows, so the
+contact plan is what converts "bytes to move" into "bandwidth required" —
+the y-axis of the paper's headline Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OrbitError
+from repro.imagery.noise import stable_hash
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One ground-station pass.
+
+    Attributes:
+        satellite_id: Which satellite is in view.
+        t_days: Contact start time, days since epoch.
+        duration_s: Usable contact duration in seconds.
+    """
+
+    satellite_id: int
+    t_days: float
+    duration_s: float
+
+    @property
+    def end_days(self) -> float:
+        """Contact end time in days."""
+        return self.t_days + self.duration_s / 86_400.0
+
+
+class ContactPlan:
+    """Deterministic contact timeline for every satellite.
+
+    Args:
+        n_satellites: Constellation size.
+        contacts_per_day: Ground contacts per satellite per day (Table 1: 7).
+        contact_duration_s: Seconds of usable link per contact (Table 1:
+            600 s).
+        seed: Jitter seed; real passes are not perfectly periodic.
+    """
+
+    def __init__(
+        self,
+        n_satellites: int,
+        contacts_per_day: int = 7,
+        contact_duration_s: float = 600.0,
+        seed: int = 0,
+    ) -> None:
+        if n_satellites < 1:
+            raise OrbitError(f"n_satellites must be >= 1, got {n_satellites}")
+        if contacts_per_day < 1:
+            raise OrbitError(
+                f"contacts_per_day must be >= 1, got {contacts_per_day}"
+            )
+        if contact_duration_s <= 0:
+            raise OrbitError(
+                f"contact_duration_s must be positive, got {contact_duration_s}"
+            )
+        self.n_satellites = n_satellites
+        self.contacts_per_day = contacts_per_day
+        self.contact_duration_s = contact_duration_s
+        self.seed = seed
+
+    def contacts(
+        self, satellite_id: int, t0_days: float, t1_days: float
+    ) -> list[Contact]:
+        """Contacts for ``satellite_id`` with start time in ``[t0, t1)``.
+
+        Args:
+            satellite_id: Satellite index (0-based).
+            t0_days: Window start.
+            t1_days: Window end.
+
+        Returns:
+            Time-sorted contacts.
+
+        Raises:
+            OrbitError: For unknown satellites or inverted windows.
+        """
+        if not 0 <= satellite_id < self.n_satellites:
+            raise OrbitError(
+                f"satellite_id {satellite_id} out of range 0..{self.n_satellites - 1}"
+            )
+        if t1_days < t0_days:
+            raise OrbitError(f"window end {t1_days} precedes start {t0_days}")
+        spacing = 1.0 / self.contacts_per_day
+        phase_rng = np.random.default_rng(
+            stable_hash(self.seed, "contact-phase", satellite_id)
+        )
+        phase = float(phase_rng.random()) * spacing
+        first_index = int(np.floor((t0_days - phase) / spacing))
+        out: list[Contact] = []
+        index = max(0, first_index)
+        while True:
+            base_time = phase + index * spacing
+            if base_time >= t1_days:
+                break
+            if base_time >= t0_days:
+                jitter_rng = np.random.default_rng(
+                    stable_hash(self.seed, "contact-jitter", satellite_id, index)
+                )
+                jitter = (float(jitter_rng.random()) - 0.5) * 0.1 * spacing
+                t_contact = max(0.0, base_time + jitter)
+                out.append(
+                    Contact(
+                        satellite_id=satellite_id,
+                        t_days=t_contact,
+                        duration_s=self.contact_duration_s,
+                    )
+                )
+            index += 1
+        return out
+
+    def contacts_between_visits(
+        self, satellite_id: int, visit_gap_days: float
+    ) -> float:
+        """Expected number of contacts within one visit gap (planning aid)."""
+        if visit_gap_days < 0:
+            raise OrbitError(f"visit_gap_days must be >= 0, got {visit_gap_days}")
+        return visit_gap_days * self.contacts_per_day

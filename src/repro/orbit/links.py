@@ -1,0 +1,109 @@
+"""Uplink/downlink budgets and bandwidth fluctuation.
+
+Table 1's Doves-class numbers: 250 kbps uplink (S-band, weather-stable,
+which the paper uses to justify treating it as constant) and 200 Mbps
+downlink.  :class:`LinkBudget` converts those into bytes-per-contact, and
+:class:`FluctuationModel` provides the seeded per-contact multipliers used
+by the bandwidth-variation experiments (§5): the uplink skips reference
+updates when capacity drops; the downlink drops quality layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LinkBudgetError
+from repro.imagery.noise import stable_hash
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static link capacities of a satellite.
+
+    Attributes:
+        uplink_bps: Ground-to-satellite bit rate (Table 1: 250 kbps).
+        downlink_bps: Satellite-to-ground bit rate (Table 1: 200 Mbps).
+        contact_duration_s: Usable seconds per ground contact.
+    """
+
+    uplink_bps: float = 250e3
+    downlink_bps: float = 200e6
+    contact_duration_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise LinkBudgetError("link rates must be positive")
+        if self.contact_duration_s <= 0:
+            raise LinkBudgetError("contact_duration_s must be positive")
+
+    @property
+    def uplink_bytes_per_contact(self) -> int:
+        """Whole bytes movable up during one contact."""
+        return int(self.uplink_bps * self.contact_duration_s / 8.0)
+
+    @property
+    def downlink_bytes_per_contact(self) -> int:
+        """Whole bytes movable down during one contact."""
+        return int(self.downlink_bps * self.contact_duration_s / 8.0)
+
+    def required_downlink_bps(self, payload_bytes: int) -> float:
+        """Average bandwidth needed to move ``payload_bytes`` in one contact.
+
+        This is the paper's downlink metric: data volume per ground contact
+        divided by the contact duration (§6.1, "Metrics").
+        """
+        if payload_bytes < 0:
+            raise LinkBudgetError(
+                f"payload_bytes must be >= 0, got {payload_bytes}"
+            )
+        return payload_bytes * 8.0 / self.contact_duration_s
+
+    def check_uplink(self, payload_bytes: int) -> None:
+        """Raise if an upload does not fit a single contact's uplink."""
+        if payload_bytes > self.uplink_bytes_per_contact:
+            raise LinkBudgetError(
+                f"uplink payload {payload_bytes} B exceeds per-contact "
+                f"capacity {self.uplink_bytes_per_contact} B"
+            )
+
+
+class FluctuationModel:
+    """Seeded multiplicative bandwidth fluctuation per contact.
+
+    Multipliers are log-normal with median 1, clipped to
+    ``[floor, ceiling]``; severity 0 disables fluctuation entirely.
+
+    Args:
+        seed: Deterministic stream seed.
+        severity: Log-space sigma (0 = constant links).
+        floor: Minimum multiplier.
+        ceiling: Maximum multiplier.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        severity: float = 0.0,
+        floor: float = 0.2,
+        ceiling: float = 1.5,
+    ) -> None:
+        if severity < 0:
+            raise LinkBudgetError(f"severity must be >= 0, got {severity}")
+        if not 0 < floor <= ceiling:
+            raise LinkBudgetError("floor/ceiling must satisfy 0 < floor <= ceiling")
+        self.seed = seed
+        self.severity = severity
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def multiplier(self, satellite_id: int, contact_index: int) -> float:
+        """Bandwidth multiplier for one (satellite, contact) pair."""
+        if self.severity == 0.0:
+            return 1.0
+        rng = np.random.default_rng(
+            stable_hash(self.seed, "fluct", satellite_id, contact_index)
+        )
+        value = float(np.exp(rng.normal(0.0, self.severity)))
+        return float(np.clip(value, self.floor, self.ceiling))

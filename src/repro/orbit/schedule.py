@@ -1,0 +1,127 @@
+"""Visit schedules: queryable timelines of (location, time, satellite).
+
+A :class:`VisitSchedule` is what the Earth+ ground segment plans against:
+which satellite flies over which location when, which visits precede a given
+ground contact, and what the single-satellite vs. constellation-wide revisit
+gap statistics look like (the inputs to the paper's Figure 5).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One satellite pass over one location.
+
+    Attributes:
+        t_days: Visit time in days since the simulation epoch.
+        satellite_id: Which constellation member makes the pass.
+        location: Location name.
+    """
+
+    t_days: float
+    satellite_id: int
+    location: str
+
+
+@dataclass
+class VisitSchedule:
+    """All visits for all locations within a horizon.
+
+    Attributes:
+        visits: Per-location, time-sorted visit lists.
+        horizon_days: End of the scheduled window.
+    """
+
+    visits: dict[str, list[Visit]]
+    horizon_days: float
+
+    def locations(self) -> list[str]:
+        """Scheduled location names."""
+        return list(self.visits)
+
+    def _check_location(self, location: str) -> list[Visit]:
+        try:
+            return self.visits[location]
+        except KeyError:
+            known = ", ".join(sorted(self.visits))
+            raise ScheduleError(
+                f"location {location!r} is not scheduled; known: {known}"
+            ) from None
+
+    def visits_in(
+        self,
+        location: str,
+        t0_days: float,
+        t1_days: float,
+        satellite_id: int | None = None,
+    ) -> list[Visit]:
+        """Visits to ``location`` with ``t0 <= t < t1``.
+
+        Args:
+            location: Location name.
+            t0_days: Window start (inclusive).
+            t1_days: Window end (exclusive).
+            satellite_id: Restrict to one satellite when given.
+
+        Returns:
+            Time-sorted visits.
+        """
+        if t1_days < t0_days:
+            raise ScheduleError(
+                f"window end {t1_days} precedes start {t0_days}"
+            )
+        entries = self._check_location(location)
+        times = [v.t_days for v in entries]
+        lo = bisect.bisect_left(times, t0_days)
+        hi = bisect.bisect_left(times, t1_days)
+        window = entries[lo:hi]
+        if satellite_id is not None:
+            window = [v for v in window if v.satellite_id == satellite_id]
+        return window
+
+    def next_visit(
+        self, location: str, after_days: float, satellite_id: int | None = None
+    ) -> Visit | None:
+        """First visit to ``location`` strictly after ``after_days``."""
+        entries = self._check_location(location)
+        times = [v.t_days for v in entries]
+        idx = bisect.bisect_right(times, after_days)
+        while idx < len(entries):
+            visit = entries[idx]
+            if satellite_id is None or visit.satellite_id == satellite_id:
+                return visit
+            idx += 1
+        return None
+
+    def revisit_gaps(
+        self, location: str, satellite_id: int | None = None
+    ) -> np.ndarray:
+        """Gaps (days) between consecutive visits to ``location``.
+
+        With ``satellite_id`` given this is the single-satellite revisit
+        distribution; without, the constellation-wide one — the two curves
+        the paper contrasts in §3/§4.1.
+        """
+        entries = self._check_location(location)
+        if satellite_id is not None:
+            entries = [v for v in entries if v.satellite_id == satellite_id]
+        times = np.array([v.t_days for v in entries], dtype=np.float64)
+        if times.size < 2:
+            return np.empty(0, dtype=np.float64)
+        return np.diff(times)
+
+    def all_visits_sorted(self) -> list[Visit]:
+        """Every visit across locations, globally time-sorted."""
+        merged: list[Visit] = []
+        for entries in self.visits.values():
+            merged.extend(entries)
+        merged.sort(key=lambda v: v.t_days)
+        return merged

@@ -1,0 +1,85 @@
+"""Tests for the theta-calibration workflow (paper §5 protocol)."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    ThetaEvaluation,
+    evaluate_theta,
+    profile_theta,
+)
+from repro.datasets.sentinel2 import sentinel2_dataset
+from repro.errors import PipelineError
+
+
+@pytest.fixture(scope="module")
+def calibration_dataset():
+    return sentinel2_dataset(
+        locations=["A", "B"],
+        bands=["B4", "B11"],
+        horizon_days=360.0,
+        image_shape=(128, 128),
+    )
+
+
+class TestProfileTheta:
+    def test_produces_plausible_threshold(self, calibration_dataset):
+        theta = profile_theta(
+            calibration_dataset, "A", "B4", 0.0, 180.0
+        )
+        # Same order of magnitude as the paper's 0.01.
+        assert 0.001 <= theta <= 0.08
+
+    def test_deterministic(self, calibration_dataset):
+        a = profile_theta(calibration_dataset, "A", "B4", 0.0, 180.0)
+        b = profile_theta(calibration_dataset, "A", "B4", 0.0, 180.0)
+        assert a == b
+
+    def test_stricter_fpr_target_larger_theta(self, calibration_dataset):
+        loose = profile_theta(
+            calibration_dataset, "A", "B4", 0.0, 180.0,
+            target_false_positive_rate=0.05,
+        )
+        strict = profile_theta(
+            calibration_dataset, "A", "B4", 0.0, 180.0,
+            target_false_positive_rate=0.002,
+        )
+        assert strict >= loose
+
+    def test_empty_window_rejected(self, calibration_dataset):
+        with pytest.raises(PipelineError):
+            profile_theta(calibration_dataset, "A", "B4", 0.0, 0.5)
+
+
+class TestEvaluateTheta:
+    def test_transfer_to_second_half(self, calibration_dataset):
+        """The paper's protocol: calibrate on window 1, apply to window 2."""
+        theta = profile_theta(calibration_dataset, "A", "B4", 0.0, 180.0)
+        evaluation = evaluate_theta(
+            calibration_dataset, "A", "B4", theta, 180.0, 360.0
+        )
+        assert isinstance(evaluation, ThetaEvaluation)
+        assert evaluation.n_pairs >= 1
+        assert evaluation.false_positive_rate <= 0.5
+        assert evaluation.recall >= 0.5
+
+    def test_transfer_across_locations(self, calibration_dataset):
+        """Calibrated at A, applied at B (the paper applies one theta to
+        all locations)."""
+        theta = profile_theta(calibration_dataset, "A", "B4", 0.0, 180.0)
+        evaluation = evaluate_theta(
+            calibration_dataset, "B", "B4", theta, 180.0, 360.0
+        )
+        assert evaluation.recall >= 0.5
+
+    def test_huge_theta_kills_recall(self, calibration_dataset):
+        evaluation = evaluate_theta(
+            calibration_dataset, "A", "B4", 10.0, 0.0, 360.0
+        )
+        assert evaluation.false_positive_rate == 0.0
+        assert evaluation.recall <= 0.01 or evaluation.n_pairs == 0
+
+    def test_zero_theta_flags_everything(self, calibration_dataset):
+        evaluation = evaluate_theta(
+            calibration_dataset, "A", "B4", 0.0, 0.0, 360.0
+        )
+        assert evaluation.recall > 0.95

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "earthplus"
+        assert args.dataset == "sentinel2"
+        assert args.gamma == 0.3
+
+    def test_compare_planet_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "planet", "--satellites", "8"]
+        )
+        assert args.dataset == "planet"
+        assert args.satellites == 8
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "250 kbps" in out
+        assert "200 Mbps" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run", "--policy", "earthplus", "--locations", "A",
+                "--bands", "B4,B11", "--days", "60", "--size", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "earthplus" in out
+        assert "downlink KB" in out
+
+    def test_calibrate_small(self, capsys):
+        code = main(
+            ["calibrate", "--days", "90", "--size", "128"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calibrated theta" in out

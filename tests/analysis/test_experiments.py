@@ -1,0 +1,78 @@
+"""Unit tests for the experiment runners."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    PolicyComparison,
+    compare_policies,
+    run_policy,
+)
+from repro.analysis.figures import equal_psnr_saving
+from repro.core.config import EarthPlusConfig
+
+
+class TestComparePolicies:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_sentinel_dataset):
+        return compare_policies(
+            tiny_sentinel_dataset,
+            policies=("earthplus", "kodan"),
+            config=EarthPlusConfig(gamma_bpp=0.3),
+        )
+
+    def test_all_policies_present(self, comparison):
+        assert set(comparison.results) == {"earthplus", "kodan"}
+
+    def test_downlink_saving_positive(self, comparison):
+        saving = comparison.downlink_saving()
+        assert saving > 0.5
+
+    def test_saving_against_named_baseline(self, comparison):
+        saving = comparison.downlink_saving(against="kodan")
+        expected = (
+            comparison.results["kodan"].downlink_bytes
+            / comparison.results["earthplus"].downlink_bytes
+        )
+        assert saving == pytest.approx(expected)
+
+
+class TestEqualPsnrSaving:
+    def test_interpolation(self):
+        curves = {
+            "earthplus": [
+                {"psnr": 35.0, "downlink_bytes": 100},
+            ],
+            "kodan": [
+                {"psnr": 30.0, "downlink_bytes": 100},
+                {"psnr": 40.0, "downlink_bytes": 400},
+            ],
+        }
+        saving = equal_psnr_saving(curves)
+        assert saving == pytest.approx(2.0, rel=0.05)  # geometric midpoint
+
+    def test_out_of_range_gives_nan(self):
+        curves = {
+            "earthplus": [{"psnr": 50.0, "downlink_bytes": 100}],
+            "kodan": [
+                {"psnr": 30.0, "downlink_bytes": 100},
+                {"psnr": 40.0, "downlink_bytes": 400},
+            ],
+        }
+        import math
+
+        assert math.isnan(equal_psnr_saving(curves))
+
+    def test_picks_strongest_baseline(self):
+        curves = {
+            "earthplus": [{"psnr": 35.0, "downlink_bytes": 100}],
+            "weak": [
+                {"psnr": 30.0, "downlink_bytes": 1000},
+                {"psnr": 40.0, "downlink_bytes": 4000},
+            ],
+            "strong": [
+                {"psnr": 30.0, "downlink_bytes": 150},
+                {"psnr": 40.0, "downlink_bytes": 600},
+            ],
+        }
+        saving = equal_psnr_saving(curves)
+        assert saving == pytest.approx(3.0, rel=0.05)

@@ -1,0 +1,96 @@
+"""Unit tests for the per-figure experiment drivers (small sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures as F
+from repro.core.config import EarthPlusConfig
+
+
+class TestFig04:
+    def test_curve_shape(self):
+        result = F.fig04_change_vs_age(
+            ages_days=[10, 30, 50], tiles_shape=(12, 12), n_anchors=3
+        )
+        measured = result["measured"]
+        assert measured == sorted(measured)  # monotone growth with age
+        assert 0.08 <= measured[0] <= 0.25
+
+    def test_measured_tracks_analytic(self):
+        result = F.fig04_change_vs_age(
+            ages_days=[20, 40], tiles_shape=(16, 16), n_anchors=4
+        )
+        for measured, analytic in zip(result["measured"], result["analytic"]):
+            assert abs(measured - analytic) < 0.1
+
+
+class TestFig05:
+    def test_constellation_dramatically_fresher(self):
+        result = F.fig05_reference_age_cdf(
+            n_satellites=16, horizon_days=300.0
+        )
+        assert result["wide_mean"] < result["local_mean"] / 4
+
+    def test_single_satellite_degenerates(self):
+        result = F.fig05_reference_age_cdf(n_satellites=1, horizon_days=400.0)
+        # With one satellite both strategies see the same history.
+        assert result["wide_mean"] == pytest.approx(result["local_mean"])
+
+
+class TestFig08:
+    def test_missed_fraction_small_and_budget_respected(self):
+        result = F.fig08_downsampled_detection(
+            ratios=[1, 8, 32], n_pairs=3, image_shape=(192, 192)
+        )
+        for row in result["rows"]:
+            assert row["flagged_fraction"] == pytest.approx(0.4, abs=0.05)
+            assert row["undetected_changed_fraction"] <= 0.05
+
+    def test_compression_column(self):
+        result = F.fig08_downsampled_detection(ratios=[4], n_pairs=2,
+                                               image_shape=(128, 128))
+        assert result["rows"][0]["compression"] == 32
+
+
+class TestFig15:
+    def test_paper_ordering(self):
+        """Kodan needs by far the most storage; Earth+ the least."""
+        rows = F.fig15_storage()
+        assert rows["kodan"]["total_gb"] > rows["satroi"]["total_gb"]
+        assert rows["earthplus"]["total_gb"] <= rows["satroi"]["total_gb"]
+
+    def test_earthplus_reference_cheap(self):
+        rows = F.fig15_storage()
+        assert rows["earthplus"]["reference_gb"] < rows["satroi"]["reference_gb"]
+        assert rows["kodan"]["reference_gb"] == 0.0
+
+
+class TestFig19:
+    def test_more_satellites_higher_compression(self, tiny_planet_dataset):
+        result = F.fig19_constellation_size(
+            sizes=[2, 8],
+            image_shape=(128, 128),
+            horizon_days=60.0,
+            config=EarthPlusConfig(gamma_bpp=0.3),
+        )
+        rows = {r["satellites"]: r for r in result["rows"]}
+        assert rows[0]["compression_ratio"] == 1.0
+        assert rows[8]["compression_ratio"] > rows[2]["compression_ratio"]
+
+
+class TestTables:
+    def test_tab01_rows(self):
+        rows = dict(F.tab01_specs())
+        assert rows["Uplink bandwidth"] == "250 kbps"
+        assert rows["Downlink bandwidth"] == "200 Mbps"
+        assert rows["On-board storage"] == "360 GB"
+
+    def test_tab02_rows(self):
+        rows = F.tab02_datasets(
+            sentinel_kwargs={"horizon_days": 10.0, "locations": ["A"],
+                             "bands": ["B4"]},
+            planet_kwargs={"horizon_days": 10.0, "n_satellites": 4},
+        )
+        assert rows[0]["dataset"] == "sentinel2"
+        assert rows[1]["dataset"] == "planet"
+        assert rows[1]["satellites"] == 4

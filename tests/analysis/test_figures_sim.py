@@ -1,0 +1,93 @@
+"""Unit tests for the simulation-backed figure drivers (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures as F
+from repro.core.config import EarthPlusConfig
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    from repro.datasets.sentinel2 import sentinel2_dataset
+
+    return sentinel2_dataset(
+        locations=["A"], bands=["B4", "B11"], horizon_days=90.0,
+        image_shape=(128, 128),
+    )
+
+
+class TestFig11Driver:
+    def test_curves_structure(self, micro_dataset):
+        result = F.fig11_rate_distortion(
+            micro_dataset, gammas=[0.2, 0.5],
+            policies=("earthplus", "kodan"),
+        )
+        assert set(result["curves"]) == {"earthplus", "kodan"}
+        for points in result["curves"].values():
+            assert [p["gamma"] for p in points] == [0.2, 0.5]
+            assert points[0]["downlink_bytes"] <= points[1]["downlink_bytes"]
+            assert points[0]["psnr"] <= points[1]["psnr"] + 0.5
+
+
+class TestFig12Driver:
+    def test_distributions(self, micro_dataset):
+        result = F.fig12_cdfs(
+            micro_dataset, EarthPlusConfig(gamma_bpp=0.3),
+            policies=("earthplus",),
+        )
+        data = result["earthplus"]
+        assert len(data["fractions"]) >= 1
+        assert all(0.0 <= f <= 1.0 for f in data["fractions"])
+        assert 0.0 <= data["fully_downloaded"] <= 1.0
+
+
+class TestFig13Driver:
+    def test_series_time_ordered(self, micro_dataset):
+        result = F.fig13_timeseries(
+            micro_dataset, "A", EarthPlusConfig(gamma_bpp=0.3),
+            policies=("earthplus",),
+        )
+        series = result["earthplus"]
+        times = [p["t_days"] for p in series]
+        assert times == sorted(times)
+
+
+class TestFig17Driver:
+    def test_ladder_monotone(self, micro_dataset):
+        result = F.fig17_uplink_ladder(
+            micro_dataset, EarthPlusConfig(gamma_bpp=0.3)
+        )
+        ratios = [row["ratio"] for row in result["rows"]]
+        assert ratios[0] == 1.0
+        assert ratios[1] > ratios[0]
+        assert ratios[2] >= ratios[1] * 0.9  # deltas never much worse
+
+    def test_update_byte_stats_present(self, micro_dataset):
+        result = F.fig17_uplink_ladder(
+            micro_dataset, EarthPlusConfig(gamma_bpp=0.3)
+        )
+        assert result["delta_update_mean_bytes"] > 0
+        assert result["full_update_mean_bytes"] > 0
+
+
+class TestFig18Driver:
+    def test_monotone_downlink(self, micro_dataset):
+        result = F.fig18_uplink_sweep(
+            micro_dataset, [0, 10_000], EarthPlusConfig(gamma_bpp=0.3)
+        )
+        rows = result["rows"]
+        assert rows[0]["downlink_bytes"] >= rows[1]["downlink_bytes"]
+        assert rows[0]["updates_skipped"] >= rows[1]["updates_skipped"]
+
+
+class TestLayerAdaptationDriver:
+    def test_monotone_bytes_and_quality(self):
+        result = F.downlink_layer_adaptation(
+            image_shape=(128, 128), n_layers=3, n_captures=2
+        )
+        rows = result["rows"]
+        sizes = [r["bytes"] for r in rows]
+        quality = [r["psnr"] for r in rows]
+        assert sizes == sorted(sizes)
+        assert quality == sorted(quality)

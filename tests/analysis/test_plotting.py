@@ -1,0 +1,72 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+
+from repro.analysis.plotting import ascii_bars, ascii_cdf, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            {"line": ([0, 1, 2], [0, 1, 4])}, width=20, height=6,
+            title="squares",
+        )
+        assert "squares" in text
+        assert "*" in text
+        assert "line" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot(
+            {
+                "a": ([0, 1], [0, 1]),
+                "b": ([0, 1], [1, 0]),
+            },
+            width=12,
+            height=5,
+        )
+        assert "*" in text and "o" in text
+
+    def test_no_finite_data(self):
+        text = ascii_plot({"x": ([float("nan")], [float("nan")])})
+        assert "no finite data" in text
+
+    def test_markers_within_canvas(self):
+        text = ascii_plot(
+            {"s": (np.arange(50), np.arange(50) ** 2)}, width=30, height=8
+        )
+        lines = text.splitlines()
+        plot_lines = [l for l in lines if l.startswith(" " * 11 + "|")]
+        assert len(plot_lines) == 8
+        for line in plot_lines:
+            assert len(line) <= 11 + 1 + 30
+
+    def test_constant_series(self):
+        text = ascii_plot({"flat": ([0, 1, 2], [5, 5, 5])}, width=10, height=4)
+        assert "*" in text
+
+
+class TestAsciiCdf:
+    def test_render(self, rng):
+        text = ascii_cdf({"sample": rng.random(40)}, title="cdf")
+        assert "cdf" in text
+        assert "CDF" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_cdf({"empty": []})
+
+
+class TestAsciiBars:
+    def test_proportional_lengths(self):
+        text = ascii_bars({"small": 1.0, "big": 4.0}, width=8)
+        lines = {l.split()[0]: l for l in text.splitlines()}
+        small_len = lines["small"].count("#")
+        big_len = lines["big"].count("#")
+        assert big_len > small_len
+        assert big_len == 8
+
+    def test_unit_suffix(self):
+        text = ascii_bars({"a": 2.0}, unit=" GB")
+        assert "2 GB" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_bars({})

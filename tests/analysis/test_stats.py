@@ -1,0 +1,56 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Summary, cdf, cdf_at, quantile, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.median == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_drops_non_finite(self):
+        summary = summarize([1.0, float("nan"), float("inf"), 3.0])
+        assert summary.n == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.n == 0
+        assert math.isnan(summary.mean)
+
+
+class TestCDF:
+    def test_sorted_output(self, rng):
+        values, probs = cdf(rng.random(50))
+        assert np.all(np.diff(values) >= 0)
+        assert probs[-1] == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(1 / 50)
+
+    def test_empty(self):
+        values, probs = cdf([])
+        assert values.size == 0 and probs.size == 0
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+        assert cdf_at([1, 2], 0.0) == 0.0
+        assert math.isnan(cdf_at([], 1.0))
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3], 0.5) == pytest.approx(2.0)
+
+    def test_ignores_nan(self):
+        assert quantile([1.0, float("nan"), 3.0], 1.0) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert math.isnan(quantile([], 0.5))

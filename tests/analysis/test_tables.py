@@ -1,0 +1,33 @@
+"""Unit tests for the table formatting helpers."""
+
+from repro.analysis.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123456.0]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(lines[1]) + 2 for line in lines)
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series([1, 2], [10.0, 20.0], "t", "value")
+        assert "t" in text and "value" in text
+        assert "10" in text and "20" in text

@@ -1,0 +1,176 @@
+"""Unit tests for the Kodan, SatRoI, and naive baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kodan import KodanPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.satroi import SatRoIPolicy
+from repro.core.config import EarthPlusConfig
+
+
+@pytest.fixture()
+def config():
+    return EarthPlusConfig(gamma_bpp=0.3)
+
+
+def captures_over(dataset, n=10, satellite=0):
+    sensor = dataset.sensors["A"]
+    visits = dataset.schedule.visits_in("A", 0, 90)[:n]
+    return [sensor.capture(v.satellite_id, v.t_days) for v in visits]
+
+
+def clear_capture(dataset):
+    sensor = dataset.sensors["A"]
+    t = 0.0
+    while t < 400:
+        capture = sensor.capture(0, t)
+        if capture.cloud_coverage < 0.03:
+            return capture
+        t += 1.7
+    raise AssertionError("no clear capture")
+
+
+class TestKodan:
+    def test_downloads_all_noncloudy(self, config, tiny_sentinel_dataset,
+                                     ground_detector):
+        policy = KodanPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, ground_detector,
+        )
+        capture = clear_capture(tiny_sentinel_dataset)
+        result = policy.process(capture)
+        assert not result.dropped
+        for band in result.bands:
+            assert band.downloaded_tiles.mean() > 0.9
+
+    def test_drops_heavy_cloud(self, config, tiny_sentinel_dataset,
+                               ground_detector):
+        policy = KodanPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, ground_detector,
+        )
+        dropped = 0
+        for capture in captures_over(tiny_sentinel_dataset, 12):
+            if policy.process(capture).dropped:
+                dropped += 1
+        assert dropped >= 1
+
+    def test_no_reference_storage(self, config, tiny_sentinel_dataset,
+                                  ground_detector):
+        policy = KodanPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, ground_detector,
+        )
+        assert policy.reference_storage_bytes() == 0
+
+    def test_no_uplink(self, config, tiny_sentinel_dataset, ground_detector):
+        policy = KodanPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, ground_detector,
+        )
+        assert not policy.uses_uplink
+
+
+class TestSatRoI:
+    def test_first_clear_capture_seeds_reference(
+        self, config, tiny_sentinel_dataset, onboard_detector
+    ):
+        policy = SatRoIPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, onboard_detector,
+        )
+        capture = clear_capture(tiny_sentinel_dataset)
+        result = policy.process(capture)
+        assert not result.dropped
+        assert policy.reference_storage_bytes() > 0
+        # Full-resolution reference at raw pixel width, per band.
+        expected = (
+            np.prod(tiny_sentinel_dataset.image_shape)
+            * config.raw_bytes_per_pixel
+            * len(tiny_sentinel_dataset.bands)
+        )
+        assert policy.reference_storage_bytes() == expected
+
+    def test_reference_never_replaced(self, config, tiny_sentinel_dataset,
+                                      onboard_detector):
+        policy = SatRoIPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, onboard_detector,
+        )
+        capture = clear_capture(tiny_sentinel_dataset)
+        policy.process(capture)
+        band = tiny_sentinel_dataset.bands[0].name
+        fixed = policy._references[("A", band)].copy()
+        for later in captures_over(tiny_sentinel_dataset, 8):
+            policy.process(later)
+        assert np.array_equal(policy._references[("A", band)], fixed)
+
+    def test_uses_reference_after_seed(self, config, tiny_sentinel_dataset,
+                                       onboard_detector):
+        policy = SatRoIPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, onboard_detector,
+        )
+        capture = clear_capture(tiny_sentinel_dataset)
+        policy.process(capture)
+        immediate = tiny_sentinel_dataset.sensors["A"].capture(
+            1, capture.t_days + 0.01
+        )
+        result = policy.process(immediate)
+        if result.dropped:
+            pytest.skip("follow-up dropped")
+        band = result.bands[0]
+        assert band.had_reference
+        assert band.changed_fraction < 0.5
+
+    def test_staleness_increases_downloads(self, config, tiny_sentinel_dataset,
+                                           onboard_detector):
+        """The SatRoI failure mode: an aging fixed reference flags more and
+        more tiles as changed."""
+        policy = SatRoIPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, onboard_detector,
+        )
+        capture = clear_capture(tiny_sentinel_dataset)
+        policy.process(capture)
+        sensor = tiny_sentinel_dataset.sensors["A"]
+        early = sensor.capture(0, capture.t_days + 1.0)
+        late = sensor.capture(0, capture.t_days + 300.0)
+        early_result = policy.process(early)
+        late_result = policy.process(late)
+        if early_result.dropped or late_result.dropped:
+            pytest.skip("cloud interfered")
+        assert (
+            late_result.bands[0].changed_fraction
+            >= early_result.bands[0].changed_fraction
+        )
+
+
+class TestNaive:
+    def test_downloads_every_tile(self, config, tiny_sentinel_dataset):
+        policy = NaivePolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape,
+        )
+        for capture in captures_over(tiny_sentinel_dataset, 4):
+            result = policy.process(capture)
+            assert not result.dropped
+            for band in result.bands:
+                assert band.downloaded_tiles.all()
+
+    def test_most_expensive_policy(self, config, tiny_sentinel_dataset,
+                                   ground_detector):
+        naive = NaivePolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape,
+        )
+        kodan = KodanPolicy(
+            config, tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape, ground_detector,
+        )
+        capture = clear_capture(tiny_sentinel_dataset)
+        assert (
+            naive.process(capture).total_bytes
+            >= kodan.process(capture).total_bytes
+        )

@@ -1,0 +1,152 @@
+"""Unit and property tests for the adaptive arithmetic coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.arith import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    ContextModel,
+    ContextSet,
+)
+
+
+class TestContextModel:
+    def test_initial_probability_is_half(self):
+        model = ContextModel()
+        assert abs(model.probability0_scaled() - 32768) <= 1
+
+    def test_update_shifts_probability(self):
+        model = ContextModel()
+        for _ in range(100):
+            model.update(0)
+        assert model.probability0_scaled() > 60000
+
+    def test_probability_bounds(self):
+        model = ContextModel()
+        for _ in range(10_000):
+            model.update(1)
+        p0 = model.probability0_scaled()
+        assert 1 <= p0 <= 65535
+
+    def test_counts_are_halved(self):
+        model = ContextModel()
+        for _ in range(10_000):
+            model.update(0)
+        assert model.count0 + model.count1 < 5000
+
+
+class TestRoundtrip:
+    def test_empty_stream(self):
+        enc = ArithmeticEncoder()
+        data = enc.finish()
+        assert len(data) == 4  # flush bytes only
+
+    def test_single_bit(self):
+        for bit in (0, 1):
+            enc = ArithmeticEncoder()
+            enc.encode(bit, "c")
+            dec = ArithmeticDecoder(enc.finish())
+            assert dec.decode("c") == bit
+
+    def test_all_zeros_compresses(self):
+        enc = ArithmeticEncoder()
+        for _ in range(10_000):
+            enc.encode(0, "c")
+        data = enc.finish()
+        assert len(data) < 100
+        dec = ArithmeticDecoder(data)
+        assert all(dec.decode("c") == 0 for _ in range(10_000))
+
+    def test_alternating_pattern(self):
+        bits = [i % 2 for i in range(500)]
+        enc = ArithmeticEncoder()
+        for i, bit in enumerate(bits):
+            enc.encode(bit, i % 2)  # context tracks position parity
+        dec = ArithmeticDecoder(enc.finish())
+        assert [dec.decode(i % 2) for i in range(500)] == bits
+
+    def test_multiple_contexts_keep_independent_stats(self):
+        rng = np.random.default_rng(3)
+        bits = []
+        ctxs = []
+        for _ in range(2000):
+            ctx = int(rng.integers(0, 3))
+            prob1 = [0.05, 0.5, 0.95][ctx]
+            bits.append(int(rng.random() < prob1))
+            ctxs.append(ctx)
+        enc = ArithmeticEncoder()
+        for bit, ctx in zip(bits, ctxs):
+            enc.encode(bit, ctx)
+        dec = ArithmeticDecoder(enc.finish())
+        assert [dec.decode(c) for c in ctxs] == bits
+
+    def test_bypass_bits_roundtrip(self):
+        rng = np.random.default_rng(5)
+        bits = [int(b) for b in rng.integers(0, 2, 300)]
+        enc = ArithmeticEncoder()
+        for bit in bits:
+            enc.encode_bit_raw(bit)
+        dec = ArithmeticDecoder(enc.finish())
+        assert [dec.decode_bit_raw() for _ in bits] == bits
+
+    def test_mixed_adaptive_and_bypass(self):
+        rng = np.random.default_rng(6)
+        ops = []
+        enc = ArithmeticEncoder()
+        for _ in range(1000):
+            bit = int(rng.integers(0, 2))
+            if rng.random() < 0.3:
+                enc.encode_bit_raw(bit)
+                ops.append(("raw", bit))
+            else:
+                ctx = int(rng.integers(0, 4))
+                enc.encode(bit, ctx)
+                ops.append((ctx, bit))
+        dec = ArithmeticDecoder(enc.finish())
+        for ctx, bit in ops:
+            if ctx == "raw":
+                assert dec.decode_bit_raw() == bit
+            else:
+                assert dec.decode(ctx) == bit
+
+
+class TestCompressionEfficiency:
+    @pytest.mark.parametrize("p1", [0.01, 0.1, 0.3])
+    def test_near_entropy_rate(self, p1):
+        """Coded size should approach the Shannon bound for skewed sources."""
+        rng = np.random.default_rng(42)
+        n = 20_000
+        bits = (rng.random(n) < p1).astype(int)
+        enc = ArithmeticEncoder()
+        for bit in bits:
+            enc.encode(int(bit), "c")
+        coded_bits = len(enc.finish()) * 8
+        entropy = -(p1 * np.log2(p1) + (1 - p1) * np.log2(1 - p1))
+        assert coded_bits < n * entropy * 1.15 + 200
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 7)),
+        min_size=0,
+        max_size=600,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip_any_sequence(pairs):
+    """decode(encode(bits)) == bits for arbitrary (bit, context) sequences."""
+    enc = ArithmeticEncoder()
+    for bit, ctx in pairs:
+        enc.encode(bit, ctx)
+    dec = ArithmeticDecoder(enc.finish())
+    for bit, ctx in pairs:
+        assert dec.decode(ctx) == bit
+
+
+def test_context_set_creates_on_demand():
+    contexts = ContextSet()
+    first = contexts.get("a")
+    assert contexts.get("a") is first
+    assert contexts.get("b") is not first

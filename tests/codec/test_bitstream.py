@@ -1,0 +1,127 @@
+"""Unit tests for the bit-level serialization primitives."""
+
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError
+
+
+class TestBitWriter:
+    def test_single_bits_roundtrip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    def test_write_bits_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b0010, 4)
+        assert writer.getvalue() == bytes([0b10110010])
+
+    def test_write_bits_value_too_large(self):
+        writer = BitWriter()
+        with pytest.raises(BitstreamError):
+            writer.write_bits(16, 4)
+
+    def test_write_bits_negative_count(self):
+        writer = BitWriter()
+        with pytest.raises(BitstreamError):
+            writer.write_bits(0, -1)
+
+    def test_len_counts_partial_byte(self):
+        writer = BitWriter()
+        assert len(writer) == 0
+        writer.write_bit(1)
+        assert len(writer) == 1
+        writer.write_bits(0, 7)
+        assert len(writer) == 1
+        writer.write_bit(0)
+        assert len(writer) == 2
+
+    def test_align_pads_with_zeros(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.align()
+        assert writer.getvalue() == bytes([0b10000000])
+
+    def test_varint_requires_alignment(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        with pytest.raises(BitstreamError):
+            writer.write_uvarint(5)
+
+    def test_varint_rejects_negative(self):
+        writer = BitWriter()
+        with pytest.raises(BitstreamError):
+            writer.write_uvarint(-1)
+
+    def test_raw_bytes_require_alignment(self):
+        writer = BitWriter()
+        writer.write_bit(0)
+        with pytest.raises(BitstreamError):
+            writer.write_bytes(b"xy")
+
+
+class TestVarints:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 300, 16383, 16384, 2**32, 2**62]
+    )
+    def test_roundtrip(self, value):
+        writer = BitWriter()
+        writer.write_uvarint(value)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_uvarint() == value
+
+    def test_sequence_roundtrip(self):
+        values = [0, 5, 1000, 7, 2**40, 1]
+        writer = BitWriter()
+        for value in values:
+            writer.write_uvarint(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_uvarint() for _ in values] == values
+
+    def test_truncated_varint_raises(self):
+        writer = BitWriter()
+        writer.write_uvarint(300)
+        data = writer.getvalue()[:1]
+        reader = BitReader(data)
+        with pytest.raises(BitstreamError):
+            reader.read_uvarint()
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(BitstreamError):
+            reader.read_bit()
+
+    def test_read_bytes_past_end_raises(self):
+        reader = BitReader(b"ab")
+        with pytest.raises(BitstreamError):
+            reader.read_bytes(3)
+
+    def test_mixed_content_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.align()
+        writer.write_uvarint(99)
+        writer.write_bytes(b"hello")
+        writer.write_bits(0b11, 2)
+        data = writer.getvalue()
+        reader = BitReader(data)
+        assert reader.read_bits(3) == 0b101
+        reader.align()
+        assert reader.read_uvarint() == 99
+        assert reader.read_bytes(5) == b"hello"
+        assert reader.read_bits(2) == 0b11
+
+    def test_remaining_bytes(self):
+        reader = BitReader(b"abcd")
+        assert reader.remaining_bytes() == 4
+        reader.read_bytes(1)
+        assert reader.remaining_bytes() == 3
+        reader.read_bit()
+        assert reader.remaining_bytes() == 2

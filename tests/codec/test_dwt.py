@@ -1,0 +1,153 @@
+"""Unit and property tests for the lifting DWT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.dwt import (
+    Wavelet,
+    WaveletCoeffs,
+    forward_dwt2d,
+    inverse_dwt2d,
+)
+from repro.errors import CodecError
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "shape", [(64, 64), (63, 61), (17, 33), (2, 2), (1, 9), (9, 1)]
+    )
+    def test_coefficient_count_preserved(self, shape, rng):
+        image = rng.random(shape)
+        levels = 1
+        coeffs = forward_dwt2d(image, levels, Wavelet.CDF97)
+        assert coeffs.total_coefficients() == image.size
+
+    def test_subband_list_structure(self, rng):
+        coeffs = forward_dwt2d(rng.random((64, 64)), 3, Wavelet.CDF97)
+        names = [(n, l) for n, l, _ in coeffs.subbands()]
+        assert names[0] == ("LL", 3)
+        assert names[1:4] == [("HL", 3), ("LH", 3), ("HH", 3)]
+        assert names[-3:] == [("HL", 1), ("LH", 1), ("HH", 1)]
+
+    def test_levels_property(self, rng):
+        coeffs = forward_dwt2d(rng.random((32, 32)), 2, Wavelet.CDF97)
+        assert coeffs.levels == 2
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(CodecError):
+            forward_dwt2d(np.zeros(16), 1)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(CodecError):
+            forward_dwt2d(np.zeros((8, 8)), 0)
+
+    def test_rejects_too_deep(self):
+        with pytest.raises(CodecError):
+            forward_dwt2d(np.zeros((8, 8)), 5)
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize(
+        "shape,levels",
+        [
+            ((64, 64), 3),
+            ((63, 61), 3),
+            ((17, 33), 2),
+            ((5, 5), 1),
+            ((1, 7), 1),
+            ((128, 32), 3),
+        ],
+    )
+    def test_cdf97_reconstruction(self, shape, levels, rng):
+        image = rng.random(shape)
+        recon = inverse_dwt2d(forward_dwt2d(image, levels, Wavelet.CDF97))
+        assert np.abs(recon - image).max() < 1e-9
+
+    @pytest.mark.parametrize(
+        "shape,levels",
+        [((64, 64), 3), ((63, 61), 2), ((5, 9), 1), ((33, 31), 3)],
+    )
+    def test_legall53_bit_exact(self, shape, levels, rng):
+        image = rng.integers(0, 1024, shape)
+        recon = inverse_dwt2d(forward_dwt2d(image, levels, Wavelet.LEGALL53))
+        assert np.array_equal(recon, image)
+
+    def test_legall53_negative_values(self, rng):
+        image = rng.integers(-512, 512, (32, 32))
+        recon = inverse_dwt2d(forward_dwt2d(image, 2, Wavelet.LEGALL53))
+        assert np.array_equal(recon, image)
+
+    def test_constant_image(self):
+        image = np.full((32, 32), 0.5)
+        coeffs = forward_dwt2d(image, 2, Wavelet.CDF97)
+        recon = inverse_dwt2d(coeffs)
+        assert np.abs(recon - image).max() < 1e-10
+
+
+class TestEnergyCompaction:
+    def test_smooth_image_energy_in_ll(self, rng):
+        """Most energy of a smooth image must land in the LL subband."""
+        xs = np.linspace(0, 1, 64)
+        image = np.outer(np.sin(3 * xs) + 1, np.cos(2 * xs) + 1)
+        coeffs = forward_dwt2d(image, 3, Wavelet.CDF97)
+        ll_energy = float(np.sum(coeffs.approx**2))
+        total = sum(
+            float(np.sum(band**2)) for _, _, band in coeffs.subbands()
+        )
+        assert ll_energy / total > 0.95
+
+    def test_detail_bands_near_zero_for_constant(self):
+        image = np.full((64, 64), 0.3)
+        coeffs = forward_dwt2d(image, 2, Wavelet.CDF97)
+        for name, _, band in coeffs.subbands():
+            if name != "LL" and band.size:
+                assert np.abs(band).max() < 1e-10
+
+
+@given(
+    st.integers(2, 40),
+    st.integers(2, 40),
+    st.integers(1, 3),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_cdf97_reconstruction(height, width, levels, seed):
+    """Perfect reconstruction for arbitrary shapes and levels."""
+    import math
+
+    feasible = max(1, int(math.floor(math.log2(min(height, width)))))
+    levels = min(levels, feasible)
+    image = np.random.default_rng(seed).random((height, width))
+    recon = inverse_dwt2d(forward_dwt2d(image, levels, Wavelet.CDF97))
+    assert np.abs(recon - image).max() < 1e-8
+
+
+@given(
+    st.integers(2, 32),
+    st.integers(2, 32),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_legall53_lossless(height, width, seed):
+    """Bit-exact integer reconstruction for arbitrary shapes."""
+    image = np.random.default_rng(seed).integers(0, 4096, (height, width))
+    recon = inverse_dwt2d(forward_dwt2d(image, 1, Wavelet.LEGALL53))
+    assert np.array_equal(recon, image)
+
+
+def test_wavelet_coeffs_roundtrip_via_subbands(rng):
+    """Reassembling subbands() output must reproduce the decomposition."""
+    image = rng.random((48, 48))
+    coeffs = forward_dwt2d(image, 2, Wavelet.CDF97)
+    flat = coeffs.subbands()
+    rebuilt = WaveletCoeffs(
+        approx=flat[0][2],
+        details=[
+            (flat[1 + 3 * i][2], flat[2 + 3 * i][2], flat[3 + 3 * i][2])
+            for i in range(2)
+        ],
+        shape=image.shape,
+        wavelet=Wavelet.CDF97,
+    )
+    assert np.abs(inverse_dwt2d(rebuilt) - image).max() < 1e-9

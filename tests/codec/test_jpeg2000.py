@@ -1,0 +1,191 @@
+"""Unit tests for the tile/image codec: ROI, layers, rate targeting."""
+
+import numpy as np
+import pytest
+
+from repro.codec.dwt import Wavelet
+from repro.codec.jpeg2000 import (
+    CodecConfig,
+    EncodedImage,
+    ImageCodec,
+    effective_levels,
+    subband_shapes,
+)
+from repro.codec.metrics import psnr
+from repro.errors import CodecError
+from repro.imagery.noise import fractal_noise
+
+
+@pytest.fixture(scope="module")
+def image():
+    return fractal_noise((128, 128), seed=9, octaves=5, base_cells=4)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return ImageCodec(CodecConfig(tile_size=64, levels=3, base_step=1 / 512))
+
+
+class TestSubbandShapes:
+    def test_matches_forward_transform(self, rng):
+        from repro.codec.dwt import forward_dwt2d
+
+        for shape in [(64, 64), (63, 61), (17, 9)]:
+            levels = effective_levels(shape, 3)
+            coeffs = forward_dwt2d(rng.random(shape), levels, Wavelet.CDF97)
+            expected = [
+                (name, level, band.shape)
+                for name, level, band in coeffs.subbands()
+            ]
+            got = subband_shapes(shape, levels)
+            assert [(n, l, tuple(s)) for n, l, s in got] == [
+                (n, l, tuple(s)) for n, l, s in expected
+            ]
+
+    def test_effective_levels_small_tiles(self):
+        assert effective_levels((64, 64), 3) == 3
+        assert effective_levels((8, 64), 3) == 3
+        assert effective_levels((4, 4), 3) == 2
+        assert effective_levels((1, 64), 3) == 1
+
+
+class TestLossyRoundtrip:
+    def test_quality_monotone_in_step(self, image):
+        quality = []
+        for step in [1 / 64, 1 / 256, 1 / 1024]:
+            codec = ImageCodec(CodecConfig(tile_size=64, base_step=step))
+            recon = codec.decode(codec.encode(image))
+            quality.append(psnr(image, recon))
+        assert quality == sorted(quality)
+
+    def test_bytes_monotone_in_step(self, image):
+        sizes = []
+        for step in [1 / 64, 1 / 256, 1 / 1024]:
+            codec = ImageCodec(CodecConfig(tile_size=64, base_step=step))
+            sizes.append(codec.encode(image).total_bytes)
+        assert sizes == sorted(sizes)
+
+    def test_reasonable_quality(self, codec, image):
+        recon = codec.decode(codec.encode(image))
+        assert psnr(image, recon) > 40.0
+
+    def test_rejects_non_2d(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode(np.zeros((4, 4, 3)))
+
+    def test_odd_sized_image(self, codec):
+        image = fractal_noise((100, 90), seed=2, octaves=4)
+        recon = codec.decode(codec.encode(image))
+        assert recon.shape == (100, 90)
+        assert psnr(image, recon) > 35.0
+
+
+class TestContainer:
+    def test_serialization_roundtrip(self, codec, image):
+        encoded = codec.encode(image, n_layers=2)
+        data = encoded.to_bytes()
+        parsed = EncodedImage.from_bytes(data)
+        recon_a = codec.decode(encoded)
+        recon_b = codec.decode(parsed)
+        assert np.array_equal(recon_a, recon_b)
+
+    def test_total_bytes_is_serialized_size(self, codec, image):
+        encoded = codec.encode(image)
+        assert encoded.total_bytes == len(encoded.to_bytes())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(Exception):
+            EncodedImage.from_bytes(b"XXXX" + b"\x00" * 64)
+
+    def test_payload_bytes_sum_over_layers(self, codec, image):
+        encoded = codec.encode(image, n_layers=3)
+        total = sum(encoded.layer_bytes(k) for k in range(3))
+        assert total == encoded.payload_bytes()
+
+
+class TestROI:
+    def test_only_roi_tiles_encoded(self, codec, image):
+        roi = np.zeros((2, 2), dtype=bool)
+        roi[0, 1] = True
+        encoded = codec.encode(image, roi=roi)
+        assert len(encoded.tiles) == 1
+        assert encoded.tiles[0].tile_index == (0, 1)
+
+    def test_roi_quality_matches_full(self, codec, image):
+        roi = np.zeros((2, 2), dtype=bool)
+        roi[1, 1] = True
+        recon = codec.decode(codec.encode(image, roi=roi))
+        assert psnr(image[64:, 64:], recon[64:, 64:]) > 40.0
+
+    def test_non_roi_filled_from_background(self, codec, image):
+        roi = np.zeros((2, 2), dtype=bool)
+        roi[0, 0] = True
+        background = np.full(image.shape, 0.25)
+        recon = codec.decode(codec.encode(image, roi=roi), background=background)
+        assert np.allclose(recon[64:, 64:], 0.25)
+
+    def test_roi_smaller_than_full(self, codec, image):
+        roi = np.zeros((2, 2), dtype=bool)
+        roi[0, 0] = True
+        partial = codec.encode(image, roi=roi).total_bytes
+        full = codec.encode(image).total_bytes
+        assert partial < full / 2
+
+    def test_roi_shape_mismatch_rejected(self, codec, image):
+        with pytest.raises(CodecError):
+            codec.encode(image, roi=np.ones((3, 3), dtype=bool))
+
+
+class TestRateTargeting:
+    def test_respects_budget(self, codec, image):
+        for target in [800, 2000, 5000]:
+            encoded = codec.encode(image, target_bytes=target)
+            assert encoded.payload_bytes() <= target
+
+    def test_quality_grows_with_budget(self, codec, image):
+        quality = []
+        for target in [600, 2000, 6000]:
+            encoded = codec.encode(image, target_bytes=target)
+            quality.append(psnr(image, codec.decode(encoded)))
+        assert quality == sorted(quality)
+
+
+class TestLayers:
+    def test_layer_quality_monotone(self, codec, image):
+        encoded = codec.encode(image, n_layers=3)
+        quality = [
+            psnr(image, codec.decode(encoded, layers=k)) for k in (1, 2, 3)
+        ]
+        assert quality[0] <= quality[1] <= quality[2]
+
+    def test_layer_bytes_cumulative(self, codec, image):
+        encoded = codec.encode(image, n_layers=3)
+        assert encoded.payload_bytes(1) <= encoded.payload_bytes(2)
+        assert encoded.payload_bytes(2) <= encoded.payload_bytes(3)
+
+    def test_invalid_layer_count_rejected(self, codec, image):
+        with pytest.raises(CodecError):
+            codec.encode(image, n_layers=0)
+        encoded = codec.encode(image, n_layers=2)
+        with pytest.raises(CodecError):
+            codec.decode(encoded, layers=3)
+
+
+class TestLossless:
+    def test_bit_exact_at_configured_depth(self, image):
+        codec = ImageCodec(
+            CodecConfig(tile_size=64, wavelet=Wavelet.LEGALL53, bit_depth=10)
+        )
+        recon = codec.decode(codec.encode(image))
+        scale = 1023
+        assert np.array_equal(
+            np.rint(image * scale), np.rint(recon * scale)
+        )
+
+    def test_lossless_compresses(self, image):
+        codec = ImageCodec(
+            CodecConfig(tile_size=64, wavelet=Wavelet.LEGALL53, bit_depth=10)
+        )
+        encoded = codec.encode(image)
+        raw = image.size * 10 // 8
+        assert encoded.total_bytes < raw

@@ -1,0 +1,95 @@
+"""Unit tests for quality/rate metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codec.metrics import (
+    compression_ratio,
+    mse,
+    psnr,
+    weighted_mean_psnr,
+)
+
+
+class TestMSE:
+    def test_identical_is_zero(self, rng):
+        image = rng.random((8, 8))
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_symmetric(self, rng):
+        a, b = rng.random((5, 5)), rng.random((5, 5))
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+
+class TestPSNR:
+    def test_identical_is_inf(self, rng):
+        image = rng.random((4, 4))
+        assert math.isinf(psnr(image, image))
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_max_value_scaling(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 25.5)
+        assert psnr(a, b, max_value=255.0) == pytest.approx(20.0)
+
+    def test_smaller_error_higher_psnr(self, rng):
+        truth = rng.random((8, 8))
+        small = truth + 0.01
+        large = truth + 0.1
+        assert psnr(truth, small) > psnr(truth, large)
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(1000, 100) == pytest.approx(10.0)
+
+    def test_zero_coded_is_inf(self):
+        assert math.isinf(compression_ratio(1000, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(-1, 10)
+
+
+class TestWeightedMeanPSNR:
+    def test_single_value(self):
+        assert weighted_mean_psnr([30.0]) == pytest.approx(30.0)
+
+    def test_pooled_in_mse_domain(self):
+        # 20 dB (MSE 0.01) and 40 dB (MSE 0.0001): pooled MSE 0.00505.
+        pooled = weighted_mean_psnr([20.0, 40.0])
+        assert pooled == pytest.approx(-10 * math.log10(0.00505), abs=1e-6)
+        # The pool is dominated by the worse image, unlike a dB average.
+        assert pooled < 30.0
+
+    def test_weights(self):
+        uniform = weighted_mean_psnr([20.0, 40.0])
+        skewed = weighted_mean_psnr([20.0, 40.0], [1.0, 9.0])
+        assert skewed > uniform
+
+    def test_inf_contributes_zero_mse(self):
+        assert weighted_mean_psnr([math.inf, math.inf]) == math.inf
+        assert weighted_mean_psnr([30.0, math.inf]) > 30.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean_psnr([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean_psnr([30.0], [1.0, 2.0])

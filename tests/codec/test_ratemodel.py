@@ -1,0 +1,124 @@
+"""Tests for the fast rate model, including calibration against the coder."""
+
+import numpy as np
+import pytest
+
+from repro.codec.jpeg2000 import CodecConfig, ImageCodec
+from repro.codec.metrics import psnr
+from repro.codec.ratemodel import RateModel, estimate_band_bits
+from repro.errors import CodecError, RateControlError
+from repro.imagery.noise import fractal_noise
+
+
+@pytest.fixture(scope="module")
+def image():
+    return fractal_noise((128, 128), seed=31, octaves=5, base_cells=4)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RateModel(CodecConfig(tile_size=64, levels=3))
+
+
+class TestEstimateBandBits:
+    def test_zero_band(self):
+        bits, planes = estimate_band_bits(np.zeros((8, 8), dtype=np.int64))
+        assert bits == 0.0
+        assert planes == 0
+
+    def test_empty_band(self):
+        bits, planes = estimate_band_bits(np.zeros((0, 4), dtype=np.int64))
+        assert bits == 0.0 and planes == 0
+
+    def test_sparse_cheaper_than_dense(self, rng):
+        dense = rng.integers(-100, 100, (16, 16))
+        sparse = np.zeros((16, 16), dtype=np.int64)
+        sparse[0, 0] = 100
+        dense_bits, _ = estimate_band_bits(dense)
+        sparse_bits, _ = estimate_band_bits(sparse)
+        assert sparse_bits < dense_bits / 4
+
+    def test_plane_count(self):
+        band = np.array([[255]], dtype=np.int64)
+        _, planes = estimate_band_bits(band)
+        assert planes == 8
+
+
+class TestAgainstRealCoder:
+    @pytest.mark.parametrize("step", [1 / 128, 1 / 512, 1 / 2048])
+    def test_byte_estimate_within_tolerance(self, image, model, step):
+        """The rate model must track the true coder within 35 %."""
+        codec = ImageCodec(CodecConfig(tile_size=64, levels=3))
+        real = len(codec.encode(image, base_step=step).to_bytes())
+        estimated = model.encode(image, step).coded_bytes
+        assert 0.65 * real <= estimated <= 1.35 * real
+
+    def test_psnr_matches_exactly(self, image, model):
+        """Distortion is computed from the true quantized reconstruction,
+        so it must equal the real decoder's within float tolerance."""
+        step = 1 / 512
+        codec = ImageCodec(CodecConfig(tile_size=64, levels=3))
+        real_recon = codec.decode(codec.encode(image, base_step=step))
+        model_result = model.encode(image, step)
+        assert abs(
+            psnr(image, real_recon) - model_result.psnr_roi
+        ) < 0.5
+
+
+class TestEncode:
+    def test_monotone_rate_in_step(self, image, model):
+        sizes = [
+            model.encode(image, step).coded_bytes
+            for step in [1 / 64, 1 / 256, 1 / 1024]
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_roi_restricts_cost_and_recon(self, image, model):
+        roi = np.zeros((2, 2), dtype=bool)
+        roi[0, 0] = True
+        result = model.encode(image, 1 / 512, roi)
+        full = model.encode(image, 1 / 512)
+        assert result.coded_bytes < full.coded_bytes
+        assert np.allclose(result.reconstruction[64:, 64:], 0.0)
+        assert result.roi_pixels == 64 * 64
+
+    def test_rejects_bad_step(self, image, model):
+        with pytest.raises(CodecError):
+            model.encode(image, 0.0)
+
+    def test_rejects_non_2d(self, model):
+        with pytest.raises(CodecError):
+            model.encode(np.zeros((2, 2, 2)))
+
+    def test_bits_per_roi_pixel(self, image, model):
+        result = model.encode(image, 1 / 512)
+        assert result.bits_per_roi_pixel == pytest.approx(
+            result.coded_bytes * 8 / image.size
+        )
+
+
+class TestStepSearch:
+    @pytest.mark.parametrize("target", [1200, 3000, 8000])
+    def test_meets_budget(self, image, model, target):
+        result = model.find_step_for_bytes(image, target)
+        assert result.coded_bytes <= target * 1.08
+
+    def test_larger_budget_better_quality(self, image, model):
+        small = model.find_step_for_bytes(image, 1000)
+        large = model.find_step_for_bytes(image, 8000)
+        assert large.psnr_roi > small.psnr_roi
+
+    def test_impossible_budget_returns_floor(self, image, model):
+        result = model.find_step_for_bytes(image, 10)
+        assert result.coded_bytes > 10  # best-effort floor rate
+
+    def test_rejects_nonpositive_target(self, image, model):
+        with pytest.raises(RateControlError):
+            model.find_step_for_bytes(image, 0)
+
+    def test_roi_budget(self, image, model):
+        roi = np.zeros((2, 2), dtype=bool)
+        roi[1, 0] = True
+        result = model.find_step_for_bytes(image, 900, roi)
+        assert result.coded_bytes <= 980
+        assert result.roi_pixels == 64 * 64

@@ -1,0 +1,99 @@
+"""Shared fixtures: small bands, images, datasets, and trained detectors.
+
+Session-scoped where construction is expensive (detector training, dataset
+assembly) so the suite stays fast while exercising real components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EarthPlusConfig
+from repro.core.tiles import TileGrid
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import sentinel2_dataset
+from repro.imagery.bands import get_band
+from repro.imagery.earth_model import EarthModel, LocationSpec, TerrainClass
+from repro.imagery.noise import fractal_noise
+
+
+@pytest.fixture(scope="session")
+def two_bands():
+    """A visible + thermal-proxy band pair (enough for cloud features)."""
+    return (get_band("B4"), get_band("B11"))
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """Earth+ config sized for 128-256 px test images."""
+    return EarthPlusConfig(tile_size=64, gamma_bpp=0.3)
+
+
+@pytest.fixture(scope="session")
+def test_image():
+    """A deterministic 128x128 textured image in [0, 1]."""
+    return fractal_noise((128, 128), seed=1234, octaves=5, base_cells=4)
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """Tile grid for 128x128 images with 64-px tiles."""
+    return TileGrid((128, 128), 64)
+
+
+@pytest.fixture(scope="session")
+def small_earth(two_bands):
+    """A small mixed-terrain Earth model."""
+    spec = LocationSpec(
+        name="testloc",
+        shape=(128, 128),
+        terrain_mix={
+            TerrainClass.FOREST: 0.4,
+            TerrainClass.AGRICULTURE: 0.4,
+            TerrainClass.RIVER: 0.2,
+        },
+        seed=77,
+    )
+    return EarthModel(spec, two_bands)
+
+
+@pytest.fixture(scope="session")
+def tiny_sentinel_dataset():
+    """One-location, two-band, 90-day Sentinel-2-like dataset."""
+    return sentinel2_dataset(
+        locations=["A"],
+        bands=["B4", "B11"],
+        horizon_days=90.0,
+        image_shape=(128, 128),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_planet_dataset():
+    """Eight-satellite, 45-day Planet-like dataset."""
+    return planet_dataset(
+        n_satellites=8, image_shape=(128, 128), horizon_days=45.0
+    )
+
+
+@pytest.fixture(scope="session")
+def onboard_detector(two_bands):
+    """Trained cheap on-board cloud detector (cached by the module)."""
+    from repro.core.cloud import train_onboard_detector
+
+    return train_onboard_detector(two_bands, tile_size=64)
+
+
+@pytest.fixture(scope="session")
+def ground_detector(two_bands):
+    """Trained accurate ground cloud detector (cached by the module)."""
+    from repro.core.cloud import train_ground_detector
+
+    return train_ground_detector(two_bands)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(0xC0FFEE)

@@ -1,0 +1,173 @@
+"""Unit tests for illumination alignment and change detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.change_detection import (
+    align_illumination,
+    calibrate_threshold,
+    changed_tile_mask,
+    detect_changes,
+    tile_difference_scores,
+)
+from repro.core.reference import downsample_image
+from repro.core.tiles import TileGrid
+from repro.errors import PipelineError
+from repro.imagery.noise import fractal_noise
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return fractal_noise((128, 128), seed=21, octaves=5, base_cells=4) * 0.6
+
+
+class TestAlignIllumination:
+    def test_exact_linear_recovery(self, scene):
+        capture = scene * 0.85 + 0.03
+        gain, offset = align_illumination(scene, capture)
+        assert gain == pytest.approx(0.85, abs=1e-6)
+        assert offset == pytest.approx(0.03, abs=1e-6)
+
+    def test_identity_for_equal_images(self, scene):
+        gain, offset = align_illumination(scene, scene)
+        assert gain == pytest.approx(1.0)
+        assert offset == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_reference_falls_back(self):
+        reference = np.full((16, 16), 0.5)
+        gain, offset = align_illumination(reference, reference * 0.9)
+        assert (gain, offset) == (1.0, 0.0)
+
+    def test_tiny_sample_falls_back(self):
+        gain, offset = align_illumination(np.zeros((1, 2)), np.zeros((1, 2)))
+        assert (gain, offset) == (1.0, 0.0)
+
+    def test_valid_mask_excludes_outliers(self, scene):
+        capture = scene * 0.9 + 0.01
+        corrupted = capture.copy()
+        corrupted[:32, :32] = 1.0  # a big cloud
+        valid = np.ones_like(scene, dtype=bool)
+        valid[:32, :32] = False
+        gain, offset = align_illumination(scene, corrupted, valid)
+        assert gain == pytest.approx(0.9, abs=1e-6)
+
+    def test_robust_refit_handles_unmasked_outliers(self, scene):
+        capture = scene * 0.9 + 0.01
+        corrupted = capture.copy()
+        corrupted[:20, :20] = 1.0  # undetected cloud
+        gain, offset = align_illumination(scene, corrupted)
+        assert gain == pytest.approx(0.9, abs=0.08)
+
+    def test_degenerate_fit_clamped_to_identity(self, scene, rng):
+        unrelated = rng.random(scene.shape)
+        gain, offset = align_illumination(scene, unrelated * 40.0 - 20.0)
+        assert (gain, offset) == (1.0, 0.0)
+
+    def test_shape_mismatch_rejected(self, scene):
+        with pytest.raises(PipelineError):
+            align_illumination(scene, scene[:64])
+
+    def test_bad_mask_shape_rejected(self, scene):
+        with pytest.raises(PipelineError):
+            align_illumination(scene, scene, np.ones((2, 2), dtype=bool))
+
+
+class TestTileScores:
+    def test_identical_images_zero_scores(self, scene):
+        grid = TileGrid((128, 128), 64)
+        lr = downsample_image(scene, 8)
+        scores = tile_difference_scores(lr, lr, grid, 8)
+        assert np.all(scores == 0.0)
+
+    def test_localized_change_hits_right_tile(self, scene):
+        grid = TileGrid((128, 128), 64)
+        changed = scene.copy()
+        changed[70:120, 70:120] += 0.2
+        ref_lr = downsample_image(scene, 8)
+        cap_lr = downsample_image(changed, 8)
+        scores = tile_difference_scores(ref_lr, cap_lr, grid, 8)
+        assert scores[1, 1] > 0.05
+        assert scores[0, 0] < 0.01
+
+    def test_valid_mask_zeroes_invalid(self, scene):
+        grid = TileGrid((128, 128), 64)
+        ref_lr = downsample_image(scene, 8)
+        cap_lr = ref_lr + 0.5
+        invalid = np.zeros_like(ref_lr, dtype=bool)
+        scores = tile_difference_scores(ref_lr, cap_lr, grid, 8, invalid)
+        assert np.all(scores == 0.0)
+
+    def test_shape_mismatch_rejected(self, scene):
+        grid = TileGrid((128, 128), 64)
+        with pytest.raises(PipelineError):
+            tile_difference_scores(
+                np.zeros((16, 16)), np.zeros((8, 8)), grid, 8
+            )
+
+
+class TestDetectChanges:
+    def test_zero_false_positives_static_scene(self, scene):
+        """Invariant: a static scene under pure linear illumination change
+        yields no changed tiles at full resolution."""
+        grid = TileGrid((128, 128), 64)
+        capture = scene * 0.8 + 0.02
+        result = detect_changes(scene, capture, grid, 1, theta=0.01)
+        assert not result.changed_tiles.any()
+        assert result.gain == pytest.approx(0.8, abs=1e-6)
+
+    def test_zero_false_positives_downsampled(self, scene):
+        grid = TileGrid((128, 128), 64)
+        ref_lr = downsample_image(scene, 8)
+        cap_lr = downsample_image(scene * 0.8 + 0.02, 8)
+        result = detect_changes(ref_lr, cap_lr, grid, 8, theta=0.01)
+        assert not result.changed_tiles.any()
+
+    def test_detects_genuine_change(self, scene):
+        grid = TileGrid((128, 128), 64)
+        changed = scene * 0.9 + 0.01
+        changed[:50, :50] += 0.15
+        ref_lr = downsample_image(scene, 8)
+        cap_lr = downsample_image(changed, 8)
+        result = detect_changes(ref_lr, cap_lr, grid, 8, theta=0.01)
+        assert result.changed_tiles[0, 0]
+        assert not result.changed_tiles[1, 1]
+
+    def test_changed_fraction(self, scene):
+        grid = TileGrid((128, 128), 64)
+        result = detect_changes(scene, scene, grid, 1, theta=0.01)
+        assert result.changed_fraction == 0.0
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(PipelineError):
+            changed_tile_mask(np.zeros((2, 2)), -0.1)
+
+
+class TestCalibration:
+    def test_picks_threshold_above_unchanged_scores(self, rng):
+        scores = [rng.random((8, 8)) * 0.005 for _ in range(5)]
+        truth = [np.zeros((8, 8), dtype=bool) for _ in range(5)]
+        theta = calibrate_threshold(scores, truth)
+        assert theta >= 0.004
+
+    def test_ignores_changed_tiles(self, rng):
+        scores = []
+        truth = []
+        for _ in range(5):
+            s = rng.random((8, 8)) * 0.005
+            t = np.zeros((8, 8), dtype=bool)
+            s[0, 0] = 0.5  # changed tile with a huge score
+            t[0, 0] = True
+            scores.append(s)
+            truth.append(t)
+        theta = calibrate_threshold(scores, truth)
+        assert theta < 0.01
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(PipelineError):
+            calibrate_threshold([], [])
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(PipelineError):
+            calibrate_threshold(
+                [rng.random((4, 4))], [np.zeros((2, 2), dtype=bool)]
+            )

@@ -1,0 +1,173 @@
+"""Unit tests for the on-board Earth+ encoder pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EarthPlusConfig
+from repro.core.encoder import EarthPlusEncoder
+from repro.core.reference import OnboardReferenceCache, downsample_image
+from repro.errors import PipelineError
+
+
+@pytest.fixture()
+def encoder(two_bands, onboard_detector, tiny_sentinel_dataset):
+    config = EarthPlusConfig(gamma_bpp=0.3)
+    cache = OnboardReferenceCache(lr_tile=8)
+    return EarthPlusEncoder(
+        config=config,
+        bands=tiny_sentinel_dataset.bands,
+        image_shape=tiny_sentinel_dataset.image_shape,
+        cloud_detector=onboard_detector,
+        cache=cache,
+    )
+
+
+def clear_capture(dataset, t_start=0.0):
+    """First capture in the dataset with true coverage below 5 %."""
+    sensor = dataset.sensors["A"]
+    t = t_start
+    while t < 400:
+        capture = sensor.capture(0, t)
+        if capture.cloud_coverage < 0.05:
+            return capture
+        t += 1.7
+    raise AssertionError("no clear capture found")
+
+
+def cloudy_capture(dataset, min_cov=0.7):
+    sensor = dataset.sensors["A"]
+    t = 0.0
+    while t < 400:
+        capture = sensor.capture(0, t)
+        if capture.cloud_coverage > min_cov:
+            return capture
+        t += 1.7
+    raise AssertionError("no cloudy capture found")
+
+
+class TestColdStart:
+    def test_no_reference_downloads_noncloudy(self, encoder, tiny_sentinel_dataset):
+        capture = clear_capture(tiny_sentinel_dataset)
+        result = encoder.process_capture(capture)
+        assert not result.dropped
+        for band in result.bands:
+            assert not band.had_reference
+            assert band.downloaded_tiles.mean() > 0.8
+            assert band.bytes_downlinked > 0
+
+    def test_byte_budget_tracks_gamma(self, two_bands, onboard_detector,
+                                       tiny_sentinel_dataset):
+        capture = clear_capture(tiny_sentinel_dataset)
+        sizes = {}
+        for gamma in (0.2, 0.8):
+            cache = OnboardReferenceCache(lr_tile=8)
+            encoder = EarthPlusEncoder(
+                config=EarthPlusConfig(gamma_bpp=gamma),
+                bands=tiny_sentinel_dataset.bands,
+                image_shape=tiny_sentinel_dataset.image_shape,
+                cloud_detector=onboard_detector,
+                cache=cache,
+            )
+            sizes[gamma] = encoder.process_capture(capture).total_bytes
+        assert sizes[0.8] > sizes[0.2] * 1.5
+
+
+class TestCloudHandling:
+    def test_heavy_cloud_dropped(self, encoder, tiny_sentinel_dataset):
+        capture = cloudy_capture(tiny_sentinel_dataset)
+        result = encoder.process_capture(capture)
+        assert result.dropped
+        assert result.bands == []
+        assert result.total_bytes == 0
+
+    def test_detected_cloud_pixels_zeroed_not_downloaded(
+        self, encoder, tiny_sentinel_dataset
+    ):
+        sensor = tiny_sentinel_dataset.sensors["A"]
+        t = 0.0
+        while t < 400:
+            capture = sensor.capture(0, t)
+            result = encoder.process_capture(capture)
+            if not result.dropped and result.bands[0].cloudy_tiles.any():
+                band = result.bands[0]
+                assert not (band.downloaded_tiles & band.cloudy_tiles).any()
+                return
+            t += 1.7
+        pytest.skip("no partially cloudy capture found")
+
+
+class TestWithReference:
+    def seed_reference(self, encoder, capture, t_days):
+        """Install a reference built from a clear capture."""
+        for band in encoder.bands:
+            clean = capture.pixels[band.name]
+            lr = downsample_image(clean, encoder.config.reference_downsample)
+            update = encoder.cache.build_update(
+                capture.location, band.name, t_days, lr
+            )
+            encoder.cache.apply_update(update)
+
+    def test_fresh_reference_few_downloads(self, encoder, tiny_sentinel_dataset):
+        capture = clear_capture(tiny_sentinel_dataset)
+        self.seed_reference(encoder, capture, capture.t_days)
+        # Re-observe almost immediately: content identical, illumination new.
+        later = tiny_sentinel_dataset.sensors["A"].capture(
+            1, capture.t_days + 0.01
+        )
+        if later.cloud_coverage > 0.05:
+            pytest.skip("follow-up capture cloudy")
+        result = encoder.process_capture(later)
+        for band in result.bands:
+            assert band.had_reference
+            assert band.changed_fraction < 0.3
+
+    def test_guaranteed_download_overrides_detection(
+        self, encoder, tiny_sentinel_dataset
+    ):
+        capture = clear_capture(tiny_sentinel_dataset)
+        self.seed_reference(encoder, capture, capture.t_days)
+        result = encoder.process_capture(capture, guaranteed_due=True)
+        assert result.guaranteed
+        for band in result.bands:
+            assert band.downloaded_tiles.mean() > 0.8
+
+    def test_guaranteed_needs_clear_sky(self, encoder, tiny_sentinel_dataset):
+        sensor = tiny_sentinel_dataset.sensors["A"]
+        t = 0.0
+        while t < 400:
+            capture = sensor.capture(0, t)
+            if 0.1 < capture.cloud_coverage < 0.45:
+                result = encoder.process_capture(capture, guaranteed_due=True)
+                if not result.dropped and result.cloud_coverage_detected > 0.05:
+                    assert not result.guaranteed
+                    return
+            t += 1.7
+        pytest.skip("no moderately cloudy capture found")
+
+    def test_alignment_fitted_against_reference(self, encoder, tiny_sentinel_dataset):
+        capture = clear_capture(tiny_sentinel_dataset)
+        self.seed_reference(encoder, capture, capture.t_days)
+        later = tiny_sentinel_dataset.sensors["A"].capture(
+            1, capture.t_days + 0.01
+        )
+        if later.cloud_coverage > 0.05:
+            pytest.skip("follow-up capture cloudy")
+        result = encoder.process_capture(later)
+        band = result.bands[0]
+        assert 0.5 <= band.gain <= 2.0
+
+    def test_shape_mismatch_rejected(self, encoder, tiny_sentinel_dataset):
+        from repro.imagery.earth_model import EarthModel, LocationSpec, TerrainClass
+        from repro.imagery.sensor import SatelliteSensor
+
+        spec = LocationSpec(
+            name="A", shape=(64, 64),
+            terrain_mix={TerrainClass.FOREST: 1.0}, seed=123,
+        )
+        small_sensor = SatelliteSensor(
+            earth=EarthModel(spec, tiny_sentinel_dataset.bands),
+            bands=tiny_sentinel_dataset.bands,
+        )
+        capture = small_sensor.capture(0, 1.0)
+        with pytest.raises(PipelineError):
+            encoder.process_capture(capture)

@@ -1,0 +1,155 @@
+"""Unit tests for the ground segment (mosaic, scoring, upload planning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EarthPlusConfig
+from repro.core.encoder import EarthPlusEncoder
+from repro.core.ground_segment import GroundSegment
+from repro.core.reference import OnboardReferenceCache
+from repro.errors import PipelineError
+
+
+@pytest.fixture()
+def segment(two_bands, ground_detector, tiny_sentinel_dataset):
+    return GroundSegment(
+        config=EarthPlusConfig(gamma_bpp=0.3),
+        bands=tiny_sentinel_dataset.bands,
+        image_shape=tiny_sentinel_dataset.image_shape,
+        ground_detector=ground_detector,
+    )
+
+
+@pytest.fixture()
+def encoder(onboard_detector, tiny_sentinel_dataset):
+    return EarthPlusEncoder(
+        config=EarthPlusConfig(gamma_bpp=0.3),
+        bands=tiny_sentinel_dataset.bands,
+        image_shape=tiny_sentinel_dataset.image_shape,
+        cloud_detector=onboard_detector,
+        cache=OnboardReferenceCache(lr_tile=8),
+    )
+
+
+def first_clear(dataset, satellite=0):
+    sensor = dataset.sensors["A"]
+    t = 0.0
+    while t < 400:
+        capture = sensor.capture(satellite, t)
+        if capture.cloud_coverage < 0.05:
+            return capture
+        t += 1.7
+    raise AssertionError("no clear capture")
+
+
+class TestIngest:
+    def test_dropped_capture_returns_none(self, segment, encoder,
+                                          tiny_sentinel_dataset):
+        sensor = tiny_sentinel_dataset.sensors["A"]
+        t = 0.0
+        while t < 400:
+            capture = sensor.capture(0, t)
+            result = encoder.process_capture(capture)
+            if result.dropped:
+                assert segment.ingest(result, capture) is None
+                return
+            t += 1.7
+        pytest.skip("no dropped capture found")
+
+    def test_clear_download_scores_well(self, segment, encoder,
+                                        tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        result = encoder.process_capture(capture)
+        score = segment.ingest(result, capture)
+        assert score is not None
+        assert score.psnr > 30.0
+        assert score.bytes_downlinked == result.total_bytes
+
+    def test_mosaic_populated_after_ingest(self, segment, encoder,
+                                           tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        result = encoder.process_capture(capture)
+        segment.ingest(result, capture)
+        for band in tiny_sentinel_dataset.bands:
+            assert segment.mosaic.has("A", band.name)
+            assert segment.mosaic.filled_mask("A", band.name).mean() > 0.5
+
+    def test_mosaic_content_close_to_truth(self, segment, encoder,
+                                           tiny_sentinel_dataset):
+        """Ingested mosaic content must track the (normalized) surface."""
+        capture = first_clear(tiny_sentinel_dataset)
+        result = encoder.process_capture(capture)
+        segment.ingest(result, capture)
+        band = tiny_sentinel_dataset.bands[0].name
+        mosaic = segment.mosaic.image("A", band)
+        filled = segment.mosaic.filled_mask("A", band)
+        truth = tiny_sentinel_dataset.earth_models["A"].ground_truth(
+            band, capture.t_days
+        )
+        corr = np.corrcoef(mosaic[filled], truth[filled])[0, 1]
+        assert corr > 0.9
+
+
+class TestUploadPlanning:
+    def test_no_content_no_updates(self, segment):
+        cache = OnboardReferenceCache(lr_tile=8)
+        plan = segment.plan_uploads(cache, ["A"], 1.0, 10**9)
+        assert plan.updates == []
+        assert plan.bytes_used == 0
+
+    def test_updates_fill_cache(self, segment, encoder, tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        segment.ingest(encoder.process_capture(capture), capture)
+        cache = OnboardReferenceCache(lr_tile=8)
+        plan = segment.plan_uploads(cache, ["A"], capture.t_days + 1, 10**9)
+        assert len(plan.updates) == len(tiny_sentinel_dataset.bands)
+        for band in tiny_sentinel_dataset.bands:
+            assert cache.has("A", band.name)
+
+    def test_budget_zero_skips_everything(self, segment, encoder,
+                                          tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        segment.ingest(encoder.process_capture(capture), capture)
+        cache = OnboardReferenceCache(lr_tile=8)
+        plan = segment.plan_uploads(cache, ["A"], capture.t_days + 1, 0)
+        assert plan.updates == []
+        assert plan.skipped == len(tiny_sentinel_dataset.bands)
+        assert not cache.has("A", tiny_sentinel_dataset.bands[0].name)
+
+    def test_partial_budget_partially_applies(self, segment, encoder,
+                                              tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        segment.ingest(encoder.process_capture(capture), capture)
+        cache = OnboardReferenceCache(lr_tile=8)
+        probe = OnboardReferenceCache(lr_tile=8)
+        full_plan = segment.plan_uploads(probe, ["A"], capture.t_days + 1, 10**9)
+        one_update = full_plan.updates[0].n_bytes
+        plan = segment.plan_uploads(
+            cache, ["A"], capture.t_days + 1, one_update
+        )
+        assert len(plan.updates) >= 1
+        assert plan.skipped >= 1
+        assert plan.bytes_used <= one_update
+
+    def test_uplink_accounting_accumulates(self, segment, encoder,
+                                           tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        segment.ingest(encoder.process_capture(capture), capture)
+        cache = OnboardReferenceCache(lr_tile=8)
+        before = segment.uplink_bytes_total
+        plan = segment.plan_uploads(cache, ["A"], capture.t_days + 1, 10**9)
+        assert segment.uplink_bytes_total == before + plan.bytes_used
+
+    def test_negative_budget_rejected(self, segment):
+        cache = OnboardReferenceCache(lr_tile=8)
+        with pytest.raises(PipelineError):
+            segment.plan_uploads(cache, ["A"], 0.0, -1)
+
+    def test_second_plan_no_change_no_bytes(self, segment, encoder,
+                                            tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        segment.ingest(encoder.process_capture(capture), capture)
+        cache = OnboardReferenceCache(lr_tile=8)
+        segment.plan_uploads(cache, ["A"], capture.t_days + 1, 10**9)
+        repeat = segment.plan_uploads(cache, ["A"], capture.t_days + 2, 10**9)
+        assert repeat.bytes_used == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the end-to-end constellation simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_policy
+from repro.core.config import EarthPlusConfig
+from repro.core.system import CaptureRecord, RunResult
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def earthplus_result(tiny_sentinel_dataset):
+    return run_policy(
+        tiny_sentinel_dataset, "earthplus", EarthPlusConfig(gamma_bpp=0.3)
+    )
+
+
+class TestRunResult:
+    def test_records_cover_all_visits(self, tiny_sentinel_dataset,
+                                      earthplus_result):
+        n_visits = len(tiny_sentinel_dataset.schedule.all_visits_sorted())
+        assert len(earthplus_result.records) == n_visits
+
+    def test_records_time_ordered(self, earthplus_result):
+        times = [r.t_days for r in earthplus_result.records]
+        assert times == sorted(times)
+
+    def test_downlink_bytes_sum_of_records(self, earthplus_result):
+        total = sum(r.bytes_downlinked for r in earthplus_result.records)
+        assert earthplus_result.downlink_bytes == total
+
+    def test_dropped_captures_cost_nothing(self, earthplus_result):
+        for record in earthplus_result.records:
+            if record.dropped:
+                assert record.bytes_downlinked == 0
+
+    def test_band_bytes_sum_to_record(self, earthplus_result):
+        for record in earthplus_result.records:
+            assert sum(record.band_bytes.values()) == record.bytes_downlinked
+
+    def test_required_downlink_bps(self, earthplus_result):
+        expected = earthplus_result.downlink_bytes * 8 / (
+            earthplus_result.horizon_days * 7 * 600.0
+        )
+        assert earthplus_result.required_downlink_bps() == pytest.approx(expected)
+
+    def test_mean_psnr_finite(self, earthplus_result):
+        assert 20.0 < earthplus_result.mean_psnr() < 60.0
+
+    def test_per_band_and_location_partitions(self, earthplus_result):
+        assert sum(earthplus_result.per_band_bytes().values()) == \
+            earthplus_result.downlink_bytes
+        assert sum(earthplus_result.per_location_bytes().values()) == \
+            earthplus_result.downlink_bytes
+
+    def test_timeseries_filters_location(self, earthplus_result):
+        series = earthplus_result.timeseries("A")
+        assert all(r.location == "A" for r in series)
+        assert all(not r.dropped for r in series)
+
+    def test_some_guaranteed_downloads_happen(self, earthplus_result):
+        """Over 90 days with a 30-day period, guaranteed downloads must
+        have fired at least once."""
+        assert any(r.guaranteed for r in earthplus_result.records)
+
+    def test_uplink_used(self, earthplus_result):
+        assert earthplus_result.uplink_bytes > 0
+
+    def test_reference_storage_tracked(self, earthplus_result):
+        assert earthplus_result.reference_storage_bytes > 0
+
+
+class TestConservation:
+    def test_every_tile_accounted(self, tiny_sentinel_dataset):
+        """Simulator invariant: per delivered band, downloaded, cloudy and
+        skipped tiles partition the grid (no tile double-counted)."""
+        from repro.core.cloud import train_onboard_detector
+        from repro.core.system import EarthPlusPolicy
+
+        config = EarthPlusConfig(gamma_bpp=0.3)
+        detector = train_onboard_detector(
+            tiny_sentinel_dataset.bands, tile_size=64
+        )
+        policy = EarthPlusPolicy(
+            config,
+            tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape,
+            detector,
+        )
+        sensor = tiny_sentinel_dataset.sensors["A"]
+        for visit in tiny_sentinel_dataset.schedule.visits_in("A", 0, 90):
+            capture = sensor.capture(visit.satellite_id, visit.t_days)
+            result = policy.process(capture, guaranteed_due=False)
+            if result.dropped:
+                continue
+            for band in result.bands:
+                overlap = band.downloaded_tiles & band.cloudy_tiles
+                assert not overlap.any()
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self, tiny_sentinel_dataset):
+        with pytest.raises(ConfigError):
+            run_policy(tiny_sentinel_dataset, "nonsense")
+
+    def test_naive_downloads_everything(self, tiny_sentinel_dataset):
+        result = run_policy(
+            tiny_sentinel_dataset, "naive", EarthPlusConfig(gamma_bpp=0.2)
+        )
+        assert result.mean_downloaded_fraction() == pytest.approx(1.0)
+        assert not any(r.dropped for r in result.records)
+
+    def test_earthplus_beats_naive_on_bytes(self, tiny_sentinel_dataset,
+                                            earthplus_result):
+        naive = run_policy(
+            tiny_sentinel_dataset, "naive", EarthPlusConfig(gamma_bpp=0.3)
+        )
+        assert earthplus_result.downlink_bytes < naive.downlink_bytes
+
+    def test_zero_uplink_disables_references(self, tiny_sentinel_dataset):
+        """With no uplink, Earth+ degrades towards download-all behaviour."""
+        config = EarthPlusConfig(gamma_bpp=0.3)
+        no_uplink = run_policy(
+            tiny_sentinel_dataset, "earthplus", config,
+            uplink_bytes_per_contact=0,
+        )
+        with_uplink = run_policy(tiny_sentinel_dataset, "earthplus", config)
+        assert no_uplink.uplink_bytes == 0
+        assert (
+            no_uplink.mean_downloaded_fraction()
+            >= with_uplink.mean_downloaded_fraction()
+        )
+
+    def test_deterministic_runs(self, tiny_sentinel_dataset, earthplus_result):
+        again = run_policy(
+            tiny_sentinel_dataset, "earthplus", EarthPlusConfig(gamma_bpp=0.3)
+        )
+        assert again.downlink_bytes == earthplus_result.downlink_bytes
+        assert again.uplink_bytes == earthplus_result.uplink_bytes

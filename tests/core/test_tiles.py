@@ -1,0 +1,140 @@
+"""Unit and property tests for the tile grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tiles import TileGrid
+from repro.errors import ConfigError
+
+
+class TestGeometry:
+    def test_exact_grid(self):
+        grid = TileGrid((128, 192), 64)
+        assert grid.grid_shape == (2, 3)
+        assert grid.n_tiles == 6
+
+    def test_ragged_grid(self):
+        grid = TileGrid((130, 65), 64)
+        assert grid.grid_shape == (3, 2)
+
+    def test_tile_bounds_interior(self):
+        grid = TileGrid((128, 128), 64)
+        assert grid.tile_bounds(1, 0) == (64, 128, 0, 64)
+
+    def test_tile_bounds_edge_clipped(self):
+        grid = TileGrid((100, 100), 64)
+        assert grid.tile_bounds(1, 1) == (64, 100, 64, 100)
+
+    def test_out_of_range_rejected(self):
+        grid = TileGrid((64, 64), 64)
+        with pytest.raises(ConfigError):
+            grid.tile_bounds(1, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            TileGrid((0, 10), 4)
+        with pytest.raises(ConfigError):
+            TileGrid((10, 10), 0)
+
+    def test_partition_no_overlap_full_cover(self):
+        """Invariant: tiles exactly partition the image."""
+        grid = TileGrid((70, 90), 32)
+        counter = np.zeros((70, 90), dtype=np.int64)
+        for ty, tx in grid.iter_tiles():
+            y0, y1, x0, x1 = grid.tile_bounds(ty, tx)
+            counter[y0:y1, x0:x1] += 1
+        assert np.all(counter == 1)
+
+    def test_tile_pixel_counts_sum_to_image(self):
+        grid = TileGrid((70, 90), 32)
+        assert grid.tile_pixel_counts().sum() == 70 * 90
+
+
+class TestReductions:
+    def test_reduce_mean_exact_tiles(self):
+        grid = TileGrid((4, 4), 2)
+        image = np.arange(16, dtype=np.float64).reshape(4, 4)
+        means = grid.reduce_mean(image)
+        assert means[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_reduce_mean_ragged(self):
+        grid = TileGrid((3, 3), 2)
+        image = np.ones((3, 3))
+        assert np.allclose(grid.reduce_mean(image), 1.0)
+
+    def test_reduce_max(self):
+        grid = TileGrid((4, 4), 2)
+        image = np.zeros((4, 4))
+        image[3, 3] = 7.0
+        assert grid.reduce_max(image)[1, 1] == 7.0
+
+    def test_reduce_any(self):
+        grid = TileGrid((4, 4), 2)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 1] = True
+        result = grid.reduce_any(mask)
+        assert result[0, 0] and not result[1, 1]
+
+    def test_reduce_fraction(self):
+        grid = TileGrid((2, 2), 2)
+        mask = np.array([[True, False], [False, False]])
+        assert grid.reduce_fraction(mask)[0, 0] == pytest.approx(0.25)
+
+    def test_shape_mismatch_rejected(self):
+        grid = TileGrid((4, 4), 2)
+        with pytest.raises(ConfigError):
+            grid.reduce_mean(np.zeros((5, 5)))
+
+
+class TestExpand:
+    def test_expand_roundtrip_with_reduce(self, rng):
+        grid = TileGrid((8, 8), 4)
+        tile_values = rng.random((2, 2))
+        expanded = grid.expand(tile_values)
+        assert np.allclose(grid.reduce_mean(expanded), tile_values)
+
+    def test_expand_ragged_shape(self):
+        grid = TileGrid((5, 7), 4)
+        expanded = grid.expand(np.ones(grid.grid_shape))
+        assert expanded.shape == (5, 7)
+
+    def test_expand_rejects_wrong_shape(self):
+        grid = TileGrid((8, 8), 4)
+        with pytest.raises(ConfigError):
+            grid.expand(np.zeros((3, 3)))
+
+    def test_tile_view_writes_through(self, rng):
+        grid = TileGrid((8, 8), 4)
+        image = np.zeros((8, 8))
+        view = grid.tile_view(image, 1, 1)
+        view[:] = 5.0
+        assert np.all(image[4:, 4:] == 5.0)
+        assert np.all(image[:4, :] == 0.0)
+
+
+@given(
+    st.integers(1, 50),
+    st.integers(1, 50),
+    st.integers(1, 17),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_partition(height, width, tile):
+    """Every pixel belongs to exactly one tile, for any geometry."""
+    grid = TileGrid((height, width), tile)
+    counter = np.zeros((height, width), dtype=np.int64)
+    for ty, tx in grid.iter_tiles():
+        y0, y1, x0, x1 = grid.tile_bounds(ty, tx)
+        counter[y0:y1, x0:x1] += 1
+    assert np.all(counter == 1)
+    assert grid.tile_pixel_counts().sum() == height * width
+
+
+@given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 9))
+@settings(max_examples=50, deadline=None)
+def test_property_expand_constant(height, width, tile):
+    """Expanding a constant tile grid reproduces a constant image."""
+    grid = TileGrid((height, width), tile)
+    expanded = grid.expand(np.full(grid.grid_shape, 3.5))
+    assert expanded.shape == (height, width)
+    assert np.all(expanded == 3.5)

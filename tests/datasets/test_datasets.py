@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic dataset builders."""
+
+import pytest
+
+from repro.datasets.generator import build_dataset
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import SENTINEL2_LOCATIONS, sentinel2_dataset
+from repro.errors import ConfigError
+from repro.imagery.earth_model import LocationSpec, TerrainClass
+
+
+class TestSentinel2:
+    def test_default_matches_paper_table2(self):
+        dataset = sentinel2_dataset(horizon_days=30.0)
+        description = dataset.describe()
+        assert description["satellites"] == 2
+        assert description["locations"] == 11
+        assert description["bands"] == 13
+
+    def test_location_subset(self):
+        dataset = sentinel2_dataset(
+            locations=["A", "D"], bands=["B4"], horizon_days=30.0
+        )
+        assert set(dataset.locations) == {"A", "D"}
+
+    def test_band_subset_by_name(self):
+        dataset = sentinel2_dataset(
+            locations=["A"], bands=["B2", "B8a"], horizon_days=30.0
+        )
+        assert [b.name for b in dataset.bands] == ["B2", "B8a"]
+
+    def test_snowy_locations_configured(self):
+        assert SENTINEL2_LOCATIONS["D"]["snowy"]
+        assert SENTINEL2_LOCATIONS["H"]["snowy"]
+        assert not SENTINEL2_LOCATIONS["A"]["snowy"]
+        dataset = sentinel2_dataset(
+            locations=["D"], bands=["B4"], horizon_days=10.0
+        )
+        assert dataset.earth_models["D"].spec.snowy
+
+    def test_sensors_capture(self):
+        dataset = sentinel2_dataset(
+            locations=["A"], bands=["B4"], horizon_days=10.0,
+            image_shape=(64, 64),
+        )
+        capture = dataset.sensors["A"].capture(0, 1.0)
+        assert capture.shape == (64, 64)
+
+    def test_schedule_within_horizon(self):
+        dataset = sentinel2_dataset(
+            locations=["A"], bands=["B4"], horizon_days=40.0
+        )
+        for visit in dataset.schedule.all_visits_sorted():
+            assert 0 <= visit.t_days <= 40.0
+
+
+class TestPlanet:
+    def test_default_matches_paper_table2(self):
+        dataset = planet_dataset(horizon_days=10.0)
+        description = dataset.describe()
+        assert description["satellites"] == 48
+        assert description["locations"] == 1
+        assert description["bands"] == 4
+
+    def test_constellation_size_configurable(self):
+        dataset = planet_dataset(n_satellites=4, horizon_days=10.0)
+        assert dataset.n_satellites == 4
+
+    def test_milder_clouds_than_sentinel(self):
+        """The paper sampled <5 %-cloud Planet scenes, so the Planet-like
+        dataset must be clearer on average."""
+        planet = planet_dataset(n_satellites=2, horizon_days=60.0)
+        sentinel = sentinel2_dataset(
+            locations=["A"], bands=["B4"], horizon_days=60.0
+        )
+        planet_cov = [
+            planet.sensors["coastal-us"].cloud_model.coverage_at(float(t))
+            for t in range(120)
+        ]
+        sentinel_cov = [
+            sentinel.sensors["A"].cloud_model.coverage_at(float(t))
+            for t in range(120)
+        ]
+        assert sum(planet_cov) < sum(sentinel_cov)
+
+    def test_more_satellites_more_visits(self):
+        few = planet_dataset(n_satellites=2, horizon_days=30.0)
+        many = planet_dataset(n_satellites=16, horizon_days=30.0)
+        assert len(many.schedule.all_visits_sorted()) > len(
+            few.schedule.all_visits_sorted()
+        )
+
+
+class TestBuildDataset:
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            build_dataset("x", [], (), 1, 10.0)
+
+    def test_mismatched_shapes_rejected(self):
+        from repro.imagery.bands import PLANET_BANDS
+
+        specs = [
+            LocationSpec(name="a", shape=(64, 64),
+                         terrain_mix={TerrainClass.FOREST: 1.0}),
+            LocationSpec(name="b", shape=(32, 32),
+                         terrain_mix={TerrainClass.FOREST: 1.0}),
+        ]
+        with pytest.raises(ConfigError):
+            build_dataset("x", specs, PLANET_BANDS, 1, 10.0)
+
+    def test_deterministic_given_seed(self):
+        a = sentinel2_dataset(locations=["A"], bands=["B4"],
+                              horizon_days=20.0, seed=5)
+        b = sentinel2_dataset(locations=["A"], bands=["B4"],
+                              horizon_days=20.0, seed=5)
+        va = [v.t_days for v in a.schedule.all_visits_sorted()]
+        vb = [v.t_days for v in b.schedule.all_visits_sorted()]
+        assert va == vb

@@ -1,0 +1,71 @@
+"""Unit tests for the spectral band tables."""
+
+import pytest
+
+from repro.errors import BandError
+from repro.imagery.bands import (
+    Band,
+    BandCategory,
+    PLANET_BANDS,
+    SENTINEL2_BANDS,
+    band_names,
+    get_band,
+)
+
+
+class TestTables:
+    def test_sentinel2_has_13_bands(self):
+        assert len(SENTINEL2_BANDS) == 13
+
+    def test_planet_has_4_bands(self):
+        assert len(PLANET_BANDS) == 4
+
+    def test_sentinel2_band_names(self):
+        names = band_names(SENTINEL2_BANDS)
+        assert names == [
+            "B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8",
+            "B8a", "B9", "B10", "B11", "B12",
+        ]
+
+    def test_air_bands(self):
+        air = [b.name for b in SENTINEL2_BANDS if b.is_air_band]
+        assert air == ["B1", "B9", "B10"]
+
+    def test_vegetation_bands_most_volatile(self):
+        veg = [
+            b for b in SENTINEL2_BANDS if b.category is BandCategory.VEGETATION
+        ]
+        air = [b for b in SENTINEL2_BANDS if b.category is BandCategory.AIR]
+        assert min(b.change_rate_scale for b in veg) > max(
+            b.change_rate_scale for b in air
+        )
+
+    def test_some_cold_band_exists_in_both_tables(self):
+        assert any(b.cloud_cold for b in SENTINEL2_BANDS)
+        assert any(b.cloud_cold for b in PLANET_BANDS)
+
+    def test_gsd_values_positive(self):
+        for band in SENTINEL2_BANDS + PLANET_BANDS:
+            assert band.gsd_m > 0
+
+
+class TestGetBand:
+    def test_lookup_sentinel(self):
+        assert get_band("B8a").description == "Narrow NIR"
+
+    def test_lookup_planet(self):
+        assert get_band("NIR").category is BandCategory.VEGETATION
+
+    def test_unknown_band_raises(self):
+        with pytest.raises(BandError):
+            get_band("B99")
+
+    def test_error_lists_known_bands(self):
+        with pytest.raises(BandError, match="B8a"):
+            get_band("nope")
+
+
+def test_band_is_frozen():
+    band = SENTINEL2_BANDS[0]
+    with pytest.raises(Exception):
+        band.name = "X"  # type: ignore[misc]

@@ -1,0 +1,103 @@
+"""Unit tests for the cloud climatology and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.imagery.bands import get_band
+from repro.imagery.clouds import CloudModel, CloudSample
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CloudModel(seed=12, shape=(96, 96))
+
+
+class TestCoverageProcess:
+    def test_deterministic(self, model):
+        assert model.coverage_at(5.5) == model.coverage_at(5.5)
+
+    def test_range(self, model):
+        for t in np.linspace(0, 100, 60):
+            assert 0.0 <= model.coverage_at(float(t)) <= 1.0
+
+    def test_clear_probability_controls_clear_rate(self):
+        always_clear = CloudModel(seed=1, shape=(8, 8), clear_probability=1.0)
+        coverages = [always_clear.coverage_at(float(t)) for t in range(50)]
+        assert max(coverages) < 0.01
+
+    def test_mean_coverage_roughly_two_thirds(self, model):
+        """§3 cites ~2/3 of Earth cloud-covered on average."""
+        coverages = [model.coverage_at(float(t)) for t in range(400)]
+        assert 0.35 <= float(np.mean(coverages)) <= 0.75
+
+    def test_bimodal_distribution(self, model):
+        """Captures should usually be mostly-clear or mostly-overcast."""
+        coverages = np.array([model.coverage_at(float(t)) for t in range(400)])
+        middle = np.mean((coverages > 0.35) & (coverages < 0.65))
+        assert middle < 0.30
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CloudModel(seed=0, shape=(4, 4), clear_probability=1.5)
+        with pytest.raises(ValueError):
+            CloudModel(seed=0, shape=(4, 4), mean_cloudy_coverage=0.0)
+
+
+class TestSampling:
+    def test_mask_matches_coverage(self, model):
+        sample = model.sample(3.0)
+        assert sample.mask.mean() == pytest.approx(sample.coverage, abs=0.02)
+
+    def test_thickness_zero_outside_mask(self, model):
+        sample = model.sample(7.0)
+        assert np.all(sample.thickness[~sample.mask] == 0.0)
+
+    def test_thickness_positive_inside_mask(self, model):
+        sample = model.sample(2.0)
+        if sample.mask.any():
+            assert np.all(sample.thickness[sample.mask] > 0.0)
+
+    def test_deterministic(self, model):
+        a, b = model.sample(9.0), model.sample(9.0)
+        assert np.array_equal(a.mask, b.mask)
+        assert np.array_equal(a.thickness, b.thickness)
+
+
+class TestRendering:
+    def test_clear_sample_is_identity(self, model, rng):
+        surface = rng.random((96, 96))
+        clear = CloudSample(
+            0.0,
+            np.zeros((96, 96), dtype=bool),
+            np.zeros((96, 96)),
+        )
+        out = model.render_onto(surface, get_band("B4"), clear)
+        assert np.array_equal(out, surface)
+
+    def test_visible_band_brightens(self, model):
+        surface = np.full((96, 96), 0.15)
+        sample = model.sample(4.0)
+        if not sample.mask.any():
+            pytest.skip("clear day sampled")
+        out = model.render_onto(surface, get_band("B4"), sample)
+        assert out[sample.mask].mean() > 0.15
+
+    def test_cold_band_darkens(self, model):
+        surface = np.full((96, 96), 0.4)
+        sample = model.sample(4.0)
+        if not sample.mask.any():
+            pytest.skip("clear day sampled")
+        out = model.render_onto(surface, get_band("B11"), sample)
+        assert out[sample.mask].mean() < 0.4
+
+    def test_clear_pixels_untouched(self, model, rng):
+        surface = rng.random((96, 96))
+        sample = model.sample(4.0)
+        out = model.render_onto(surface, get_band("B4"), sample)
+        assert np.array_equal(out[~sample.mask], surface[~sample.mask])
+
+    def test_input_not_modified(self, model, rng):
+        surface = rng.random((96, 96))
+        copy = surface.copy()
+        model.render_onto(surface, get_band("B4"), model.sample(1.0))
+        assert np.array_equal(surface, copy)

@@ -1,0 +1,131 @@
+"""Unit and property tests for the Gamma-Poisson change process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imagery.events import (
+    ChangeEventProcess,
+    TileChangeModel,
+    expected_changed_fraction,
+)
+
+
+class TestClosedForm:
+    def test_zero_age(self):
+        assert expected_changed_fraction(0.0) == 0.0
+
+    def test_monotone_in_age(self):
+        values = [expected_changed_fraction(a) for a in [1, 5, 10, 30, 60]]
+        assert values == sorted(values)
+
+    def test_paper_figure4_anchors(self):
+        """~15 % at 10 days, roughly tripling towards 50 days (Figure 4)."""
+        at10 = expected_changed_fraction(10.0)
+        at50 = expected_changed_fraction(50.0)
+        assert 0.10 <= at10 <= 0.20
+        assert 2.2 <= at50 / at10 <= 3.5
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            expected_changed_fraction(-1.0)
+
+
+class TestChangeEventProcess:
+    def test_zero_rate_no_events(self):
+        process = ChangeEventProcess(rate_per_day=0.0, seed=1)
+        assert process.event_count(1000.0) == 0
+
+    def test_monotone_in_time(self):
+        process = ChangeEventProcess(rate_per_day=0.5, seed=2)
+        counts = [process.event_count(t) for t in [1, 5, 10, 50, 100]]
+        assert counts == sorted(counts)
+
+    def test_deterministic(self):
+        a = ChangeEventProcess(rate_per_day=0.3, seed=9)
+        b = ChangeEventProcess(rate_per_day=0.3, seed=9)
+        assert a.event_count(40.0) == b.event_count(40.0)
+
+    def test_consistency_of_path(self):
+        """Counts at two times must be samples of ONE path: count(t1) at a
+        later query equals count(t1) queried directly."""
+        process = ChangeEventProcess(rate_per_day=0.8, seed=3)
+        direct = process.event_count(20.0)
+        assert process.event_count(20.0) == direct
+
+    def test_rate_scales_counts(self):
+        slow = ChangeEventProcess(rate_per_day=0.01, seed=4)
+        fast = ChangeEventProcess(rate_per_day=2.0, seed=4)
+        assert fast.event_count(100.0) > slow.event_count(100.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeEventProcess(rate_per_day=1.0, seed=0).event_count(-1.0)
+
+
+class TestTileChangeModel:
+    @pytest.fixture()
+    def model(self):
+        return TileChangeModel(tiles_shape=(16, 16), seed=5)
+
+    def test_version_zero_at_t0(self, model):
+        assert np.all(model.version_grid(0.0) == 0)
+
+    def test_versions_monotone(self, model):
+        early = model.version_grid(10.0)
+        late = model.version_grid(60.0)
+        assert np.all(late >= early)
+
+    def test_changed_between_consistency(self, model):
+        changed = model.changed_between(5.0, 25.0)
+        versions_diff = model.version_grid(25.0) != model.version_grid(5.0)
+        assert np.array_equal(changed, versions_diff)
+
+    def test_changed_fraction_in_range(self, model):
+        fraction = model.changed_fraction(0.0, 30.0)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_inverted_interval_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.changed_between(10.0, 5.0)
+
+    def test_zero_multiplier_freezes_world(self):
+        frozen = TileChangeModel((8, 8), seed=6, rate_multiplier=0.0)
+        assert frozen.changed_fraction(0.0, 365.0) == 0.0
+
+    def test_multiplier_scales_change(self):
+        calm = TileChangeModel((24, 24), seed=7, rate_multiplier=0.3)
+        busy = TileChangeModel((24, 24), seed=7, rate_multiplier=3.0)
+        assert busy.changed_fraction(0.0, 30.0) > calm.changed_fraction(0.0, 30.0)
+
+    def test_matches_closed_form(self):
+        """Empirical changed fraction tracks the analytic marginal."""
+        model = TileChangeModel((40, 40), seed=8)
+        for age in [10.0, 30.0]:
+            measured = model.changed_fraction(0.0, age)
+            expected = expected_changed_fraction(age)
+            assert abs(measured - expected) < 0.08
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TileChangeModel((4, 4), seed=0, rate_shape=0.0)
+        with pytest.raises(ValueError):
+            TileChangeModel((4, 4), seed=0, rate_multiplier=-1.0)
+
+
+@given(
+    st.floats(0.0, 40.0),
+    st.floats(0.0, 40.0),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_changed_between_additive(t_a, t_b, seed):
+    """If a tile is unchanged on [t0,t1] and [t1,t2], it is unchanged on
+    [t0,t2] (version consistency along one path)."""
+    t0, t1 = sorted([t_a, t_b])
+    t2 = t1 + 7.0
+    model = TileChangeModel((6, 6), seed=seed)
+    unchanged_01 = ~model.changed_between(t0, t1)
+    unchanged_12 = ~model.changed_between(t1, t2)
+    unchanged_02 = ~model.changed_between(t0, t2)
+    assert np.all(unchanged_02 | ~(unchanged_01 & unchanged_12))

@@ -1,0 +1,69 @@
+"""Unit tests for the illumination model."""
+
+import numpy as np
+import pytest
+
+from repro.imagery.illumination import IlluminationModel, IlluminationSample
+
+
+@pytest.fixture(scope="module")
+def model():
+    return IlluminationModel(seed=4)
+
+
+class TestSampling:
+    def test_deterministic(self, model):
+        a, b = model.sample(12.0), model.sample(12.0)
+        assert a == b
+
+    def test_different_times_differ(self, model):
+        assert model.sample(12.0) != model.sample(12.4)
+
+    def test_gain_near_base(self, model):
+        gains = [model.sample(float(t)).gain for t in range(0, 365, 7)]
+        assert all(0.7 <= g <= 1.1 for g in gains)
+
+    def test_seasonal_cycle(self, model):
+        """Expected gain peaks in summer (after day 80 + quarter year)."""
+        summer = model.expected_gain(171.0)
+        winter = model.expected_gain(354.0)
+        assert summer > winter
+
+    def test_offset_small_positive(self, model):
+        offsets = [model.sample(float(t)).offset for t in range(40)]
+        assert all(0.0 < o < 0.05 for o in offsets)
+
+    def test_jitter_bounded(self, model):
+        for t in np.linspace(0, 365, 80):
+            gain = model.sample(float(t)).gain
+            expected = model.expected_gain(float(t))
+            assert abs(gain / expected - 1.0) <= model.jitter + 1e-9
+
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError):
+            IlluminationModel(seed=0, base_gain=0.0)
+
+
+class TestApply:
+    def test_linear_relation(self, rng):
+        sample = IlluminationSample(gain=0.8, offset=0.01)
+        surface = rng.random((16, 16)) * 0.5  # keep away from clipping
+        out = sample.apply(surface)
+        assert np.allclose(out, surface * 0.8 + 0.01)
+
+    def test_clipping(self):
+        sample = IlluminationSample(gain=2.0, offset=0.5)
+        out = sample.apply(np.ones((4, 4)))
+        assert np.all(out == 1.0)
+
+    def test_static_scene_two_illuminations_linearly_related(self, model, rng):
+        """The core premise of §5: illumination acts linearly, so a static
+        scene under two conditions admits an exact linear alignment."""
+        surface = rng.random((32, 32)) * 0.6
+        s1, s2 = model.sample(10.0), model.sample(20.0)
+        a = s1.apply(surface)
+        b = s2.apply(surface)
+        # Solve for the relative gain/offset and check residual ~ 0.
+        gain = s2.gain / s1.gain
+        offset = s2.offset - gain * s1.offset
+        assert np.abs(a * gain + offset - b).max() < 1e-9

@@ -1,0 +1,98 @@
+"""Unit tests for the satellite sensor/capture model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageryError
+from repro.imagery.bands import PLANET_BANDS
+from repro.imagery.earth_model import EarthModel, LocationSpec, TerrainClass
+from repro.imagery.sensor import SatelliteSensor
+
+
+@pytest.fixture(scope="module")
+def sensor():
+    spec = LocationSpec(
+        name="cap",
+        shape=(128, 128),
+        terrain_mix={TerrainClass.FOREST: 0.6, TerrainClass.CITY: 0.4},
+        seed=55,
+    )
+    earth = EarthModel(spec, PLANET_BANDS)
+    return SatelliteSensor(earth=earth, bands=PLANET_BANDS)
+
+
+class TestCapture:
+    def test_all_bands_present(self, sensor):
+        capture = sensor.capture(0, 5.0)
+        assert set(capture.pixels) == {b.name for b in PLANET_BANDS}
+        assert capture.band_names() == [b.name for b in PLANET_BANDS]
+
+    def test_pixel_range(self, sensor):
+        capture = sensor.capture(0, 5.0)
+        for image in capture.pixels.values():
+            assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_shape_property(self, sensor):
+        assert sensor.capture(1, 2.0).shape == (128, 128)
+
+    def test_metadata_fields(self, sensor):
+        capture = sensor.capture(3, 7.5)
+        assert capture.satellite_id == 3
+        assert capture.t_days == 7.5
+        assert capture.location == "cap"
+        assert 0.0 <= capture.cloud_coverage <= 1.0
+
+    def test_deterministic(self, sensor):
+        a = sensor.capture(0, 9.0)
+        b = sensor.capture(0, 9.0)
+        for band in a.pixels:
+            assert np.array_equal(a.pixels[band], b.pixels[band])
+
+    def test_negative_time_rejected(self, sensor):
+        with pytest.raises(ImageryError):
+            sensor.capture(0, -0.1)
+
+    def test_cloud_shared_across_bands(self, sensor):
+        """One atmosphere per pass: the cloud mask is band-independent."""
+        capture = sensor.capture(0, 5.0)
+        assert capture.cloud.mask.shape == (128, 128)
+
+    def test_sensor_noise_differs_between_satellites(self, sensor):
+        a = sensor.capture(0, 5.0)
+        b = sensor.capture(1, 5.0)
+        # Same scene + clouds + illumination, different noise realization.
+        assert not np.array_equal(a.pixels["Red"], b.pixels["Red"])
+        assert np.abs(a.pixels["Red"] - b.pixels["Red"]).mean() < 0.01
+
+    def test_noise_free_mode(self):
+        spec = LocationSpec(
+            name="clean", shape=(64, 64),
+            terrain_mix={TerrainClass.FOREST: 1.0}, seed=8,
+        )
+        earth = EarthModel(spec, PLANET_BANDS)
+        sensor = SatelliteSensor(earth=earth, bands=PLANET_BANDS, noise_sigma=0.0)
+        a = sensor.capture(0, 5.0)
+        b = sensor.capture(1, 5.0)
+        for band in a.pixels:
+            assert np.array_equal(a.pixels[band], b.pixels[band])
+
+    def test_rejects_negative_noise(self):
+        spec = LocationSpec(
+            name="bad", shape=(32, 32),
+            terrain_mix={TerrainClass.FOREST: 1.0}, seed=9,
+        )
+        earth = EarthModel(spec, PLANET_BANDS)
+        with pytest.raises(ImageryError):
+            SatelliteSensor(earth=earth, bands=PLANET_BANDS, noise_sigma=-1.0)
+
+    def test_cloudy_capture_brighter_in_visible(self, sensor):
+        """Find a heavily cloudy time and check the visible band rose."""
+        for t in np.arange(0.0, 60.0, 1.7):
+            capture = sensor.capture(0, float(t))
+            if capture.cloud_coverage > 0.6:
+                clear_surface = sensor.earth.ground_truth("Red", float(t))
+                lit = capture.illumination.apply(clear_surface)
+                cloudy_mean = capture.pixels["Red"][capture.cloud.mask].mean()
+                assert cloudy_mean > lit[capture.cloud.mask].mean()
+                return
+        pytest.skip("no heavily cloudy capture in the window")

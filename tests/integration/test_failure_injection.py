@@ -1,0 +1,122 @@
+"""Failure injection: corrupted streams, truncated updates, hostile inputs.
+
+A flight system's decoder meets garbage; these tests pin down that every
+corruption surfaces as a typed :class:`repro.errors.ReproError` subclass
+(never silent wrong output, never a random crash in numpy internals).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.jpeg2000 import CodecConfig, EncodedImage, ImageCodec
+from repro.core.reference import OnboardReferenceCache, ReferenceUpdate
+from repro.errors import BitstreamError, ReproError
+from repro.imagery.noise import fractal_noise
+
+
+@pytest.fixture(scope="module")
+def encoded_bytes():
+    image = fractal_noise((128, 128), seed=71, octaves=4)
+    codec = ImageCodec(CodecConfig(tile_size=64))
+    return codec.encode(image).to_bytes()
+
+
+class TestCorruptContainers:
+    def test_truncated_header(self, encoded_bytes):
+        with pytest.raises(ReproError):
+            EncodedImage.from_bytes(encoded_bytes[:8])
+
+    def test_wrong_magic(self, encoded_bytes):
+        corrupted = b"NOPE" + encoded_bytes[4:]
+        with pytest.raises(BitstreamError):
+            EncodedImage.from_bytes(corrupted)
+
+    def test_truncated_payload(self, encoded_bytes):
+        with pytest.raises(ReproError):
+            EncodedImage.from_bytes(encoded_bytes[: len(encoded_bytes) // 2])
+
+    def test_every_prefix_fails_or_parses(self, encoded_bytes):
+        """No prefix length may crash outside the ReproError hierarchy."""
+        for cut in range(0, len(encoded_bytes), max(1, len(encoded_bytes) // 40)):
+            try:
+                EncodedImage.from_bytes(encoded_bytes[:cut])
+            except ReproError:
+                pass
+
+    def test_bitflip_decodes_or_fails_cleanly(self, encoded_bytes):
+        """Arithmetic-coded payload bit flips may change pixels but must
+        never escape as non-Repro exceptions, and the container metadata
+        keeps decode shapes intact."""
+        codec = ImageCodec(CodecConfig(tile_size=64))
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            corrupted = bytearray(encoded_bytes)
+            pos = int(rng.integers(len(corrupted) // 2, len(corrupted)))
+            corrupted[pos] ^= 0x40
+            try:
+                parsed = EncodedImage.from_bytes(bytes(corrupted))
+                recon = codec.decode(parsed)
+                assert recon.shape == (128, 128)
+                assert np.all(np.isfinite(recon))
+            except ReproError:
+                pass
+
+
+class TestCorruptReferenceUpdates:
+    def make_update(self, rng):
+        cache = OnboardReferenceCache(lr_tile=4)
+        update = cache.build_update("L", "B", 1.0, rng.random((16, 16)))
+        return update
+
+    def test_truncated_update(self, rng):
+        data = self.make_update(rng).to_bytes()
+        for cut in (0, 1, 3, len(data) // 2):
+            with pytest.raises(ReproError):
+                parsed = ReferenceUpdate.from_bytes(data[:cut])
+                # A parse that "succeeds" on truncated data must at least
+                # fail on application (shape mismatch).
+                OnboardReferenceCache(lr_tile=4).apply_update(parsed)
+
+    def test_delta_against_wrong_shape_cache(self, rng):
+        cache_a = OnboardReferenceCache(lr_tile=4)
+        cache_a.apply_update(
+            cache_a.build_update("L", "B", 1.0, rng.random((16, 16)))
+        )
+        changed = rng.random((16, 16))
+        delta = cache_a.build_update("L", "B", 2.0, changed, tolerance=0)
+        cache_b = OnboardReferenceCache(lr_tile=4)
+        cache_b.apply_update(
+            cache_b.build_update("L", "B", 1.0, rng.random((8, 8)))
+        )
+        from repro.errors import ReferenceError_
+
+        with pytest.raises(ReferenceError_):
+            cache_b.apply_update(delta)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        import repro.errors as errors_module
+
+        for name in dir(errors_module):
+            obj = getattr(errors_module, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError) or obj is ReproError
+
+    def test_subsystem_branches(self):
+        from repro.errors import (
+            BandError,
+            BitstreamError,
+            CodecError,
+            ImageryError,
+            LinkBudgetError,
+            OrbitError,
+            RateControlError,
+            ScheduleError,
+        )
+
+        assert issubclass(BitstreamError, CodecError)
+        assert issubclass(RateControlError, CodecError)
+        assert issubclass(LinkBudgetError, OrbitError)
+        assert issubclass(ScheduleError, OrbitError)
+        assert issubclass(BandError, ImageryError)

@@ -1,0 +1,94 @@
+"""Unit tests for satellites and constellations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrbitError
+from repro.orbit.constellation import Constellation, Satellite
+
+
+class TestSatellite:
+    def test_visit_times_periodic(self):
+        satellite = Satellite(0, revisit_period_days=10.0, phase_days=2.0)
+        times = satellite.visit_times(35.0)
+        assert np.allclose(times, [2.0, 12.0, 22.0, 32.0])
+
+    def test_location_offset_shifts_phase(self):
+        satellite = Satellite(0, revisit_period_days=10.0, phase_days=2.0)
+        base = satellite.visit_times(30.0)
+        shifted = satellite.visit_times(30.0, location_offset=3.0)
+        assert shifted[0] == pytest.approx((2.0 + 3.0) % 10.0)
+        assert len(base) >= 1
+
+    def test_empty_horizon(self):
+        satellite = Satellite(0, revisit_period_days=10.0, phase_days=5.0)
+        assert satellite.visit_times(2.0).size == 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(OrbitError):
+            Satellite(0, revisit_period_days=0.0, phase_days=0.0)
+
+    def test_rejects_negative_horizon(self):
+        satellite = Satellite(0, revisit_period_days=5.0, phase_days=0.0)
+        with pytest.raises(OrbitError):
+            satellite.visit_times(-1.0)
+
+
+class TestConstellation:
+    def test_size(self):
+        assert len(Constellation(n_satellites=8)) == 8
+
+    def test_periods_within_jitter(self):
+        constellation = Constellation(
+            n_satellites=16, base_revisit_days=12.0, revisit_jitter_days=2.0
+        )
+        for satellite in constellation.satellites:
+            assert 10.0 <= satellite.revisit_period_days <= 14.0
+
+    def test_rejects_zero_satellites(self):
+        with pytest.raises(OrbitError):
+            Constellation(n_satellites=0)
+
+    def test_rejects_jitter_ge_period(self):
+        with pytest.raises(OrbitError):
+            Constellation(n_satellites=2, base_revisit_days=5.0,
+                          revisit_jitter_days=5.0)
+
+    def test_deterministic(self):
+        a = Constellation(n_satellites=4, seed=9)
+        b = Constellation(n_satellites=4, seed=9)
+        for sa, sb in zip(a.satellites, b.satellites):
+            assert sa == sb
+
+    def test_combined_revisit_scales_with_size(self):
+        """More satellites -> shorter constellation-wide revisit gaps —
+        the mechanism behind the paper's Figures 5 and 19."""
+        horizon = 365.0
+        mean_gaps = {}
+        for size in (1, 4, 16):
+            constellation = Constellation(n_satellites=size, seed=3)
+            schedule = constellation.build_schedule(["site"], horizon)
+            gaps = schedule.revisit_gaps("site")
+            mean_gaps[size] = float(gaps.mean())
+        assert mean_gaps[4] < mean_gaps[1]
+        assert mean_gaps[16] < mean_gaps[4]
+        assert mean_gaps[16] < mean_gaps[1] / 6
+
+    def test_single_satellite_gap_near_period(self):
+        constellation = Constellation(
+            n_satellites=1, base_revisit_days=12.0, revisit_jitter_days=0.0,
+            seed=1,
+        )
+        schedule = constellation.build_schedule(["a"], 200.0)
+        gaps = schedule.revisit_gaps("a", satellite_id=0)
+        assert np.allclose(gaps, 12.0)
+
+    def test_schedule_covers_all_locations(self):
+        constellation = Constellation(n_satellites=2, seed=5)
+        schedule = constellation.build_schedule(["x", "y", "z"], 100.0)
+        assert set(schedule.locations()) == {"x", "y", "z"}
+
+    def test_location_offsets_deterministic(self):
+        constellation = Constellation(n_satellites=2, seed=5)
+        assert constellation.location_offset("a") == constellation.location_offset("a")
+        assert constellation.location_offset("a") != constellation.location_offset("b")

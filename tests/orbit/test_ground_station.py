@@ -1,0 +1,70 @@
+"""Unit tests for ground-contact planning."""
+
+import pytest
+
+from repro.errors import OrbitError
+from repro.orbit.ground_station import ContactPlan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ContactPlan(n_satellites=4, contacts_per_day=7,
+                       contact_duration_s=600.0, seed=6)
+
+
+class TestContacts:
+    def test_roughly_seven_per_day(self, plan):
+        contacts = plan.contacts(0, 0.0, 10.0)
+        assert 60 <= len(contacts) <= 80
+
+    def test_sorted_in_time(self, plan):
+        contacts = plan.contacts(1, 0.0, 5.0)
+        times = [c.t_days for c in contacts]
+        assert times == sorted(times)
+
+    def test_window_respected(self, plan):
+        contacts = plan.contacts(2, 3.0, 4.0)
+        assert all(3.0 <= c.t_days < 4.0 + 0.02 for c in contacts)
+
+    def test_duration_attached(self, plan):
+        contact = plan.contacts(0, 0.0, 1.0)[0]
+        assert contact.duration_s == 600.0
+        assert contact.end_days > contact.t_days
+
+    def test_deterministic(self, plan):
+        a = plan.contacts(3, 0.0, 2.0)
+        b = plan.contacts(3, 0.0, 2.0)
+        assert a == b
+
+    def test_satellites_have_distinct_phases(self, plan):
+        t0 = plan.contacts(0, 0.0, 1.0)[0].t_days
+        t1 = plan.contacts(1, 0.0, 1.0)[0].t_days
+        assert t0 != t1
+
+    def test_unknown_satellite_rejected(self, plan):
+        with pytest.raises(OrbitError):
+            plan.contacts(99, 0.0, 1.0)
+
+    def test_inverted_window_rejected(self, plan):
+        with pytest.raises(OrbitError):
+            plan.contacts(0, 5.0, 1.0)
+
+
+class TestValidation:
+    def test_rejects_zero_satellites(self):
+        with pytest.raises(OrbitError):
+            ContactPlan(n_satellites=0)
+
+    def test_rejects_zero_contacts(self):
+        with pytest.raises(OrbitError):
+            ContactPlan(n_satellites=1, contacts_per_day=0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(OrbitError):
+            ContactPlan(n_satellites=1, contact_duration_s=0.0)
+
+    def test_expected_contacts_between_visits(self):
+        plan = ContactPlan(n_satellites=1, contacts_per_day=7)
+        assert plan.contacts_between_visits(0, 2.0) == pytest.approx(14.0)
+        with pytest.raises(OrbitError):
+            plan.contacts_between_visits(0, -1.0)

@@ -1,0 +1,65 @@
+"""Unit tests for link budgets and bandwidth fluctuation."""
+
+import pytest
+
+from repro.errors import LinkBudgetError
+from repro.orbit.links import FluctuationModel, LinkBudget
+
+
+class TestLinkBudget:
+    def test_table1_defaults(self):
+        budget = LinkBudget()
+        assert budget.uplink_bps == 250e3
+        assert budget.downlink_bps == 200e6
+        # 250 kbps x 600 s / 8 = 18.75 MB per contact.
+        assert budget.uplink_bytes_per_contact == 18_750_000
+        assert budget.downlink_bytes_per_contact == 15_000_000_000
+
+    def test_required_downlink_bps(self):
+        budget = LinkBudget(contact_duration_s=600.0)
+        assert budget.required_downlink_bps(75_000) == pytest.approx(1000.0)
+
+    def test_required_downlink_rejects_negative(self):
+        with pytest.raises(LinkBudgetError):
+            LinkBudget().required_downlink_bps(-1)
+
+    def test_check_uplink_passes_within_capacity(self):
+        LinkBudget().check_uplink(1_000_000)
+
+    def test_check_uplink_rejects_over_capacity(self):
+        with pytest.raises(LinkBudgetError):
+            LinkBudget().check_uplink(20_000_000)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(LinkBudgetError):
+            LinkBudget(uplink_bps=0.0)
+        with pytest.raises(LinkBudgetError):
+            LinkBudget(contact_duration_s=0.0)
+
+
+class TestFluctuation:
+    def test_zero_severity_is_constant(self):
+        model = FluctuationModel(severity=0.0)
+        assert model.multiplier(0, 0) == 1.0
+        assert model.multiplier(3, 99) == 1.0
+
+    def test_deterministic(self):
+        model = FluctuationModel(seed=4, severity=0.5)
+        assert model.multiplier(1, 2) == model.multiplier(1, 2)
+
+    def test_bounded(self):
+        model = FluctuationModel(seed=4, severity=2.0, floor=0.2, ceiling=1.5)
+        for contact in range(100):
+            m = model.multiplier(0, contact)
+            assert 0.2 <= m <= 1.5
+
+    def test_varies_across_contacts(self):
+        model = FluctuationModel(seed=4, severity=0.5)
+        values = {model.multiplier(0, k) for k in range(20)}
+        assert len(values) > 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(LinkBudgetError):
+            FluctuationModel(severity=-1.0)
+        with pytest.raises(LinkBudgetError):
+            FluctuationModel(floor=2.0, ceiling=1.0)

@@ -1,0 +1,86 @@
+"""Unit tests for visit schedules."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.orbit.constellation import Constellation
+from repro.orbit.schedule import Visit, VisitSchedule
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return Constellation(n_satellites=3, seed=2).build_schedule(
+        ["alpha", "beta"], 120.0
+    )
+
+
+class TestQueries:
+    def test_visits_sorted(self, schedule):
+        for location in schedule.locations():
+            times = [v.t_days for v in schedule.visits_in(location, 0, 120)]
+            assert times == sorted(times)
+
+    def test_window_bounds(self, schedule):
+        visits = schedule.visits_in("alpha", 30.0, 60.0)
+        assert all(30.0 <= v.t_days < 60.0 for v in visits)
+
+    def test_satellite_filter(self, schedule):
+        visits = schedule.visits_in("alpha", 0, 120, satellite_id=1)
+        assert all(v.satellite_id == 1 for v in visits)
+
+    def test_unknown_location(self, schedule):
+        with pytest.raises(ScheduleError):
+            schedule.visits_in("nowhere", 0, 10)
+
+    def test_inverted_window(self, schedule):
+        with pytest.raises(ScheduleError):
+            schedule.visits_in("alpha", 10, 5)
+
+    def test_next_visit(self, schedule):
+        first = schedule.visits_in("alpha", 0, 120)[0]
+        found = schedule.next_visit("alpha", first.t_days - 0.01)
+        assert found == first
+
+    def test_next_visit_strictly_after(self, schedule):
+        first = schedule.visits_in("alpha", 0, 120)[0]
+        following = schedule.next_visit("alpha", first.t_days)
+        assert following is not None
+        assert following.t_days > first.t_days
+
+    def test_next_visit_none_past_horizon(self, schedule):
+        assert schedule.next_visit("alpha", 500.0) is None
+
+    def test_all_visits_sorted_globally(self, schedule):
+        merged = schedule.all_visits_sorted()
+        times = [v.t_days for v in merged]
+        assert times == sorted(times)
+        per_location = sum(
+            len(schedule.visits_in(loc, 0, 120 + 1))
+            for loc in schedule.locations()
+        )
+        assert len(merged) == per_location
+
+
+class TestRevisitGaps:
+    def test_constellation_gaps_tighter_than_single(self, schedule):
+        wide = schedule.revisit_gaps("alpha")
+        single = schedule.revisit_gaps("alpha", satellite_id=0)
+        assert wide.mean() < single.mean()
+
+    def test_empty_for_unseen_satellite(self, schedule):
+        gaps = schedule.revisit_gaps("alpha", satellite_id=99)
+        assert gaps.size == 0
+
+
+def test_manual_schedule_construction():
+    visits = {
+        "p": [
+            Visit(1.0, 0, "p"),
+            Visit(4.0, 1, "p"),
+            Visit(9.0, 0, "p"),
+        ]
+    }
+    schedule = VisitSchedule(visits=visits, horizon_days=10.0)
+    assert [v.t_days for v in schedule.visits_in("p", 0, 5)] == [1.0, 4.0]
+    gaps = schedule.revisit_gaps("p", satellite_id=0)
+    assert list(gaps) == [8.0]
