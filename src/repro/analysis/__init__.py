@@ -1,12 +1,22 @@
-"""Experiment harness: runners, statistics, and table formatting.
+"""Experiment harness: scenarios, runners, statistics, and formatting.
 
-:mod:`repro.analysis.experiments` holds one runner per paper figure/table
-(the benchmarks are thin wrappers over these), :mod:`repro.analysis.stats`
-the CDF/summary helpers, and :mod:`repro.analysis.tables` the plain-text
+:mod:`repro.analysis.scenarios` is the orchestration layer every
+simulation goes through (declarative :class:`ScenarioSpec`s, batch
+execution with optional process parallelism);
+:mod:`repro.analysis.experiments` holds the per-comparison runners (thin
+wrappers over scenarios), :mod:`repro.analysis.stats` the CDF/summary
+helpers, and :mod:`repro.analysis.tables` the plain-text/csv/json
 rendering used to print paper-style rows.
 """
 
 from repro.analysis.experiments import run_policy, compare_policies, PolicyComparison
+from repro.analysis.scenarios import (
+    DatasetSpec,
+    ScenarioSpec,
+    run_scenario,
+    run_scenarios,
+    sweep_specs,
+)
 from repro.analysis.stats import cdf, summarize, Summary
 from repro.analysis.tables import format_table, format_series
 
@@ -14,6 +24,11 @@ __all__ = [
     "run_policy",
     "compare_policies",
     "PolicyComparison",
+    "DatasetSpec",
+    "ScenarioSpec",
+    "run_scenario",
+    "run_scenarios",
+    "sweep_specs",
     "cdf",
     "summarize",
     "Summary",

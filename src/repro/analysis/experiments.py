@@ -1,9 +1,11 @@
 """Experiment runners: one entry point per simulation-backed comparison.
 
 :func:`run_policy` is the single place a dataset + policy + config turn into
-a :class:`~repro.core.system.RunResult`; every benchmark goes through it so
-all comparisons share detectors, codec, and scoring.  Figure-specific
-drivers (reference-age CDFs, uplink ladders, constellation sweeps) live in
+a :class:`~repro.core.accounting.RunResult`; it is a thin wrapper over the
+scenario layer (:mod:`repro.analysis.scenarios`), which every benchmark,
+figure driver and CLI command also goes through — so all comparisons share
+detectors, codec, and scoring.  Figure-specific drivers (reference-age
+CDFs, uplink ladders, constellation sweeps) live in
 :mod:`repro.analysis.figures`.
 """
 
@@ -11,18 +13,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.kodan import KodanPolicy
-from repro.baselines.naive import NaivePolicy
-from repro.baselines.satroi import SatRoIPolicy
-from repro.core.cloud import train_ground_detector, train_onboard_detector
+from repro.analysis.scenarios import (
+    POLICY_NAMES,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.core.accounting import RunResult
 from repro.core.config import EarthPlusConfig
-from repro.core.ground_segment import GroundSegment
-from repro.core.system import ConstellationSimulator, EarthPlusPolicy, RunResult
 from repro.datasets.generator import SyntheticDataset
-from repro.errors import ConfigError
 from repro.orbit.links import FluctuationModel
 
-POLICY_NAMES = ("earthplus", "kodan", "satroi", "naive")
+__all__ = [
+    "POLICY_NAMES",
+    "run_policy",
+    "PolicyComparison",
+    "compare_policies",
+]
 
 
 def run_policy(
@@ -53,48 +59,17 @@ def run_policy(
     Raises:
         ConfigError: For unknown policy names.
     """
-    if policy not in POLICY_NAMES:
-        raise ConfigError(
-            f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
+    return run_scenario(
+        ScenarioSpec(
+            policy=policy,
+            dataset=dataset,
+            config=config,
+            uplink_bytes_per_contact=uplink_bytes_per_contact,
+            fluctuation=fluctuation,
+            ground_detector_for_scoring=ground_detector_for_scoring,
+            seed=seed,
         )
-    config = config if config is not None else EarthPlusConfig()
-    bands = dataset.bands
-    image_shape = dataset.image_shape
-    cheap = train_onboard_detector(bands, tile_size=config.tile_size)
-    accurate = train_ground_detector(bands)
-    ground = GroundSegment(
-        config=config,
-        bands=bands,
-        image_shape=image_shape,
-        ground_detector=accurate if ground_detector_for_scoring else None,
-        seed=seed,
     )
-
-    def factory(satellite_id: int):
-        if policy == "earthplus":
-            return EarthPlusPolicy(config, bands, image_shape, cheap)
-        if policy == "kodan":
-            return KodanPolicy(config, bands, image_shape, accurate)
-        if policy == "satroi":
-            return SatRoIPolicy(config, bands, image_shape, cheap)
-        return NaivePolicy(config, bands, image_shape)
-
-    simulator = ConstellationSimulator(
-        sensors=dataset.sensors,
-        bands=bands,
-        schedule=dataset.schedule,
-        image_shape=image_shape,
-        config=config,
-        policy_factory=factory,
-        ground_segment=ground,
-        uplink_bytes_per_contact=(
-            uplink_bytes_per_contact
-            if uplink_bytes_per_contact is not None
-            else int(250e3 * 600 / 8)
-        ),
-        fluctuation=fluctuation,
-    )
-    return simulator.run()
 
 
 @dataclass

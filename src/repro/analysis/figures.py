@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.experiments import PolicyComparison, compare_policies, run_policy
+from repro.analysis.scenarios import DatasetSpec, ScenarioSpec, run_scenarios
 from repro.analysis.stats import cdf
 from repro.core.change_detection import detect_changes
 from repro.core.config import DovesSpec, EarthPlusConfig
@@ -224,6 +225,7 @@ def fig11_rate_distortion(
     gammas: list[float] | None = None,
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
     base_config: EarthPlusConfig | None = None,
+    max_workers: int | None = None,
 ) -> dict:
     """Downlink-bandwidth vs PSNR curves for all policies.
 
@@ -233,20 +235,28 @@ def fig11_rate_distortion(
     if gammas is None:
         gammas = [0.08, 0.2, 0.5]
     base_config = base_config if base_config is not None else EarthPlusConfig()
+    specs = [
+        ScenarioSpec(
+            policy=policy,
+            dataset=dataset,
+            config=base_config.with_overrides(gamma_bpp=gamma),
+            extras={"gamma": gamma},
+        )
+        for gamma in gammas
+        for policy in policies
+    ]
+    results = run_scenarios(specs, max_workers=max_workers)
     curves: dict[str, list[dict]] = {p: [] for p in policies}
-    for gamma in gammas:
-        config = base_config.with_overrides(gamma_bpp=gamma)
-        for policy in policies:
-            result = run_policy(dataset, policy, config)
-            curves[policy].append(
-                {
-                    "gamma": gamma,
-                    "downlink_bytes": result.downlink_bytes,
-                    "downlink_bps": result.required_downlink_bps(),
-                    "psnr": result.mean_psnr(),
-                    "downloaded_fraction": result.mean_downloaded_fraction(),
-                }
-            )
+    for spec, result in zip(specs, results):
+        curves[spec.policy].append(
+            {
+                "gamma": spec.extras["gamma"],
+                "downlink_bytes": result.downlink_bytes,
+                "downlink_bps": result.required_downlink_bps(),
+                "psnr": result.mean_psnr(),
+                "downloaded_fraction": result.mean_downloaded_fraction(),
+            }
+        )
     return {"gammas": gammas, "curves": curves}
 
 
@@ -290,12 +300,17 @@ def fig12_cdfs(
     dataset: SyntheticDataset,
     config: EarthPlusConfig | None = None,
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+    max_workers: int | None = None,
 ) -> dict:
     """Per-image downloaded-fraction and PSNR distributions per policy."""
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    specs = [
+        ScenarioSpec(policy=policy, dataset=dataset, config=config)
+        for policy in policies
+    ]
+    results = run_scenarios(specs, max_workers=max_workers)
     out: dict[str, dict] = {}
-    for policy in policies:
-        result = run_policy(dataset, policy, config)
+    for policy, result in zip(policies, results):
         fractions = [r.downloaded_fraction for r in result.delivered()]
         psnrs = [r.psnr for r in result.delivered() if np.isfinite(r.psnr)]
         out[policy] = {
@@ -318,12 +333,17 @@ def fig13_timeseries(
     location: str,
     config: EarthPlusConfig | None = None,
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
+    max_workers: int | None = None,
 ) -> dict:
     """Downloaded fraction and PSNR over time at one location."""
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
+    specs = [
+        ScenarioSpec(policy=policy, dataset=dataset, config=config)
+        for policy in policies
+    ]
+    results = run_scenarios(specs, max_workers=max_workers)
     out: dict[str, list[dict]] = {}
-    for policy in policies:
-        result = run_policy(dataset, policy, config)
+    for policy, result in zip(policies, results):
         out[policy] = [
             {
                 "t_days": r.t_days,
@@ -347,6 +367,7 @@ def fig14_locations_bands(
     config: EarthPlusConfig | None = None,
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
     seed: int = 20,
+    max_workers: int | None = None,
 ) -> dict:
     """Downlink saving grouped by location and by band (Sentinel-2-like).
 
@@ -354,14 +375,20 @@ def fig14_locations_bands(
     weak spots) and on all 13 bands (air bands least).
     """
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
-    dataset = sentinel2_dataset(
+    dataset_spec = DatasetSpec.of(
+        "sentinel2",
         locations=locations,
         bands=bands,
         image_shape=image_shape,
         horizon_days=horizon_days,
         seed=seed,
     )
-    results = {p: run_policy(dataset, p, config) for p in policies}
+    specs = [
+        ScenarioSpec(policy=p, dataset=dataset_spec, config=config)
+        for p in policies
+    ]
+    run_results = run_scenarios(specs, max_workers=max_workers)
+    results = dict(zip(policies, run_results))
     earth = results["earthplus"]
     baselines = {p: r for p, r in results.items() if p != "earthplus"}
 
@@ -475,6 +502,7 @@ def fig17_uplink_ladder(
     dataset: SyntheticDataset | None = None,
     config: EarthPlusConfig | None = None,
     spec: DovesSpec | None = None,
+    max_workers: int | None = None,
 ) -> dict:
     """Reference compression achieved by each §4.3 technique.
 
@@ -484,19 +512,34 @@ def fig17_uplink_ladder(
     config = config if config is not None else EarthPlusConfig()
     spec = spec if spec is not None else DovesSpec()
     if dataset is None:
-        dataset = sentinel2_dataset(
+        dataset = DatasetSpec.of(
+            "sentinel2",
             locations=["A"],
             bands=["B4", "B11"],
             horizon_days=180.0,
             image_shape=(256, 256),
         )
     # Measure the steady-state per-update uplink bytes with and without
-    # delta encoding (cold-start full uploads are tracked separately).
-    result_delta = run_policy(dataset, "earthplus", config)
+    # delta encoding (cold-start full uploads are tracked separately) —
+    # a two-arm ablation batch over one shared dataset.
     no_delta = config.with_overrides(
         delta_reference_updates=False, cache_references_onboard=True
     )
-    result_full = run_policy(dataset, "earthplus", no_delta)
+    result_delta, result_full = run_scenarios(
+        [
+            ScenarioSpec(
+                policy="earthplus", dataset=dataset, config=config,
+                label="delta-updates",
+            ),
+            ScenarioSpec(
+                policy="earthplus", dataset=dataset, config=no_delta,
+                label="full-updates",
+            ),
+        ],
+        max_workers=max_workers,
+    )
+    if isinstance(dataset, DatasetSpec):
+        dataset = dataset.build()
     height, width = dataset.image_shape
     raw_ref_bytes = height * width * config.raw_bytes_per_pixel
 
@@ -555,14 +598,24 @@ def fig18_uplink_sweep(
     dataset: SyntheticDataset,
     uplink_bytes_options: list[int],
     config: EarthPlusConfig | None = None,
+    max_workers: int | None = None,
 ) -> dict:
     """Earth+ downlink demand as the per-contact uplink budget grows."""
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
-    rows = []
-    for budget in uplink_bytes_options:
-        result = run_policy(
-            dataset, "earthplus", config, uplink_bytes_per_contact=budget
+    specs = [
+        ScenarioSpec(
+            policy="earthplus",
+            dataset=dataset,
+            config=config,
+            uplink_bytes_per_contact=budget,
+            extras={"budget": budget},
         )
+        for budget in uplink_bytes_options
+    ]
+    results = run_scenarios(specs, max_workers=max_workers)
+    rows = []
+    for spec_item, result in zip(specs, results):
+        budget = spec_item.extras["budget"]
         rows.append(
             {
                 "uplink_bytes_per_contact": budget,
@@ -585,26 +638,37 @@ def fig19_constellation_size(
     horizon_days: float = 60.0,
     config: EarthPlusConfig | None = None,
     seed: int = 19,
+    max_workers: int | None = None,
 ) -> dict:
     """Compression ratio (1 / mean downloaded area) vs constellation size.
 
     Mirrors the paper's thumbnail-based estimate: compression ratio is the
     reciprocal of the average downloaded-tile fraction; "download
     everything" anchors at 1x.  The paper sees 3x -> 10x from 1 to 16
-    satellites.
+    satellites.  Each constellation size is an independent scenario, so
+    the sweep parallelizes across worker processes.
     """
     if sizes is None:
         sizes = [1, 2, 4, 8, 16]
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
-    rows = [{"satellites": 0, "policy": "naive", "compression_ratio": 1.0}]
-    for size in sizes:
-        dataset = planet_dataset(
-            n_satellites=size,
-            image_shape=image_shape,
-            horizon_days=horizon_days,
-            seed=seed,
+    specs = [
+        ScenarioSpec(
+            policy="earthplus",
+            dataset=DatasetSpec.of(
+                "planet",
+                n_satellites=size,
+                image_shape=image_shape,
+                horizon_days=horizon_days,
+                seed=seed,
+            ),
+            config=config,
+            extras={"satellites": size},
         )
-        result = run_policy(dataset, "earthplus", config)
+        for size in sizes
+    ]
+    results = run_scenarios(specs, max_workers=max_workers)
+    rows = [{"satellites": 0, "policy": "naive", "compression_ratio": 1.0}]
+    for size, result in zip(sizes, results):
         fraction = result.mean_downloaded_fraction()
         n_delivered = len(result.delivered())
         rows.append(

@@ -1,0 +1,295 @@
+"""Scenario orchestration: declarative simulation specs + batch execution.
+
+A :class:`ScenarioSpec` names everything one simulation run needs — dataset,
+policy, config, uplink budget, fluctuation, seed — as plain picklable data.
+:func:`run_scenario` turns one spec into a
+:class:`~repro.core.accounting.RunResult`; :func:`run_scenarios` executes a
+batch, optionally across worker processes.  Every experiment driver (the
+figure sweeps, the CLI, ad-hoc notebooks) goes through this one path, so
+all comparisons share detectors, codec, and scoring.
+
+Determinism is the contract: a scenario's result depends only on its spec,
+never on which worker ran it or what ran before — datasets are rebuilt from
+their specs inside workers, detector training is seeded and memoized, and
+the ground segment's RNG streams are derived from the spec's seed.  A
+process-parallel batch is therefore byte-identical to running the same
+specs sequentially.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.baselines.kodan import KodanPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.satroi import SatRoIPolicy
+from repro.core.accounting import RunResult
+from repro.core.cloud import train_ground_detector, train_onboard_detector
+from repro.core.config import EarthPlusConfig
+from repro.core.ground_segment import GroundSegment
+from repro.core.system import ConstellationSimulator, EarthPlusPolicy
+from repro.datasets.generator import SyntheticDataset
+from repro.datasets.planet import planet_dataset
+from repro.datasets.sentinel2 import sentinel2_dataset
+from repro.errors import ConfigError
+from repro.orbit.links import FluctuationModel
+
+POLICY_NAMES = ("earthplus", "kodan", "satroi", "naive")
+
+#: Dataset builders a :class:`DatasetSpec` may name.
+DATASET_BUILDERS = {
+    "sentinel2": sentinel2_dataset,
+    "planet": planet_dataset,
+}
+
+#: Built datasets memoized per process, keyed by canonical spec.  Bounded:
+#: sweeps over many distinct specs (e.g. constellation sizes) would
+#: otherwise grow resident memory without limit in long-lived processes.
+_DATASET_CACHE: dict[tuple, SyntheticDataset] = {}
+_DATASET_CACHE_MAX = 8
+
+
+def _canonical(value):
+    """Recursively convert lists/dicts to hashable tuples for cache keys."""
+    if isinstance(value, dict):
+        return tuple(
+            (k, _canonical(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset named by builder + keyword arguments, built on demand.
+
+    Rebuilding from the spec (rather than shipping a built dataset) is what
+    lets scenario batches run in worker processes while staying
+    deterministic; construction is memoized per process.
+
+    Attributes:
+        kind: Builder name (a key of :data:`DATASET_BUILDERS`).
+        params: Canonicalized keyword arguments for the builder.
+    """
+
+    kind: str
+    params: tuple = ()
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "DatasetSpec":
+        """Build a spec from plain keyword arguments."""
+        if kind not in DATASET_BUILDERS:
+            raise ConfigError(
+                f"unknown dataset kind {kind!r}; "
+                f"expected one of {tuple(DATASET_BUILDERS)}"
+            )
+        return cls(kind=kind, params=_canonical(params))
+
+    def build(self) -> SyntheticDataset:
+        """The described dataset (memoized per process)."""
+        key = (self.kind, self.params)
+        dataset = _DATASET_CACHE.get(key)
+        if dataset is None:
+            kwargs = {
+                name: list(value) if isinstance(value, tuple) else value
+                for name, value in self.params
+            }
+            # Image shapes arrive as tuples and must stay tuples.
+            if "image_shape" in kwargs:
+                kwargs["image_shape"] = tuple(kwargs["image_shape"])
+            dataset = DATASET_BUILDERS[self.kind](**kwargs)
+            while len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+                _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+            _DATASET_CACHE[key] = dataset
+        return dataset
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything one simulation run needs, as plain data.
+
+    Attributes:
+        policy: One of :data:`POLICY_NAMES`.
+        dataset: A :class:`DatasetSpec` (preferred: rebuildable in worker
+            processes) or an already-built dataset.
+        config: Earth+ tunables (None = defaults; shared knobs also steer
+            baselines).
+        uplink_bytes_per_contact: Override the Table-1 default uplink
+            capacity (only Earth+ uses the uplink).
+        fluctuation: Optional per-contact bandwidth fluctuation model.
+        ground_detector_for_scoring: Whether the ground re-screens
+            downloads with the accurate detector before mosaic ingest.
+        seed: Ground-segment seed (random update skipping).
+        label: Optional display name for tables and sweep output.
+        extras: Free-form annotations carried through to sweep rows
+            (e.g. the swept parameter value).
+    """
+
+    policy: str
+    dataset: DatasetSpec | SyntheticDataset
+    config: EarthPlusConfig | None = None
+    uplink_bytes_per_contact: int | None = None
+    fluctuation: FluctuationModel | None = None
+    ground_detector_for_scoring: bool = True
+    seed: int = 0
+    label: str | None = None
+    extras: dict = field(default_factory=dict)
+
+    def resolved_label(self) -> str:
+        """The display label (defaults to ``policy/seed<seed>``)."""
+        return self.label if self.label else f"{self.policy}/seed{self.seed}"
+
+
+def build_policy_factory(
+    policy: str,
+    config: EarthPlusConfig,
+    bands,
+    image_shape: tuple[int, int],
+):
+    """Per-satellite policy factory for one named policy.
+
+    The cheap on-board and accurate ground detectors are trained (memoized)
+    here so every scenario shares identical detector state.
+    """
+    if policy not in POLICY_NAMES:
+        raise ConfigError(
+            f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
+        )
+    cheap = train_onboard_detector(bands, tile_size=config.tile_size)
+    accurate = train_ground_detector(bands)
+
+    def factory(satellite_id: int):
+        if policy == "earthplus":
+            return EarthPlusPolicy(config, bands, image_shape, cheap)
+        if policy == "kodan":
+            return KodanPolicy(config, bands, image_shape, accurate)
+        if policy == "satroi":
+            return SatRoIPolicy(config, bands, image_shape, cheap)
+        return NaivePolicy(config, bands, image_shape)
+
+    return factory
+
+
+def run_scenario(spec: ScenarioSpec) -> RunResult:
+    """Execute one scenario and return its aggregated result.
+
+    Args:
+        spec: The scenario description.
+
+    Returns:
+        The run's :class:`RunResult`.
+
+    Raises:
+        ConfigError: For unknown policy or dataset names.
+    """
+    dataset = (
+        spec.dataset.build()
+        if isinstance(spec.dataset, DatasetSpec)
+        else spec.dataset
+    )
+    config = spec.config if spec.config is not None else EarthPlusConfig()
+    factory = build_policy_factory(
+        spec.policy, config, dataset.bands, dataset.image_shape
+    )
+    ground = GroundSegment(
+        config=config,
+        bands=dataset.bands,
+        image_shape=dataset.image_shape,
+        ground_detector=(
+            train_ground_detector(dataset.bands)
+            if spec.ground_detector_for_scoring
+            else None
+        ),
+        seed=spec.seed,
+    )
+    simulator = ConstellationSimulator(
+        sensors=dataset.sensors,
+        bands=dataset.bands,
+        schedule=dataset.schedule,
+        image_shape=dataset.image_shape,
+        config=config,
+        policy_factory=factory,
+        ground_segment=ground,
+        uplink_bytes_per_contact=(
+            spec.uplink_bytes_per_contact
+            if spec.uplink_bytes_per_contact is not None
+            else int(250e3 * 600 / 8)
+        ),
+        fluctuation=spec.fluctuation,
+    )
+    return simulator.run()
+
+
+def run_scenarios(
+    specs: Sequence[ScenarioSpec],
+    max_workers: int | None = None,
+) -> list[RunResult]:
+    """Execute a batch of scenarios, optionally process-parallel.
+
+    Results are returned in spec order and are byte-identical to running
+    :func:`run_scenario` on each spec sequentially — workers rebuild
+    datasets and detectors deterministically from the specs.
+
+    Args:
+        specs: The scenarios to run.
+        max_workers: None or 1 runs in-process; >= 2 fans the batch out
+            over that many worker processes.
+
+    Returns:
+        One :class:`RunResult` per spec, in order.
+    """
+    specs = list(specs)
+    if max_workers is not None and max_workers < 1:
+        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    if max_workers is None or max_workers == 1 or len(specs) <= 1:
+        return [run_scenario(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(run_scenario, specs))
+
+
+def sweep_specs(
+    dataset: DatasetSpec | SyntheticDataset,
+    policies: Iterable[str] = ("earthplus",),
+    seeds: Iterable[int] = (0,),
+    gammas: Iterable[float] | None = None,
+    base_config: EarthPlusConfig | None = None,
+    uplink_bytes_per_contact: int | None = None,
+    fluctuation: FluctuationModel | None = None,
+) -> list[ScenarioSpec]:
+    """The policies x seeds x gammas cross-product as scenario specs.
+
+    Args:
+        dataset: Dataset (spec or built) every scenario shares.
+        policies: Policy names to sweep.
+        seeds: Ground-segment seeds to sweep.
+        gammas: Bits-per-pixel settings to sweep (None = the base config's).
+        base_config: Config the gamma overrides apply to.
+        uplink_bytes_per_contact: Optional shared uplink override.
+        fluctuation: Optional shared fluctuation model.
+
+    Returns:
+        Labelled specs in (gamma, policy, seed) order.
+    """
+    base = base_config if base_config is not None else EarthPlusConfig()
+    gamma_list = list(gammas) if gammas is not None else [base.gamma_bpp]
+    specs = []
+    for gamma in gamma_list:
+        config = base.with_overrides(gamma_bpp=gamma)
+        for policy in policies:
+            for seed in seeds:
+                specs.append(
+                    ScenarioSpec(
+                        policy=policy,
+                        dataset=dataset,
+                        config=config,
+                        uplink_bytes_per_contact=uplink_bytes_per_contact,
+                        fluctuation=fluctuation,
+                        seed=seed,
+                        label=f"{policy}/g{gamma:g}/s{seed}",
+                        extras={"gamma": gamma, "seed": seed},
+                    )
+                )
+    return specs

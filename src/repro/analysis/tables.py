@@ -2,11 +2,17 @@
 
 Every benchmark regenerates its figure/table as text rows via these helpers,
 so the numbers land in ``bench_output.txt`` in a stable, diffable format.
+:func:`format_rows` additionally renders row dicts as csv or json for the
+CLI's machine-readable output modes.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import csv
+import io
+import json
+import math
+from typing import Any, Sequence
 
 
 def format_table(
@@ -47,6 +53,55 @@ def format_table(
             "  ".join(value.ljust(w) for value, w in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def format_rows(
+    columns: Sequence[str],
+    rows: Sequence[dict[str, Any]],
+    fmt: str = "table",
+    title: str | None = None,
+) -> str:
+    """Render row dicts in the requested format (table, csv, or json).
+
+    Args:
+        columns: Column names in display order (missing keys render
+            empty).
+        rows: One dict per row.
+        fmt: ``"table"`` (aligned monospace), ``"csv"``, or ``"json"``.
+        title: Optional title (table output only).
+
+    Returns:
+        The formatted string.
+
+    Raises:
+        ValueError: For an unknown format name.
+    """
+    if fmt == "table":
+        return format_table(
+            list(columns),
+            [[row.get(c, "") for c in columns] for row in rows],
+            title=title,
+        )
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([row.get(c, "") for c in columns])
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "json":
+        return json.dumps(
+            [{c: _json_safe(row.get(c)) for c in columns} for row in rows],
+            indent=2,
+        )
+    raise ValueError(f"unknown format {fmt!r}; expected table, csv, or json")
+
+
+def _json_safe(value: Any) -> Any:
+    """Map non-finite floats to None so output stays strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
 
 
 def format_series(

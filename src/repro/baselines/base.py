@@ -10,20 +10,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.codec.jpeg2000 import CodecConfig
-from repro.codec.ratemodel import RateModel
 from repro.core.config import EarthPlusConfig
-from repro.core.encoder import BandEncodeResult, CaptureEncodeResult
+from repro.core.encoder import (
+    ALIGNMENT_BYTES as _ALIGNMENT_BYTES,
+    BandEncodeResult,
+    CaptureEncodeResult,
+    RoiRateController,
+)
 from repro.core.tiles import TileGrid
 from repro.imagery.bands import Band
 from repro.imagery.sensor import Capture
 
-#: Bytes for per-band alignment metadata, matching the Earth+ encoder.
-_ALIGNMENT_BYTES = 8
-
 
 class BaselinePolicy:
     """Base class: ROI encoding at gamma bpp over a chosen tile mask.
+
+    Baselines never receive uplinked reference updates
+    (``uses_uplink = False``), so the simulator's uplink phase skips them
+    entirely — they do not implement
+    :class:`~repro.core.phases.UplinkReceiver`.
 
     Args:
         config: Shared tunables (tile size, gamma, drop threshold).
@@ -44,16 +49,9 @@ class BaselinePolicy:
         self.bands = bands
         self.image_shape = image_shape
         self.grid = TileGrid(image_shape, config.tile_size)
-        codec_config = CodecConfig(tile_size=config.tile_size)
-        if config.codec_backend == "real":
-            from repro.codec.adapter import RealCodecAdapter
-
-            self.rate_model = RealCodecAdapter(
-                codec_config, n_layers=config.n_quality_layers
-            )
-        else:
-            self.rate_model = RateModel(codec_config)
-        self._last_step: dict[tuple[str, str], float] = {}
+        # Same warm-started rate search as the Earth+ encoder, so every
+        # policy hits identical rate operating points.
+        self.rate = RoiRateController(config)
 
     def reference_storage_bytes(self) -> int:
         """Baselines keep no reference imagery unless they override this."""
@@ -92,18 +90,9 @@ class BaselinePolicy:
             (self.grid.tile_pixel_counts() * download.astype(np.int64)).sum()
         )
         target_bytes = max(64, int(self.config.gamma_bpp * roi_pixels / 8.0))
-        key = (capture.location, band.name)
-        warm = self._last_step.get(key)
-        result = None
-        if warm is not None:
-            candidate = self.rate_model.encode(image, warm, download)
-            if 0.9 * target_bytes <= candidate.coded_bytes <= target_bytes:
-                result = candidate
-        if result is None:
-            result = self.rate_model.find_step_for_bytes(
-                image, target_bytes, download, tolerance=0.08, max_iterations=14
-            )
-            self._last_step[key] = result.base_step
+        result = self.rate.encode_roi(
+            (capture.location, band.name), image, download, target_bytes
+        )
         return BandEncodeResult(
             band=band.name,
             downloaded_tiles=download,

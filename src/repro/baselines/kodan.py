@@ -30,6 +30,8 @@ class KodanPolicy(BaselinePolicy):
         cloud_detector: The *accurate* detector (Kodan spends compute here).
     """
 
+    name = "kodan"
+
     def __init__(
         self,
         config: EarthPlusConfig,
@@ -38,7 +40,6 @@ class KodanPolicy(BaselinePolicy):
         cloud_detector: CloudDetector,
     ) -> None:
         super().__init__(config, bands, image_shape)
-        self.name = "kodan"
         self.cloud_detector = cloud_detector
 
     def process(

@@ -17,9 +17,7 @@ from repro.imagery.sensor import Capture
 class NaivePolicy(BaselinePolicy):
     """Encode and download every tile of every capture."""
 
-    def __init__(self, config, bands, image_shape) -> None:
-        super().__init__(config, bands, image_shape)
-        self.name = "naive"
+    name = "naive"
 
     def process(
         self, capture: Capture, guaranteed_due: bool = False

@@ -36,6 +36,8 @@ class SatRoIPolicy(BaselinePolicy):
             fixed reference.
     """
 
+    name = "satroi"
+
     def __init__(
         self,
         config: EarthPlusConfig,
@@ -45,7 +47,6 @@ class SatRoIPolicy(BaselinePolicy):
         reference_max_cloud: float = 0.05,
     ) -> None:
         super().__init__(config, bands, image_shape)
-        self.name = "satroi"
         self.cloud_detector = cloud_detector
         self.reference_max_cloud = reference_max_cloud
         # (location, band) -> fixed full-resolution reference image.

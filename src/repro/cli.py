@@ -2,13 +2,18 @@
 
 Usage::
 
+    python -m repro simulate --dataset sentinel2 --policy earthplus --gamma 0.3
+    python -m repro sweep --policies earthplus,kodan --seeds 0,1 --workers 4
     python -m repro run --dataset sentinel2 --policy earthplus --gamma 0.3
     python -m repro compare --dataset planet --satellites 16
     python -m repro calibrate --band B4
     python -m repro specs
 
-Every command prints plain-text tables (and CD/series plots where useful);
-all options have small laptop-friendly defaults.
+``simulate`` and ``sweep`` are the scenario-layer interface: every run is a
+declarative :class:`~repro.analysis.scenarios.ScenarioSpec`, sweeps fan the
+cross-product out over worker processes, and results print as an aligned
+table, csv, or json (``--format``).  All options have small laptop-friendly
+defaults.
 """
 
 from __future__ import annotations
@@ -17,7 +22,14 @@ import argparse
 import sys
 
 from repro.analysis.experiments import POLICY_NAMES, run_policy
-from repro.analysis.tables import format_table
+from repro.analysis.scenarios import (
+    DatasetSpec,
+    ScenarioSpec,
+    run_scenario,
+    run_scenarios,
+    sweep_specs,
+)
+from repro.analysis.tables import format_rows, format_table
 from repro.core.config import EarthPlusConfig
 from repro.datasets.planet import planet_dataset
 from repro.datasets.sentinel2 import SENTINEL2_LOCATIONS, sentinel2_dataset
@@ -75,6 +87,28 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _build_dataset_spec(args: argparse.Namespace) -> DatasetSpec:
+    """The declarative twin of :func:`_build_dataset` (picklable)."""
+    if args.dataset == "sentinel2":
+        locations = (
+            args.locations.split(",") if args.locations else ["A", "B"]
+        )
+        bands = args.bands.split(",") if args.bands else ["B4", "B11"]
+        return DatasetSpec.of(
+            "sentinel2",
+            locations=locations,
+            bands=bands,
+            horizon_days=args.days,
+            image_shape=(args.size, args.size),
+        )
+    return DatasetSpec.of(
+        "planet",
+        n_satellites=args.satellites,
+        horizon_days=args.days,
+        image_shape=(args.size, args.size),
+    )
+
+
 def _result_row(policy: str, result) -> list:
     return [
         policy,
@@ -90,6 +124,99 @@ _RESULT_HEADERS = [
     "policy", "downlink KB", "PSNR dB", "tiles downloaded",
     "uplink KB", "delivered",
 ]
+
+
+_SCENARIO_COLUMNS = [
+    "scenario", "policy", "gamma", "seed", "downlink_kb", "psnr_db",
+    "downloaded_fraction", "uplink_kb", "delivered", "records",
+]
+
+
+def _scenario_dict(spec: ScenarioSpec, result) -> dict:
+    """One sweep/simulate output row (plain data for any format)."""
+    return {
+        "scenario": spec.resolved_label(),
+        "policy": spec.policy,
+        "gamma": spec.extras.get(
+            "gamma",
+            (spec.config.gamma_bpp if spec.config is not None else None),
+        ),
+        "seed": spec.seed,
+        "downlink_kb": round(result.downlink_bytes / 1e3, 3),
+        "psnr_db": round(result.mean_psnr(), 2),
+        "downloaded_fraction": round(result.mean_downloaded_fraction(), 4),
+        "uplink_kb": round(result.uplink_bytes / 1e3, 3),
+        "delivered": len(result.delivered()),
+        "records": len(result.records),
+    }
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one declarative scenario and print it in the chosen format."""
+    spec = ScenarioSpec(
+        policy=args.policy,
+        dataset=_build_dataset_spec(args),
+        config=EarthPlusConfig(gamma_bpp=args.gamma, codec_backend=args.codec),
+        uplink_bytes_per_contact=args.uplink_bytes,
+        seed=args.seed,
+    )
+    result = run_scenario(spec)
+    print(
+        format_rows(
+            _SCENARIO_COLUMNS,
+            [_scenario_dict(spec, result)],
+            fmt=args.format,
+            title=f"{args.policy} on {args.dataset} ({args.days:.0f} days)",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a policies x seeds x gammas sweep, optionally in parallel."""
+    policies = args.policies.split(",")
+    for policy in policies:
+        if policy not in POLICY_NAMES:
+            raise SystemExit(
+                f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
+            )
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    try:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    except ValueError:
+        raise SystemExit(f"--seeds must be comma-separated integers, got {args.seeds!r}")
+    if args.gammas is None:
+        gammas = [args.gamma]
+    else:
+        try:
+            gammas = [float(g) for g in args.gammas.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"--gammas must be comma-separated numbers, got {args.gammas!r}"
+            )
+    specs = sweep_specs(
+        dataset=_build_dataset_spec(args),
+        policies=policies,
+        seeds=seeds,
+        gammas=gammas,
+        base_config=EarthPlusConfig(codec_backend=args.codec),
+        uplink_bytes_per_contact=args.uplink_bytes,
+    )
+    results = run_scenarios(specs, max_workers=args.workers)
+    print(
+        format_rows(
+            _SCENARIO_COLUMNS,
+            [_scenario_dict(s, r) for s, r in zip(specs, results)],
+            fmt=args.format,
+            title=(
+                f"sweep on {args.dataset}: {len(specs)} scenarios "
+                f"({len(policies)} policies x {len(seeds)} seeds x "
+                f"{len(gammas)} gammas)"
+            ),
+        )
+    )
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -173,6 +300,55 @@ def build_parser() -> argparse.ArgumentParser:
         description="Earth+ reproduction: simulations and experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate_parser = sub.add_parser(
+        "simulate", help="run one scenario through the scenario layer"
+    )
+    _add_dataset_args(simulate_parser)
+    simulate_parser.add_argument(
+        "--policy", choices=POLICY_NAMES, default="earthplus"
+    )
+    simulate_parser.add_argument(
+        "--seed", type=int, default=0, help="ground-segment seed"
+    )
+    simulate_parser.add_argument(
+        "--uplink-bytes", type=int, default=None,
+        help="uplink bytes per contact (default: Table-1 capacity)",
+    )
+    simulate_parser.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format",
+    )
+    simulate_parser.set_defaults(func=cmd_simulate)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a policies x seeds x gammas scenario batch"
+    )
+    _add_dataset_args(sweep_parser)
+    sweep_parser.add_argument(
+        "--policies", default="earthplus,kodan,satroi",
+        help="comma-separated policy names",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="0", help="comma-separated ground-segment seeds"
+    )
+    sweep_parser.add_argument(
+        "--gammas", default=None,
+        help="comma-separated bits-per-pixel settings (default: --gamma)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: run in-process)",
+    )
+    sweep_parser.add_argument(
+        "--uplink-bytes", type=int, default=None,
+        help="uplink bytes per contact (default: Table-1 capacity)",
+    )
+    sweep_parser.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     run_parser = sub.add_parser("run", help="simulate one policy")
     _add_dataset_args(run_parser)

@@ -17,7 +17,11 @@ This package is the paper's contribution itself, layered over the substrates:
   dropping, alignment, detection, ROI encoding, guaranteed download);
 * :mod:`repro.core.ground_segment` — the ground-station side (accurate cloud
   re-detection, mosaic maintenance, reference selection and upload planning);
-* :mod:`repro.core.system` — the end-to-end constellation simulator that
+* :mod:`repro.core.phases` — the event-phase simulation kernel (uplink,
+  capture, ingest phases over explicit per-satellite state);
+* :mod:`repro.core.accounting` — streaming metrics accumulation into the
+  :class:`RunResult` every experiment consumes;
+* :mod:`repro.core.system` — the thin end-to-end constellation driver that
   produces every number in EXPERIMENTS.md;
 * :mod:`repro.core.compute` — the runtime cost model behind Figure 16.
 """
@@ -43,9 +47,29 @@ from repro.core.reference import (
     downsample_image,
     upsample_image,
 )
-from repro.core.encoder import EarthPlusEncoder, BandEncodeResult, CaptureEncodeResult
-from repro.core.ground_segment import GroundSegment
-from repro.core.system import ConstellationSimulator, RunResult, CaptureRecord
+from repro.core.encoder import (
+    EarthPlusEncoder,
+    BandEncodeResult,
+    CaptureEncodeResult,
+    RoiRateController,
+)
+from repro.core.ground_segment import GroundSegment, UplinkStats
+from repro.core.accounting import (
+    MetricCollector,
+    MetricsAccumulator,
+    RunResult,
+    CaptureRecord,
+)
+from repro.core.phases import (
+    CapturePhase,
+    CompressionPolicy,
+    IngestPhase,
+    SatelliteState,
+    UplinkPhase,
+    UplinkReceiver,
+    VisitEvent,
+)
+from repro.core.system import ConstellationSimulator, EarthPlusPolicy
 from repro.core.compute import RuntimeCostModel, StageTiming
 
 __all__ = [
@@ -68,8 +92,20 @@ __all__ = [
     "EarthPlusEncoder",
     "BandEncodeResult",
     "CaptureEncodeResult",
+    "RoiRateController",
     "GroundSegment",
+    "UplinkStats",
+    "MetricCollector",
+    "MetricsAccumulator",
+    "CapturePhase",
+    "CompressionPolicy",
+    "IngestPhase",
+    "SatelliteState",
+    "UplinkPhase",
+    "UplinkReceiver",
+    "VisitEvent",
     "ConstellationSimulator",
+    "EarthPlusPolicy",
     "RunResult",
     "CaptureRecord",
     "RuntimeCostModel",

@@ -1,0 +1,267 @@
+"""Streaming run accounting: per-visit records and aggregate results.
+
+The :class:`MetricsAccumulator` observes every completed
+:class:`~repro.core.phases.VisitEvent` as the kernel emits it and folds it
+into running totals — no loop-local counters.  At the end of the schedule
+:meth:`MetricsAccumulator.finalize` produces the :class:`RunResult` every
+experiment consumes.
+
+New metrics are pluggable: anything implementing :class:`MetricCollector`
+can ride along in the same pass over events, and its value lands in
+``RunResult.extra_metrics`` without touching the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+import numpy as np
+
+from repro.codec.metrics import weighted_mean_psnr
+
+if TYPE_CHECKING:
+    from repro.core.phases import VisitEvent
+
+
+@dataclass
+class CaptureRecord:
+    """Everything remembered about one processed visit.
+
+    Attributes:
+        location: Location name.
+        satellite_id: Observing satellite.
+        t_days: Capture time.
+        dropped: Capture discarded for cloud.
+        guaranteed: Was a guaranteed full download.
+        cloud_coverage: On-board detected cloud fraction.
+        psnr: Ground-side reconstruction PSNR (NaN when dropped).
+        downloaded_fraction: Mean downloaded-tile fraction over bands.
+        bytes_downlinked: Total downlink bytes.
+        band_bytes: Per-band downlink bytes.
+        band_psnr: Per-band coded-tile PSNR.
+        changed_fraction: Mean detector changed fraction over bands.
+    """
+
+    location: str
+    satellite_id: int
+    t_days: float
+    dropped: bool
+    guaranteed: bool
+    cloud_coverage: float
+    psnr: float
+    downloaded_fraction: float
+    bytes_downlinked: int
+    band_bytes: dict[str, int] = field(default_factory=dict)
+    band_psnr: dict[str, float] = field(default_factory=dict)
+    changed_fraction: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of one simulation run.
+
+    Attributes:
+        policy: Policy name.
+        records: Per-visit records in time order.
+        downlink_bytes: Total bytes moved down.
+        uplink_bytes: Total bytes moved up (reference updates).
+        updates_skipped: Reference updates skipped for lack of uplink.
+        horizon_days: Simulated duration.
+        contacts_per_day: Ground contacts per satellite per day.
+        contact_duration_s: Seconds per contact.
+        reference_storage_bytes: Peak per-satellite reference storage.
+        captured_storage_bytes: Peak per-capture encoded bytes held.
+        uplink_stats: Update-level uplink accounting: counts and bytes of
+            full vs delta reference updates.
+        extra_metrics: Values of plugged-in :class:`MetricCollector`s,
+            keyed by collector name.
+    """
+
+    policy: str
+    records: list[CaptureRecord]
+    downlink_bytes: int
+    uplink_bytes: int
+    updates_skipped: int
+    horizon_days: float
+    contacts_per_day: int
+    contact_duration_s: float
+    reference_storage_bytes: int
+    captured_storage_bytes: int
+    uplink_stats: dict[str, int] = field(default_factory=dict)
+    extra_metrics: dict[str, object] = field(default_factory=dict)
+
+    def delivered(self) -> list[CaptureRecord]:
+        """Records of captures that were actually downlinked."""
+        return [r for r in self.records if not r.dropped]
+
+    def mean_psnr(self) -> float:
+        """Pooled (MSE-domain) PSNR over delivered captures."""
+        values = [r.psnr for r in self.delivered() if np.isfinite(r.psnr)]
+        if not values:
+            return float("inf")
+        return weighted_mean_psnr(values)
+
+    def mean_downloaded_fraction(self) -> float:
+        """Mean downloaded-tile fraction over delivered captures."""
+        values = [r.downloaded_fraction for r in self.delivered()]
+        return float(np.mean(values)) if values else 0.0
+
+    def required_downlink_bps(self) -> float:
+        """Average downlink bandwidth demand (the paper's §6.1 metric).
+
+        Total downlinked bytes divided by total contact seconds over the
+        horizon, i.e. the sustained rate the constellation must provision.
+        """
+        contact_seconds = (
+            self.horizon_days * self.contacts_per_day * self.contact_duration_s
+        )
+        if contact_seconds <= 0:
+            return 0.0
+        return self.downlink_bytes * 8.0 / contact_seconds
+
+    def per_band_bytes(self) -> dict[str, int]:
+        """Downlink bytes per band across the run."""
+        totals: dict[str, int] = {}
+        for record in self.records:
+            for band, nbytes in record.band_bytes.items():
+                totals[band] = totals.get(band, 0) + nbytes
+        return totals
+
+    def per_location_bytes(self) -> dict[str, int]:
+        """Downlink bytes per location across the run."""
+        totals: dict[str, int] = {}
+        for record in self.records:
+            totals[record.location] = (
+                totals.get(record.location, 0) + record.bytes_downlinked
+            )
+        return totals
+
+    def per_location_psnr(self) -> dict[str, float]:
+        """Pooled PSNR per location."""
+        groups: dict[str, list[float]] = {}
+        for record in self.delivered():
+            if np.isfinite(record.psnr):
+                groups.setdefault(record.location, []).append(record.psnr)
+        return {
+            loc: weighted_mean_psnr(values) for loc, values in groups.items()
+        }
+
+    def timeseries(self, location: str) -> list[CaptureRecord]:
+        """Delivered records for one location, in time order."""
+        return [r for r in self.delivered() if r.location == location]
+
+
+class MetricCollector(Protocol):
+    """A pluggable metric fed every visit event alongside the core totals."""
+
+    name: str
+
+    def observe(self, event: "VisitEvent") -> None:
+        """Fold one completed visit into the metric."""
+        ...
+
+    def value(self) -> object:
+        """The metric's final value (lands in ``RunResult.extra_metrics``)."""
+        ...
+
+
+class MetricsAccumulator:
+    """Streaming aggregation of visit events into a :class:`RunResult`.
+
+    Args:
+        contacts_per_day: Ground contacts per satellite per day (for the
+            bandwidth-demand metric).
+        contact_duration_s: Seconds per contact.
+        collectors: Extra pluggable metrics observed in the same pass.
+    """
+
+    def __init__(
+        self,
+        contacts_per_day: int,
+        contact_duration_s: float,
+        collectors: Sequence[MetricCollector] = (),
+    ) -> None:
+        self.contacts_per_day = contacts_per_day
+        self.contact_duration_s = contact_duration_s
+        self.collectors = list(collectors)
+        self.records: list[CaptureRecord] = []
+        self.downlink_bytes = 0
+        self.peak_reference_bytes = 0
+        self.peak_captured_bytes = 0
+        self.policy_name = ""
+
+    def observe(self, event: "VisitEvent") -> None:
+        """Fold one completed visit event into the running totals."""
+        result = event.result
+        score = event.score
+        if result is None:
+            return
+        self.policy_name = event.state.policy.name
+        self.downlink_bytes += result.total_bytes
+        self.peak_reference_bytes = max(
+            self.peak_reference_bytes,
+            event.state.policy.reference_storage_bytes(),
+        )
+        self.peak_captured_bytes = max(
+            self.peak_captured_bytes, result.onboard_encoded_bytes
+        )
+        self.records.append(
+            CaptureRecord(
+                location=event.visit.location,
+                satellite_id=event.visit.satellite_id,
+                t_days=event.visit.t_days,
+                dropped=result.dropped,
+                guaranteed=result.guaranteed,
+                cloud_coverage=result.cloud_coverage_detected,
+                psnr=score.psnr if score is not None else float("nan"),
+                downloaded_fraction=(
+                    score.downloaded_tile_fraction if score is not None else 0.0
+                ),
+                bytes_downlinked=result.total_bytes,
+                band_bytes={b.band: b.bytes_downlinked for b in result.bands},
+                band_psnr={b.band: b.psnr_downloaded for b in result.bands},
+                changed_fraction=(
+                    float(np.mean([b.changed_fraction for b in result.bands]))
+                    if result.bands
+                    else 0.0
+                ),
+            )
+        )
+        for collector in self.collectors:
+            collector.observe(event)
+
+    def finalize(
+        self,
+        horizon_days: float,
+        uplink_bytes: int,
+        updates_skipped: int,
+        uplink_stats: dict[str, int],
+    ) -> RunResult:
+        """Package the accumulated state into the final :class:`RunResult`.
+
+        Args:
+            horizon_days: Simulated duration.
+            uplink_bytes: Total reference-update bytes moved up.
+            updates_skipped: Updates skipped for lack of uplink budget.
+            uplink_stats: Update-level accounting from the ground segment.
+
+        Returns:
+            The aggregated result.
+        """
+        return RunResult(
+            policy=self.policy_name,
+            records=self.records,
+            downlink_bytes=self.downlink_bytes,
+            uplink_bytes=uplink_bytes,
+            updates_skipped=updates_skipped,
+            horizon_days=horizon_days,
+            contacts_per_day=self.contacts_per_day,
+            contact_duration_s=self.contact_duration_s,
+            reference_storage_bytes=self.peak_reference_bytes,
+            captured_storage_bytes=self.peak_captured_bytes,
+            uplink_stats=uplink_stats,
+            extra_metrics={
+                c.name: c.value() for c in self.collectors
+            },
+        )

@@ -42,6 +42,66 @@ from repro.imagery.sensor import Capture
 #: each download (two float32 values).
 _ALIGNMENT_BYTES = 8
 
+#: Public alias (baselines ship the same two float32 values per band).
+ALIGNMENT_BYTES = _ALIGNMENT_BYTES
+
+
+def build_rate_model(
+    config: EarthPlusConfig, codec_config: CodecConfig | None = None
+):
+    """The configured rate backend: fast model or real arithmetic codec."""
+    resolved = (
+        codec_config
+        if codec_config is not None
+        else CodecConfig(tile_size=config.tile_size)
+    )
+    if config.codec_backend == "real":
+        from repro.codec.adapter import RealCodecAdapter
+
+        return RealCodecAdapter(resolved, n_layers=config.n_quality_layers)
+    return RateModel(resolved)
+
+
+class RoiRateController:
+    """Warm-started rate-targeted ROI encoding.
+
+    Shared by the Earth+ encoder and every baseline so all policies hit
+    identical operating points: per (location, band) the previous
+    quantizer step is tried first and accepted when the coded size lands
+    within 10 % under the target, otherwise a full step search runs.
+
+    Args:
+        config: Shared tunables (codec backend, tile size, quality layers).
+        codec_config: Optional codec geometry override.
+    """
+
+    def __init__(
+        self,
+        config: EarthPlusConfig,
+        codec_config: CodecConfig | None = None,
+    ) -> None:
+        self.rate_model = build_rate_model(config, codec_config)
+        self._last_step: dict[tuple[str, str], float] = {}
+
+    def encode_roi(
+        self,
+        key: tuple[str, str],
+        image: np.ndarray,
+        roi: np.ndarray,
+        target_bytes: int,
+    ):
+        """Encode ``roi`` of ``image`` at close to ``target_bytes``."""
+        warm = self._last_step.get(key)
+        if warm is not None:
+            result = self.rate_model.encode(image, warm, roi)
+            if 0.9 * target_bytes <= result.coded_bytes <= target_bytes:
+                return result
+        result = self.rate_model.find_step_for_bytes(
+            image, target_bytes, roi, tolerance=0.08, max_iterations=14
+        )
+        self._last_step[key] = result.base_step
+        return result
+
 
 @dataclass
 class BandEncodeResult:
@@ -139,22 +199,9 @@ class EarthPlusEncoder:
         self.cloud_detector = cloud_detector
         self.cache = cache
         self.grid = TileGrid(image_shape, config.tile_size)
-        resolved_codec_config = (
-            codec_config
-            if codec_config is not None
-            else CodecConfig(tile_size=config.tile_size)
-        )
-        if config.codec_backend == "real":
-            from repro.codec.adapter import RealCodecAdapter
-
-            self.rate_model = RealCodecAdapter(
-                resolved_codec_config, n_layers=config.n_quality_layers
-            )
-        else:
-            self.rate_model = RateModel(resolved_codec_config)
-        # Warm-start quantizer steps per (location, band) to speed the
-        # bpp-target search across a timeline.
-        self._last_step: dict[tuple[str, str], float] = {}
+        # Warm-started per-(location, band) rate search shared with the
+        # baselines, to speed the bpp-target search across a timeline.
+        self.rate = RoiRateController(config, codec_config)
 
     # ------------------------------------------------------------------
     def process_capture(
@@ -311,17 +358,4 @@ class EarthPlusEncoder:
         target_bytes: int,
     ):
         """Rate-targeted ROI encode with a warm-started step search."""
-        key = (location, band)
-        warm = self._last_step.get(key)
-        if warm is not None:
-            # Try the previous operating point first; accept when within 10 %.
-            result = self.rate_model.encode(image, warm, roi)
-            if result.coded_bytes <= target_bytes and (
-                result.coded_bytes >= 0.9 * target_bytes
-            ):
-                return result
-        result = self.rate_model.find_step_for_bytes(
-            image, target_bytes, roi, tolerance=0.08, max_iterations=14
-        )
-        self._last_step[key] = result.base_step
-        return result
+        return self.rate.encode_roi((location, band), image, roi, target_bytes)

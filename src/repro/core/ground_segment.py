@@ -70,6 +70,49 @@ class UplinkPlan:
     skipped: int = 0
 
 
+@dataclass
+class UplinkStats:
+    """Running update-level uplink accounting across a whole run.
+
+    Attributes:
+        bytes_sent: Total reference-update bytes moved up.
+        updates_sent: Updates applied to satellite caches.
+        updates_skipped: Updates skipped for lack of uplink budget.
+        full_update_bytes: Bytes of full (non-delta) updates.
+        full_update_count: Number of full updates.
+        delta_update_bytes: Bytes of delta updates.
+        delta_update_count: Number of delta updates.
+    """
+
+    bytes_sent: int = 0
+    updates_sent: int = 0
+    updates_skipped: int = 0
+    full_update_bytes: int = 0
+    full_update_count: int = 0
+    delta_update_bytes: int = 0
+    delta_update_count: int = 0
+
+    def record_sent(self, update: ReferenceUpdate, cost: int) -> None:
+        """Account one applied update."""
+        self.updates_sent += 1
+        if update.full:
+            self.full_update_bytes += cost
+            self.full_update_count += 1
+        else:
+            self.delta_update_bytes += cost
+            self.delta_update_count += 1
+
+    def as_run_stats(self) -> dict[str, int]:
+        """The update-level dict carried on ``RunResult.uplink_stats``."""
+        return {
+            "updates_sent": self.updates_sent,
+            "full_update_bytes": self.full_update_bytes,
+            "full_update_count": self.full_update_count,
+            "delta_update_bytes": self.delta_update_bytes,
+            "delta_update_count": self.delta_update_count,
+        }
+
+
 class GroundSegment:
     """Ground-station logic shared by every satellite of the constellation.
 
@@ -108,13 +151,17 @@ class GroundSegment:
         #: The absolute gain the mosaic basis is expressed in.
         self.basis_gain = basis_gain
         self._plan_counter = 0
-        self.uplink_bytes_total = 0
-        self.updates_skipped_total = 0
-        self.updates_sent_total = 0
-        self.full_update_bytes = 0
-        self.full_update_count = 0
-        self.delta_update_bytes = 0
-        self.delta_update_count = 0
+        self.stats = UplinkStats()
+
+    @property
+    def uplink_bytes_total(self) -> int:
+        """Total reference-update bytes sent (see :class:`UplinkStats`)."""
+        return self.stats.bytes_sent
+
+    @property
+    def updates_skipped_total(self) -> int:
+        """Total updates skipped under budget pressure."""
+        return self.stats.updates_skipped
 
     # ------------------------------------------------------------------
     # Ingest + scoring
@@ -301,13 +348,7 @@ class GroundSegment:
             cache.apply_update(update)
             plan.updates.append(update)
             plan.bytes_used += cost
-            self.updates_sent_total += 1
-            if update.full:
-                self.full_update_bytes += cost
-                self.full_update_count += 1
-            else:
-                self.delta_update_bytes += cost
-                self.delta_update_count += 1
-        self.uplink_bytes_total += plan.bytes_used
-        self.updates_skipped_total += plan.skipped
+            self.stats.record_sent(update, cost)
+        self.stats.bytes_sent += plan.bytes_used
+        self.stats.updates_skipped += plan.skipped
         return plan

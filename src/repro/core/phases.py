@@ -1,0 +1,260 @@
+"""Event-phase simulation kernel: the simulator loop as composable phases.
+
+The constellation simulation is an event loop over time-ordered visits.
+Each visit flows through three independently-schedulable phases, every one
+operating on an explicit :class:`VisitEvent` carrier instead of loop-local
+variables:
+
+1. :class:`UplinkPhase` — the ground segment spends the uplink budget
+   accumulated since the satellite's previous visit on reference updates
+   (only for policies that implement :class:`UplinkReceiver`);
+2. :class:`CapturePhase` — the sensor produces the capture and the
+   satellite's compression policy processes it on board;
+3. :class:`IngestPhase` — the ground segment folds the downlinked result
+   into the mosaic and scores reconstruction quality.
+
+Per-satellite mutable state lives in :class:`SatelliteState`; what a phase
+may touch is exactly what it is handed.  New scenario behaviour (link
+outages, alternative contact models, extra bookkeeping) composes as a new
+phase rather than an edit to a monolithic loop — the processor/accelerator
+decoupling argument of Duet applied to the simulator itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import EarthPlusConfig
+from repro.core.encoder import CaptureEncodeResult
+from repro.core.ground_segment import GroundSegment, ScoreRecord, UplinkPlan
+from repro.core.reference import OnboardReferenceCache
+from repro.errors import PipelineError
+from repro.imagery.sensor import Capture, SatelliteSensor
+from repro.orbit.links import FluctuationModel
+from repro.orbit.schedule import Visit
+
+
+class CompressionPolicy(Protocol):
+    """What the simulator requires of an on-board compression policy."""
+
+    name: str
+    uses_uplink: bool
+
+    def process(
+        self, capture: Capture, guaranteed_due: bool
+    ) -> CaptureEncodeResult:
+        """Compress one capture, returning full byte/tile accounting."""
+        ...
+
+    def reference_storage_bytes(self) -> int:
+        """Bytes of on-board storage devoted to reference imagery."""
+        ...
+
+
+@runtime_checkable
+class UplinkReceiver(Protocol):
+    """A policy that can receive reference updates over the uplink.
+
+    The ground segment plans uploads against the cache this method exposes;
+    it never reaches into policy internals.  Policies with
+    ``uses_uplink = False`` are simply never asked.
+    """
+
+    def uplink_cache(self) -> OnboardReferenceCache:
+        """The on-board reference cache the ground may write into."""
+        ...
+
+
+@dataclass
+class SatelliteState:
+    """Mutable per-satellite simulation state.
+
+    Attributes:
+        satellite_id: The satellite this state belongs to.
+        policy: The satellite's compression policy (owns encoder + cache).
+        last_visit_days: Time of the previous visit (uplink accumulation).
+        contact_count: Ground contacts consumed so far (fluctuation stream).
+        last_guaranteed: Location -> time of the last guaranteed full
+            download.  The guarantee is a *constellation-wide* promise per
+            location, so every satellite's state shares one mapping
+            instance.
+    """
+
+    satellite_id: int
+    policy: CompressionPolicy
+    last_visit_days: float = 0.0
+    contact_count: int = 0
+    last_guaranteed: dict[str, float] = field(default_factory=dict)
+
+
+class ConstellationState:
+    """Lazily-built states of every satellite in the constellation."""
+
+    def __init__(self, policy_factory) -> None:
+        self._factory = policy_factory
+        self._last_guaranteed: dict[str, float] = {}
+        self.satellites: dict[int, SatelliteState] = {}
+
+    def for_satellite(self, satellite_id: int) -> SatelliteState:
+        """This satellite's state, building its policy on first visit."""
+        state = self.satellites.get(satellite_id)
+        if state is None:
+            state = SatelliteState(
+                satellite_id=satellite_id,
+                policy=self._factory(satellite_id),
+                last_guaranteed=self._last_guaranteed,
+            )
+            self.satellites[satellite_id] = state
+        return state
+
+
+@dataclass
+class VisitEvent:
+    """One visit's journey through the phase pipeline.
+
+    Phases read what earlier phases produced and write their own outputs;
+    the metrics layer observes the completed event.
+
+    Attributes:
+        visit: The scheduled visit being simulated.
+        state: The observing satellite's state.
+        uplink_plan: Applied reference-update plan (None when the policy
+            takes no uplink or the budget is zero).
+        capture: The sensor output (set by :class:`CapturePhase`).
+        result: The on-board processing outcome (set by
+            :class:`CapturePhase`).
+        score: Ground-side quality assessment (set by :class:`IngestPhase`;
+            None for dropped captures).
+    """
+
+    visit: Visit
+    state: SatelliteState
+    uplink_plan: UplinkPlan | None = None
+    capture: Capture | None = None
+    result: CaptureEncodeResult | None = None
+    score: ScoreRecord | None = None
+
+
+class SimulationPhase(Protocol):
+    """One stage of the per-visit pipeline."""
+
+    name: str
+
+    def run(self, event: VisitEvent) -> None:
+        """Advance ``event`` through this phase, mutating it in place."""
+        ...
+
+
+class UplinkPhase:
+    """Spend the accumulated uplink budget on reference updates.
+
+    Args:
+        ground: The shared ground segment (plans and applies updates).
+        uplink_bytes_per_contact: Uplink capacity per ground contact.
+        contacts_per_day: Ground contacts per satellite per day.
+        fluctuation: Optional per-contact bandwidth fluctuation.
+        max_accumulation_days: Cap on how much idle uplink time can be
+            banked between a satellite's visits.
+    """
+
+    name = "uplink"
+
+    def __init__(
+        self,
+        ground: GroundSegment,
+        uplink_bytes_per_contact: int,
+        contacts_per_day: int,
+        fluctuation: FluctuationModel | None = None,
+        max_accumulation_days: float = 2.0,
+    ) -> None:
+        self.ground = ground
+        self.uplink_bytes_per_contact = uplink_bytes_per_contact
+        self.contacts_per_day = contacts_per_day
+        self.fluctuation = fluctuation
+        self.max_accumulation_days = max_accumulation_days
+
+    def run(self, event: VisitEvent) -> None:
+        state = event.state
+        policy = state.policy
+        if policy.uses_uplink and self.uplink_bytes_per_contact > 0:
+            if not isinstance(policy, UplinkReceiver):
+                raise PipelineError(
+                    f"policy {policy.name!r} sets uses_uplink but does not "
+                    "implement UplinkReceiver"
+                )
+            gap = min(
+                event.visit.t_days - state.last_visit_days,
+                self.max_accumulation_days,
+            )
+            n_contacts = max(1, int(gap * self.contacts_per_day))
+            multiplier = 1.0
+            if self.fluctuation is not None:
+                multiplier = self.fluctuation.multiplier(
+                    state.satellite_id, state.contact_count
+                )
+            state.contact_count += 1
+            budget = int(
+                n_contacts * self.uplink_bytes_per_contact * multiplier
+            )
+            event.uplink_plan = self.ground.plan_uploads(
+                policy.uplink_cache(),
+                [event.visit.location],
+                event.visit.t_days,
+                budget,
+            )
+        state.last_visit_days = event.visit.t_days
+
+
+class CapturePhase:
+    """Capture the scene and run the on-board compression policy.
+
+    Args:
+        sensors: Per-location capture sources.
+        config: Shared tunables (guaranteed-download period).
+    """
+
+    name = "capture"
+
+    def __init__(
+        self,
+        sensors: dict[str, SatelliteSensor],
+        config: EarthPlusConfig,
+    ) -> None:
+        self.sensors = sensors
+        self.config = config
+
+    def run(self, event: VisitEvent) -> None:
+        visit = event.visit
+        sensor = self.sensors[visit.location]
+        event.capture = sensor.capture(visit.satellite_id, visit.t_days)
+        due = (
+            visit.t_days
+            - event.state.last_guaranteed.get(visit.location, -np.inf)
+            >= self.config.guaranteed_download_days
+        )
+        event.result = event.state.policy.process(event.capture, due)
+        if event.result.guaranteed:
+            event.state.last_guaranteed[visit.location] = visit.t_days
+
+
+class IngestPhase:
+    """Fold the downlinked result into the ground mosaic and score it.
+
+    Args:
+        ground: The shared ground segment (mosaic + scoring).
+    """
+
+    name = "ingest"
+
+    def __init__(self, ground: GroundSegment) -> None:
+        self.ground = ground
+
+    def run(self, event: VisitEvent) -> None:
+        if event.result is None or event.capture is None:
+            raise PipelineError(
+                "IngestPhase requires a completed capture phase"
+            )
+        event.score = self.ground.ingest(event.result, event.capture)

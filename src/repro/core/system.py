@@ -1,52 +1,57 @@
 """End-to-end constellation simulation: every number in the paper's §6.
 
 The :class:`ConstellationSimulator` replays a dataset's visit schedule in
-time order.  For each visit it (1) lets the ground segment uplink reference
-updates to the observing satellite within the accumulated uplink budget,
-(2) runs the satellite's compression policy over the fresh capture, (3)
-ingests the downlinked result into the ground mosaic and scores PSNR, and
-(4) accounts bytes on both links plus on-board storage.
+time order.  It is a thin driver over the event-phase kernel in
+:mod:`repro.core.phases`: each visit becomes a
+:class:`~repro.core.phases.VisitEvent` that flows through the uplink,
+capture and ingest phases, and the streaming
+:class:`~repro.core.accounting.MetricsAccumulator` folds the completed
+events into the :class:`~repro.core.accounting.RunResult`.
 
-The same loop drives Earth+ and every baseline — policies differ only in
+The same kernel drives Earth+ and every baseline — policies differ only in
 what they choose to download — so comparisons share cloud fields, change
 histories, illumination, codec, and scoring.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Sequence
 
-import numpy as np
-
-from repro.codec.metrics import weighted_mean_psnr
+from repro.core.accounting import (
+    CaptureRecord,
+    MetricCollector,
+    MetricsAccumulator,
+    RunResult,
+)
+from repro.core.cloud import CloudDetector
 from repro.core.config import EarthPlusConfig
 from repro.core.encoder import CaptureEncodeResult, EarthPlusEncoder
 from repro.core.ground_segment import GroundSegment
+from repro.core.phases import (
+    CapturePhase,
+    CompressionPolicy,
+    ConstellationState,
+    IngestPhase,
+    SimulationPhase,
+    UplinkPhase,
+    UplinkReceiver,
+    VisitEvent,
+)
 from repro.core.reference import OnboardReferenceCache
-from repro.core.cloud import CloudDetector
 from repro.errors import ConfigError
 from repro.imagery.bands import Band
 from repro.imagery.sensor import Capture, SatelliteSensor
 from repro.orbit.links import FluctuationModel
 from repro.orbit.schedule import VisitSchedule
 
-
-class CompressionPolicy(Protocol):
-    """What the simulator requires of an on-board compression policy."""
-
-    name: str
-    uses_uplink: bool
-
-    def process(
-        self, capture: Capture, guaranteed_due: bool
-    ) -> CaptureEncodeResult:
-        """Compress one capture, returning full byte/tile accounting."""
-        ...
-
-    def reference_storage_bytes(self) -> int:
-        """Bytes of on-board storage devoted to reference imagery."""
-        ...
+__all__ = [
+    "CompressionPolicy",
+    "UplinkReceiver",
+    "EarthPlusPolicy",
+    "CaptureRecord",
+    "RunResult",
+    "ConstellationSimulator",
+]
 
 
 class EarthPlusPolicy:
@@ -81,130 +86,9 @@ class EarthPlusPolicy:
     def reference_storage_bytes(self) -> int:
         return self.cache.storage_bytes()
 
-
-@dataclass
-class CaptureRecord:
-    """Everything remembered about one processed visit.
-
-    Attributes:
-        location: Location name.
-        satellite_id: Observing satellite.
-        t_days: Capture time.
-        dropped: Capture discarded for cloud.
-        guaranteed: Was a guaranteed full download.
-        cloud_coverage: On-board detected cloud fraction.
-        psnr: Ground-side reconstruction PSNR (NaN when dropped).
-        downloaded_fraction: Mean downloaded-tile fraction over bands.
-        bytes_downlinked: Total downlink bytes.
-        band_bytes: Per-band downlink bytes.
-        band_psnr: Per-band coded-tile PSNR.
-        changed_fraction: Mean detector changed fraction over bands.
-    """
-
-    location: str
-    satellite_id: int
-    t_days: float
-    dropped: bool
-    guaranteed: bool
-    cloud_coverage: float
-    psnr: float
-    downloaded_fraction: float
-    bytes_downlinked: int
-    band_bytes: dict[str, int] = field(default_factory=dict)
-    band_psnr: dict[str, float] = field(default_factory=dict)
-    changed_fraction: float = 0.0
-
-
-@dataclass
-class RunResult:
-    """Aggregate outcome of one simulation run.
-
-    Attributes:
-        policy: Policy name.
-        records: Per-visit records in time order.
-        downlink_bytes: Total bytes moved down.
-        uplink_bytes: Total bytes moved up (reference updates).
-        updates_skipped: Reference updates skipped for lack of uplink.
-        horizon_days: Simulated duration.
-        contacts_per_day: Ground contacts per satellite per day.
-        contact_duration_s: Seconds per contact.
-        reference_storage_bytes: Peak per-satellite reference storage.
-        captured_storage_bytes: Peak per-capture encoded bytes held.
-        uplink_stats: Update-level uplink accounting: counts and bytes of
-            full vs delta reference updates.
-    """
-
-    policy: str
-    records: list[CaptureRecord]
-    downlink_bytes: int
-    uplink_bytes: int
-    updates_skipped: int
-    horizon_days: float
-    contacts_per_day: int
-    contact_duration_s: float
-    reference_storage_bytes: int
-    captured_storage_bytes: int
-    uplink_stats: dict[str, int] = field(default_factory=dict)
-
-    def delivered(self) -> list[CaptureRecord]:
-        """Records of captures that were actually downlinked."""
-        return [r for r in self.records if not r.dropped]
-
-    def mean_psnr(self) -> float:
-        """Pooled (MSE-domain) PSNR over delivered captures."""
-        values = [r.psnr for r in self.delivered() if np.isfinite(r.psnr)]
-        if not values:
-            return float("inf")
-        return weighted_mean_psnr(values)
-
-    def mean_downloaded_fraction(self) -> float:
-        """Mean downloaded-tile fraction over delivered captures."""
-        values = [r.downloaded_fraction for r in self.delivered()]
-        return float(np.mean(values)) if values else 0.0
-
-    def required_downlink_bps(self) -> float:
-        """Average downlink bandwidth demand (the paper's §6.1 metric).
-
-        Total downlinked bytes divided by total contact seconds over the
-        horizon, i.e. the sustained rate the constellation must provision.
-        """
-        contact_seconds = (
-            self.horizon_days * self.contacts_per_day * self.contact_duration_s
-        )
-        if contact_seconds <= 0:
-            return 0.0
-        return self.downlink_bytes * 8.0 / contact_seconds
-
-    def per_band_bytes(self) -> dict[str, int]:
-        """Downlink bytes per band across the run."""
-        totals: dict[str, int] = {}
-        for record in self.records:
-            for band, nbytes in record.band_bytes.items():
-                totals[band] = totals.get(band, 0) + nbytes
-        return totals
-
-    def per_location_bytes(self) -> dict[str, int]:
-        """Downlink bytes per location across the run."""
-        totals: dict[str, int] = {}
-        for record in self.records:
-            totals[record.location] = (
-                totals.get(record.location, 0) + record.bytes_downlinked
-            )
-        return totals
-
-    def per_location_psnr(self) -> dict[str, float]:
-        """Pooled PSNR per location."""
-        groups: dict[str, list[float]] = {}
-        for record in self.delivered():
-            if np.isfinite(record.psnr):
-                groups.setdefault(record.location, []).append(record.psnr)
-        return {
-            loc: weighted_mean_psnr(values) for loc, values in groups.items()
-        }
-
-    def timeseries(self, location: str) -> list[CaptureRecord]:
-        """Delivered records for one location, in time order."""
-        return [r for r in self.delivered() if r.location == location]
+    def uplink_cache(self) -> OnboardReferenceCache:
+        """The reference cache ground stations may write into (uplink)."""
+        return self.cache
 
 
 class ConstellationSimulator:
@@ -227,6 +111,8 @@ class ConstellationSimulator:
         fluctuation: Optional per-contact bandwidth fluctuation.
         max_uplink_accumulation_days: Cap on how much idle uplink time can
             be banked between a satellite's visits.
+        collectors: Extra pluggable metrics observed per visit; their
+            values land in ``RunResult.extra_metrics``.
     """
 
     def __init__(
@@ -243,6 +129,7 @@ class ConstellationSimulator:
         contact_duration_s: float = 600.0,
         fluctuation: FluctuationModel | None = None,
         max_uplink_accumulation_days: float = 2.0,
+        collectors: Sequence[MetricCollector] = (),
     ) -> None:
         if uplink_bytes_per_contact < 0:
             raise ConfigError("uplink_bytes_per_contact must be >= 0")
@@ -258,108 +145,41 @@ class ConstellationSimulator:
         self.contact_duration_s = contact_duration_s
         self.fluctuation = fluctuation
         self.max_uplink_accumulation_days = max_uplink_accumulation_days
+        self.collectors = collectors
+
+    def build_phases(self) -> list[SimulationPhase]:
+        """The default per-visit pipeline: uplink -> capture -> ingest."""
+        return [
+            UplinkPhase(
+                ground=self.ground,
+                uplink_bytes_per_contact=self.uplink_bytes_per_contact,
+                contacts_per_day=self.contacts_per_day,
+                fluctuation=self.fluctuation,
+                max_accumulation_days=self.max_uplink_accumulation_days,
+            ),
+            CapturePhase(sensors=self.sensors, config=self.config),
+            IngestPhase(ground=self.ground),
+        ]
 
     def run(self) -> RunResult:
         """Simulate the full schedule and return aggregated results."""
-        policies: dict[int, CompressionPolicy] = {}
-        last_visit_time: dict[int, float] = {}
-        last_guaranteed: dict[str, float] = {}
-        contact_counter: dict[int, int] = {}
-        records: list[CaptureRecord] = []
-        downlink_total = 0
-        peak_reference = 0
-        peak_captured = 0
-        policy_name = ""
-        for visit in self.schedule.all_visits_sorted():
-            satellite = visit.satellite_id
-            if satellite not in policies:
-                policies[satellite] = self.policy_factory(satellite)
-                last_visit_time[satellite] = 0.0
-                contact_counter[satellite] = 0
-            policy = policies[satellite]
-            policy_name = policy.name
-            # --- uplink phase -------------------------------------------------
-            if policy.uses_uplink and self.uplink_bytes_per_contact > 0:
-                gap = min(
-                    visit.t_days - last_visit_time[satellite],
-                    self.max_uplink_accumulation_days,
-                )
-                n_contacts = max(1, int(gap * self.contacts_per_day))
-                multiplier = 1.0
-                if self.fluctuation is not None:
-                    multiplier = self.fluctuation.multiplier(
-                        satellite, contact_counter[satellite]
-                    )
-                contact_counter[satellite] += 1
-                budget = int(
-                    n_contacts * self.uplink_bytes_per_contact * multiplier
-                )
-                self.ground.plan_uploads(
-                    policies[satellite].cache,  # type: ignore[attr-defined]
-                    [visit.location],
-                    visit.t_days,
-                    budget,
-                )
-            last_visit_time[satellite] = visit.t_days
-            # --- capture + on-board processing --------------------------------
-            sensor = self.sensors[visit.location]
-            capture = sensor.capture(satellite, visit.t_days)
-            due = (
-                visit.t_days - last_guaranteed.get(visit.location, -np.inf)
-                >= self.config.guaranteed_download_days
-            )
-            result = policy.process(capture, due)
-            if result.guaranteed:
-                last_guaranteed[visit.location] = visit.t_days
-            # --- ground ingest + scoring --------------------------------------
-            score = self.ground.ingest(result, capture)
-            downlink_total += result.total_bytes
-            peak_reference = max(peak_reference, policy.reference_storage_bytes())
-            peak_captured = max(peak_captured, result.onboard_encoded_bytes)
-            records.append(
-                CaptureRecord(
-                    location=visit.location,
-                    satellite_id=satellite,
-                    t_days=visit.t_days,
-                    dropped=result.dropped,
-                    guaranteed=result.guaranteed,
-                    cloud_coverage=result.cloud_coverage_detected,
-                    psnr=score.psnr if score is not None else float("nan"),
-                    downloaded_fraction=(
-                        score.downloaded_tile_fraction if score is not None else 0.0
-                    ),
-                    bytes_downlinked=result.total_bytes,
-                    band_bytes={
-                        b.band: b.bytes_downlinked for b in result.bands
-                    },
-                    band_psnr={
-                        b.band: b.psnr_downloaded for b in result.bands
-                    },
-                    changed_fraction=(
-                        float(
-                            np.mean([b.changed_fraction for b in result.bands])
-                        )
-                        if result.bands
-                        else 0.0
-                    ),
-                )
-            )
-        return RunResult(
-            policy=policy_name,
-            records=records,
-            downlink_bytes=downlink_total,
-            uplink_bytes=self.ground.uplink_bytes_total,
-            updates_skipped=self.ground.updates_skipped_total,
-            horizon_days=self.schedule.horizon_days,
+        state = ConstellationState(self.policy_factory)
+        phases = self.build_phases()
+        metrics = MetricsAccumulator(
             contacts_per_day=self.contacts_per_day,
             contact_duration_s=self.contact_duration_s,
-            reference_storage_bytes=peak_reference,
-            captured_storage_bytes=peak_captured,
-            uplink_stats={
-                "updates_sent": self.ground.updates_sent_total,
-                "full_update_bytes": self.ground.full_update_bytes,
-                "full_update_count": self.ground.full_update_count,
-                "delta_update_bytes": self.ground.delta_update_bytes,
-                "delta_update_count": self.ground.delta_update_count,
-            },
+            collectors=self.collectors,
+        )
+        for visit in self.schedule.all_visits_sorted():
+            event = VisitEvent(
+                visit=visit, state=state.for_satellite(visit.satellite_id)
+            )
+            for phase in phases:
+                phase.run(event)
+            metrics.observe(event)
+        return metrics.finalize(
+            horizon_days=self.schedule.horizon_days,
+            uplink_bytes=self.ground.stats.bytes_sent,
+            updates_skipped=self.ground.stats.updates_skipped,
+            uplink_stats=self.ground.stats.as_run_stats(),
         )

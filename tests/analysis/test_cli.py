@@ -54,3 +54,58 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "calibrated theta" in out
+
+
+class TestScenarioCommands:
+    def test_simulate_parser_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policy == "earthplus"
+        assert args.format == "table"
+        assert args.seed == 0
+
+    def test_sweep_parser_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--policies", "earthplus,naive", "--seeds", "0,1",
+             "--workers", "2", "--format", "csv"]
+        )
+        assert args.policies == "earthplus,naive"
+        assert args.workers == 2
+        assert args.format == "csv"
+
+    def test_simulate_json(self, capsys):
+        import json
+
+        code = main(
+            ["simulate", "--locations", "A", "--bands", "B4",
+             "--days", "30", "--size", "128", "--format", "json"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["policy"] == "earthplus"
+        assert rows[0]["records"] > 0
+
+    def test_sweep_table(self, capsys):
+        code = main(
+            ["sweep", "--locations", "A", "--bands", "B4", "--days", "30",
+             "--size", "128", "--policies", "earthplus,naive",
+             "--seeds", "0", "--gammas", "0.3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "earthplus/g0.3/s0" in out
+        assert "naive/g0.3/s0" in out
+
+    def test_sweep_unknown_policy_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policies", "magic"])
+
+
+    def test_sweep_gamma_flag_feeds_default_gammas(self, capsys):
+        code = main(
+            ["sweep", "--locations", "A", "--bands", "B4", "--days", "10",
+             "--size", "128", "--policies", "naive", "--gamma", "0.2"]
+        )
+        assert code == 0
+        assert "naive/g0.2/s0" in capsys.readouterr().out

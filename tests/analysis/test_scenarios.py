@@ -1,0 +1,119 @@
+"""Unit tests for the scenario orchestration layer."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import run_policy
+from repro.analysis.scenarios import (
+    DatasetSpec,
+    ScenarioSpec,
+    run_scenario,
+    run_scenarios,
+    sweep_specs,
+)
+from repro.core.config import EarthPlusConfig
+from repro.errors import ConfigError
+
+SMALL_DATASET = DatasetSpec.of(
+    "sentinel2",
+    locations=["A"],
+    bands=["B4"],
+    horizon_days=30.0,
+    image_shape=(128, 128),
+)
+
+
+class TestDatasetSpec:
+    def test_build_is_memoized(self):
+        assert SMALL_DATASET.build() is SMALL_DATASET.build()
+
+    def test_equal_specs_share_cache(self):
+        twin = DatasetSpec.of(
+            "sentinel2",
+            image_shape=(128, 128),
+            horizon_days=30.0,
+            bands=["B4"],
+            locations=["A"],
+        )
+        assert twin == SMALL_DATASET
+        assert twin.build() is SMALL_DATASET.build()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            DatasetSpec.of("landsat")
+
+    def test_specs_are_picklable(self):
+        spec = ScenarioSpec(policy="earthplus", dataset=SMALL_DATASET)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.policy == "earthplus"
+        assert clone.dataset == SMALL_DATASET
+
+
+class TestRunScenario:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            run_scenario(ScenarioSpec(policy="magic", dataset=SMALL_DATASET))
+
+    def test_matches_run_policy(self):
+        """run_scenario and the run_policy wrapper share one path."""
+        config = EarthPlusConfig(gamma_bpp=0.3)
+        via_scenario = run_scenario(
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET, config=config)
+        )
+        via_wrapper = run_policy(SMALL_DATASET.build(), "naive", config)
+        assert via_scenario == via_wrapper
+
+
+class TestRunScenarios:
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigError):
+            run_scenarios([], max_workers=0)
+
+    def test_empty_batch(self):
+        assert run_scenarios([]) == []
+
+    def test_parallel_matches_sequential_byte_identical(self):
+        """The acceptance criterion: a 2-policy x 2-seed batch run with
+        process-parallel workers is byte-identical to sequential
+        run_policy calls."""
+        config = EarthPlusConfig(gamma_bpp=0.3)
+        specs = [
+            ScenarioSpec(
+                policy=policy, dataset=SMALL_DATASET, config=config, seed=seed
+            )
+            for policy in ("earthplus", "naive")
+            for seed in (0, 1)
+        ]
+        parallel = run_scenarios(specs, max_workers=2)
+        sequential = [
+            run_policy(
+                SMALL_DATASET.build(), spec.policy, config, seed=spec.seed
+            )
+            for spec in specs
+        ]
+        assert len(parallel) == 4
+        for par, seq in zip(parallel, sequential):
+            assert pickle.dumps(par) == pickle.dumps(seq)
+
+
+class TestSweepSpecs:
+    def test_cross_product(self):
+        specs = sweep_specs(
+            SMALL_DATASET,
+            policies=("earthplus", "kodan"),
+            seeds=(0, 1),
+            gammas=(0.2, 0.5),
+        )
+        assert len(specs) == 8
+        labels = [spec.resolved_label() for spec in specs]
+        assert len(set(labels)) == 8
+        assert {spec.config.gamma_bpp for spec in specs} == {0.2, 0.5}
+        assert all(spec.extras["gamma"] == spec.config.gamma_bpp
+                   for spec in specs)
+
+    def test_default_gamma_from_base_config(self):
+        base = EarthPlusConfig(gamma_bpp=0.17)
+        specs = sweep_specs(SMALL_DATASET, base_config=base)
+        assert len(specs) == 1
+        assert specs[0].config.gamma_bpp == 0.17

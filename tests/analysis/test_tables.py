@@ -31,3 +31,68 @@ class TestFormatSeries:
         text = format_series([1, 2], [10.0, 20.0], "t", "value")
         assert "t" in text and "value" in text
         assert "10" in text and "20" in text
+
+
+class TestFormatRows:
+    ROWS = [
+        {"policy": "earthplus", "psnr": 33.5},
+        {"policy": "kodan", "psnr": 35.1},
+    ]
+
+    def test_table(self):
+        from repro.analysis.tables import format_rows
+
+        text = format_rows(["policy", "psnr"], self.ROWS, fmt="table",
+                           title="t")
+        assert text.splitlines()[0] == "t"
+        assert "earthplus" in text and "35.1" in text
+
+    def test_csv(self):
+        from repro.analysis.tables import format_rows
+
+        text = format_rows(["policy", "psnr"], self.ROWS, fmt="csv")
+        lines = text.splitlines()
+        assert lines[0] == "policy,psnr"
+        assert lines[1] == "earthplus,33.5"
+
+    def test_json(self):
+        import json
+
+        from repro.analysis.tables import format_rows
+
+        parsed = json.loads(format_rows(["policy", "psnr"], self.ROWS,
+                                        fmt="json"))
+        assert parsed == self.ROWS
+
+    def test_missing_keys_render_empty(self):
+        from repro.analysis.tables import format_rows
+
+        text = format_rows(["policy", "extra"], self.ROWS, fmt="csv")
+        assert text.splitlines()[1] == "earthplus,"
+
+    def test_unknown_format_rejected(self):
+        import pytest
+
+        from repro.analysis.tables import format_rows
+
+        with pytest.raises(ValueError):
+            format_rows(["a"], [], fmt="yaml")
+
+
+    def test_csv_uses_lf_only(self):
+        from repro.analysis.tables import format_rows
+
+        text = format_rows(["policy"], [{"policy": "a"}, {"policy": "b"}],
+                           fmt="csv")
+        assert "\r" not in text
+
+    def test_json_nonfinite_becomes_null(self):
+        import json
+
+        from repro.analysis.tables import format_rows
+
+        parsed = json.loads(
+            format_rows(["psnr"], [{"psnr": float("inf")},
+                                   {"psnr": float("nan")}], fmt="json")
+        )
+        assert parsed == [{"psnr": None}, {"psnr": None}]

@@ -1,0 +1,144 @@
+"""Unit tests for the event-phase simulation kernel."""
+
+import pytest
+
+from repro.analysis.experiments import run_policy
+from repro.baselines.kodan import KodanPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.satroi import SatRoIPolicy
+from repro.core.config import EarthPlusConfig
+from repro.core.ground_segment import GroundSegment
+from repro.core.phases import UplinkReceiver
+from repro.core.system import ConstellationSimulator, EarthPlusPolicy
+from repro.errors import PipelineError
+
+
+class TestUplinkReceiverProtocol:
+    def test_earthplus_policy_is_receiver(self, small_config, two_bands,
+                                          onboard_detector):
+        policy = EarthPlusPolicy(
+            small_config, two_bands, (128, 128), onboard_detector
+        )
+        assert isinstance(policy, UplinkReceiver)
+        assert policy.uplink_cache() is policy.cache
+
+    def test_baselines_are_not_receivers(self, small_config, two_bands,
+                                         onboard_detector, ground_detector):
+        shape = (128, 128)
+        policies = [
+            NaivePolicy(small_config, two_bands, shape),
+            KodanPolicy(small_config, two_bands, shape, ground_detector),
+            SatRoIPolicy(small_config, two_bands, shape, onboard_detector),
+        ]
+        for policy in policies:
+            assert not policy.uses_uplink
+            assert not isinstance(policy, UplinkReceiver)
+
+    def test_uses_uplink_without_receiver_rejected(self, tiny_sentinel_dataset,
+                                                   small_config, two_bands,
+                                                   onboard_detector):
+        """A policy claiming uses_uplink must expose its cache."""
+
+        class BrokenPolicy(NaivePolicy):
+            uses_uplink = True
+
+        ground = GroundSegment(
+            small_config,
+            tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape,
+            ground_detector=None,
+        )
+        simulator = ConstellationSimulator(
+            sensors=tiny_sentinel_dataset.sensors,
+            bands=tiny_sentinel_dataset.bands,
+            schedule=tiny_sentinel_dataset.schedule,
+            image_shape=tiny_sentinel_dataset.image_shape,
+            config=small_config,
+            policy_factory=lambda sid: BrokenPolicy(
+                small_config,
+                tiny_sentinel_dataset.bands,
+                tiny_sentinel_dataset.image_shape,
+            ),
+            ground_segment=ground,
+        )
+        with pytest.raises(PipelineError, match="UplinkReceiver"):
+            simulator.run()
+
+
+class TestBaselinesNeverUplinked:
+    @pytest.mark.parametrize("policy", ["kodan", "naive"])
+    def test_no_uploads_planned(self, tiny_sentinel_dataset, policy):
+        """Policies with uses_uplink=False get no planned uploads even
+        with a generous uplink budget available."""
+        result = run_policy(
+            tiny_sentinel_dataset,
+            policy,
+            EarthPlusConfig(gamma_bpp=0.3),
+            uplink_bytes_per_contact=10**9,
+        )
+        assert result.uplink_bytes == 0
+        assert result.uplink_stats["updates_sent"] == 0
+        assert result.updates_skipped == 0
+
+
+class TestPluggableMetrics:
+    def test_collector_observes_every_visit(self, tiny_sentinel_dataset,
+                                            small_config):
+        """A plugged-in MetricCollector sees each event and lands its
+        value in RunResult.extra_metrics."""
+
+        class VisitCounter:
+            name = "visit_count"
+
+            def __init__(self):
+                self.count = 0
+
+            def observe(self, event):
+                assert event.result is not None
+                self.count += 1
+
+            def value(self):
+                return self.count
+
+        counter = VisitCounter()
+        ground = GroundSegment(
+            small_config,
+            tiny_sentinel_dataset.bands,
+            tiny_sentinel_dataset.image_shape,
+            ground_detector=None,
+        )
+        simulator = ConstellationSimulator(
+            sensors=tiny_sentinel_dataset.sensors,
+            bands=tiny_sentinel_dataset.bands,
+            schedule=tiny_sentinel_dataset.schedule,
+            image_shape=tiny_sentinel_dataset.image_shape,
+            config=small_config,
+            policy_factory=lambda sid: NaivePolicy(
+                small_config,
+                tiny_sentinel_dataset.bands,
+                tiny_sentinel_dataset.image_shape,
+            ),
+            ground_segment=ground,
+            collectors=[counter],
+        )
+        result = simulator.run()
+        n_visits = len(tiny_sentinel_dataset.schedule.all_visits_sorted())
+        assert counter.count == n_visits
+        assert result.extra_metrics == {"visit_count": n_visits}
+        assert len(result.records) == n_visits
+
+
+class TestGuaranteeSharedAcrossSatellites:
+    def test_guarantee_is_constellation_wide(self, tiny_planet_dataset):
+        """The guaranteed-download timer is per location, not per
+        satellite: with 8 satellites revisiting one location, guaranteed
+        downloads stay spaced by the configured period rather than firing
+        once per satellite."""
+        config = EarthPlusConfig(gamma_bpp=0.3, guaranteed_download_days=15.0)
+        result = run_policy(tiny_planet_dataset, "earthplus", config)
+        guaranteed_times = [
+            r.t_days for r in result.records if r.guaranteed
+        ]
+        assert guaranteed_times, "no guaranteed downloads over 45 days"
+        for earlier, later in zip(guaranteed_times, guaranteed_times[1:]):
+            assert later - earlier >= config.guaranteed_download_days - 1e-9

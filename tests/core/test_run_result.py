@@ -1,0 +1,145 @@
+"""Hand-computed expectations for RunResult aggregation helpers."""
+
+import math
+
+import pytest
+
+from repro.core.accounting import CaptureRecord, RunResult
+
+
+def make_record(
+    location: str = "A",
+    psnr: float = 30.0,
+    bytes_downlinked: int = 100,
+    band_bytes: dict | None = None,
+    dropped: bool = False,
+    downloaded_fraction: float = 0.5,
+) -> CaptureRecord:
+    return CaptureRecord(
+        location=location,
+        satellite_id=0,
+        t_days=1.0,
+        dropped=dropped,
+        guaranteed=False,
+        cloud_coverage=0.0,
+        psnr=psnr,
+        downloaded_fraction=downloaded_fraction,
+        bytes_downlinked=bytes_downlinked,
+        band_bytes=band_bytes if band_bytes is not None else {},
+    )
+
+
+def make_result(records, downlink_bytes=0, horizon_days=10.0) -> RunResult:
+    return RunResult(
+        policy="test",
+        records=records,
+        downlink_bytes=downlink_bytes,
+        uplink_bytes=0,
+        updates_skipped=0,
+        horizon_days=horizon_days,
+        contacts_per_day=7,
+        contact_duration_s=600.0,
+        reference_storage_bytes=0,
+        captured_storage_bytes=0,
+    )
+
+
+class TestMeanPsnr:
+    def test_pools_in_mse_domain(self):
+        """PSNRs of 10 and 20 dB pool via mean MSE, not mean dB.
+
+        MSEs are 0.1 and 0.01; their mean is 0.055, and
+        -10*log10(0.055) = 12.5964 dB — well below the 15 dB naive
+        average.
+        """
+        result = make_result([make_record(psnr=10.0), make_record(psnr=20.0)])
+        assert result.mean_psnr() == pytest.approx(
+            -10.0 * math.log10(0.055), rel=1e-9
+        )
+        assert result.mean_psnr() == pytest.approx(12.5964, abs=1e-3)
+
+    def test_infinite_psnr_excluded_from_pool(self):
+        """Records with infinite PSNR (nothing downloaded, perfect trivially)
+        are excluded from the pool rather than dragging the mean up."""
+        result = make_result(
+            [make_record(psnr=10.0), make_record(psnr=float("inf"))]
+        )
+        assert result.mean_psnr() == pytest.approx(10.0, rel=1e-9)
+
+    def test_dropped_and_nan_records_excluded(self):
+        result = make_result(
+            [
+                make_record(psnr=10.0),
+                make_record(psnr=40.0, dropped=True),
+                make_record(psnr=float("nan")),
+            ]
+        )
+        assert result.mean_psnr() == pytest.approx(10.0, rel=1e-9)
+
+    def test_no_delivered_records_is_infinite(self):
+        assert make_result([]).mean_psnr() == float("inf")
+
+
+class TestRequiredDownlinkBps:
+    def test_hand_computed_rate(self):
+        """5250 bytes over 10 days x 7 contacts x 600 s = 42 000 contact
+        seconds is exactly 1 bit per second."""
+        result = make_result([], downlink_bytes=5250, horizon_days=10.0)
+        assert result.required_downlink_bps() == pytest.approx(1.0, rel=1e-12)
+
+    def test_zero_horizon_is_zero_demand(self):
+        result = make_result([], downlink_bytes=1000, horizon_days=0.0)
+        assert result.required_downlink_bps() == 0.0
+
+
+class TestPerBandBytes:
+    def test_sums_across_records(self):
+        result = make_result(
+            [
+                make_record(band_bytes={"B4": 100, "B11": 50}),
+                make_record(band_bytes={"B4": 25}),
+            ]
+        )
+        assert result.per_band_bytes() == {"B4": 125, "B11": 50}
+
+    def test_includes_dropped_records(self):
+        """Per-band totals partition *all* downlink bytes, and dropped
+        captures carry none."""
+        result = make_result(
+            [
+                make_record(band_bytes={"B4": 100}),
+                make_record(band_bytes={}, dropped=True, bytes_downlinked=0),
+            ]
+        )
+        assert result.per_band_bytes() == {"B4": 100}
+
+
+class TestPerLocationPsnr:
+    def test_pools_per_location(self):
+        result = make_result(
+            [
+                make_record(location="A", psnr=10.0),
+                make_record(location="A", psnr=20.0),
+                make_record(location="B", psnr=30.0),
+            ]
+        )
+        pooled = result.per_location_psnr()
+        assert set(pooled) == {"A", "B"}
+        assert pooled["A"] == pytest.approx(12.5964, abs=1e-3)
+        assert pooled["B"] == pytest.approx(30.0, rel=1e-9)
+
+    def test_dropped_locations_absent(self):
+        result = make_result([make_record(location="C", dropped=True)])
+        assert result.per_location_psnr() == {}
+
+
+class TestPerLocationBytes:
+    def test_partitions_downlink(self):
+        result = make_result(
+            [
+                make_record(location="A", bytes_downlinked=100),
+                make_record(location="B", bytes_downlinked=40),
+                make_record(location="A", bytes_downlinked=10),
+            ]
+        )
+        assert result.per_location_bytes() == {"A": 110, "B": 40}
