@@ -9,6 +9,7 @@ import pytest
 
 from repro.codec.arith import ArithmeticDecoder, ArithmeticEncoder
 from repro.codec.dwt import Wavelet, forward_dwt2d, inverse_dwt2d
+from repro.codec.fastpath import BatchContextTable, BatchRangeEncoder
 from repro.codec.jpeg2000 import CodecConfig, ImageCodec
 from repro.codec.ratemodel import RateModel
 from repro.imagery.noise import fractal_noise
@@ -46,10 +47,44 @@ def test_bench_arith_encode_10k(benchmark, rng=np.random.default_rng(1)):
     assert [dec.decode(int(c)) for c in ctxs[:100]] == [int(b) for b in bits[:100]]
 
 
+def test_bench_arith_encode_many_10k(benchmark, rng=np.random.default_rng(1)):
+    """Batched range-coder API: same workload as the per-bit bench above."""
+    bits = rng.integers(0, 2, 10_000).tolist()
+    ctxs = rng.integers(0, 4, 10_000).tolist()
+
+    def encode():
+        enc = BatchRangeEncoder(BatchContextTable(4))
+        enc.encode_many(bits, ctxs)
+        return enc.finish()
+
+    data = benchmark(encode)
+    # Byte-identical to the reference encoder on the same stream.
+    ref = ArithmeticEncoder()
+    for b, c in zip(bits, ctxs):
+        ref.encode(b, c)
+    assert data == ref.finish()
+
+
 def test_bench_tile_encode_real_coder(benchmark, image256):
     codec = ImageCodec(CodecConfig(tile_size=64, base_step=1 / 256))
     tile = image256[:64, :64]
     benchmark(lambda: codec.encode(tile))
+
+
+def test_bench_tile_encode_vectorized(benchmark, image256):
+    codec = ImageCodec(
+        CodecConfig(tile_size=64, base_step=1 / 256), backend="vectorized"
+    )
+    tile = image256[:64, :64]
+    benchmark(lambda: codec.encode(tile))
+
+
+def test_bench_tile_decode_vectorized(benchmark, image256):
+    codec = ImageCodec(
+        CodecConfig(tile_size=64, base_step=1 / 256), backend="vectorized"
+    )
+    encoded = codec.encode(image256[:64, :64])
+    benchmark(lambda: codec.decode(encoded))
 
 
 def test_bench_rate_model_encode(benchmark, image256):

@@ -82,8 +82,9 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="bits per downloaded pixel (the paper's gamma)",
     )
     parser.add_argument(
-        "--codec", choices=("model", "real"), default="model",
-        help="fast rate model or full arithmetic-coded codec",
+        "--codec", choices=("model", "real", "vectorized"), default="model",
+        help="fast rate model, full arithmetic-coded codec, or its "
+        "bit-exact vectorized fast path",
     )
 
 

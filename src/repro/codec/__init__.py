@@ -12,7 +12,8 @@ package implements the codec for real, in numpy:
   (:mod:`repro.codec.quantize`);
 * embedded bit-plane coding with previous-plane significance contexts,
   driving an adaptive binary arithmetic (range) coder
-  (:mod:`repro.codec.bitplane`, :mod:`repro.codec.arith`);
+  (:mod:`repro.codec.bitplane`, :mod:`repro.codec.arith`), plus a
+  byte-identical vectorized fast path (:mod:`repro.codec.fastpath`);
 * a tile/image codec with region-of-interest tile selection, post-compression
   rate-distortion truncation, and quality layers
   (:mod:`repro.codec.jpeg2000`);
@@ -33,11 +34,13 @@ from repro.codec.dwt import (
 from repro.codec.quantize import QuantizerSpec, quantize_coeffs, dequantize_coeffs
 from repro.codec.arith import ArithmeticEncoder, ArithmeticDecoder, ContextModel
 from repro.codec.bitstream import BitWriter, BitReader
+from repro.codec.fastpath import VectorizedPlaneCoder
 from repro.codec.jpeg2000 import (
     ImageCodec,
     EncodedImage,
     EncodedTile,
     CodecConfig,
+    PLANE_CODER_BACKENDS,
 )
 from repro.codec.ratemodel import RateModel, RateModelResult
 
@@ -61,6 +64,8 @@ __all__ = [
     "EncodedImage",
     "EncodedTile",
     "CodecConfig",
+    "PLANE_CODER_BACKENDS",
+    "VectorizedPlaneCoder",
     "RateModel",
     "RateModelResult",
 ]

@@ -25,14 +25,25 @@ class RealCodecAdapter:
     Args:
         config: Codec geometry (tile size, DWT levels).
         n_layers: Quality layers per encoded image.
+        backend: Entropy-coding backend (``"reference"`` or the bit-exact
+            ``"vectorized"`` fast path).
+        parallel_tiles: Worker processes for the tile-parallel driver
+            (1 = in-process).
     """
 
     def __init__(
-        self, config: CodecConfig | None = None, n_layers: int = 1
+        self,
+        config: CodecConfig | None = None,
+        n_layers: int = 1,
+        backend: str = "reference",
+        parallel_tiles: int = 1,
     ) -> None:
         self.config = config if config is not None else CodecConfig()
         self.n_layers = n_layers
-        self._codec = ImageCodec(self.config)
+        self.backend = backend
+        self._codec = ImageCodec(
+            self.config, backend=backend, parallel_tiles=parallel_tiles
+        )
 
     def encode(
         self,

@@ -24,6 +24,23 @@ _MASK32 = 0xFFFFFFFF
 _MAX_TOTAL = 1 << 12
 
 
+def clamp_probability0(scaled: int) -> int:
+    """Clamp a scaled P(bit = 0) into the coder's legal 1..65535 range.
+
+    The single authoritative definition of the probability clamp, shared by
+    :class:`ContextModel` and the batched fast path
+    (:mod:`repro.codec.fastpath`), so the two backends cannot drift.  With
+    Laplace-smoothed counts (both >= 1, total < ``_MAX_TOTAL``) the clamp is
+    provably a no-op, but it guards the coder against any future count
+    representation that can reach the boundaries.
+    """
+    if scaled < 1:
+        return 1
+    if scaled > 65535:
+        return 65535
+    return scaled
+
+
 class ContextModel:
     """Adaptive probability estimate for one binary context.
 
@@ -41,12 +58,7 @@ class ContextModel:
     def probability0_scaled(self) -> int:
         """P(bit = 0) scaled to 1..65535 (never 0 or 65536)."""
         total = self.count0 + self.count1
-        scaled = (self.count0 << 16) // total
-        if scaled < 1:
-            return 1
-        if scaled > 65535:
-            return 65535
-        return scaled
+        return clamp_probability0((self.count0 << 16) // total)
 
     def update(self, bit: int) -> None:
         """Fold an observed bit into the estimate."""

@@ -41,9 +41,33 @@ class PlaneSegment:
     data: bytes
 
 
+def check_bands(
+    band_shapes: list[tuple[str, int, tuple[int, int]]],
+    bands: list[np.ndarray],
+) -> None:
+    """Validate that ``bands`` matches the declared count and shapes.
+
+    Shared by the reference and vectorized plane coders.
+
+    Raises:
+        BitstreamError: On any count or shape mismatch.
+    """
+    if len(bands) != len(band_shapes):
+        raise BitstreamError(
+            f"expected {len(band_shapes)} subbands, got {len(bands)}"
+        )
+    for band, (name, level, shape) in zip(bands, band_shapes):
+        if tuple(band.shape) != tuple(shape):
+            raise BitstreamError(
+                f"subband {name}{level} shape {band.shape} != expected {shape}"
+            )
+
+
 def _neighbor_count(significant: np.ndarray) -> np.ndarray:
     """Number of significant 8-neighbours for every position."""
-    padded = np.pad(significant.astype(np.int32), 1)
+    height, width = significant.shape
+    padded = np.zeros((height + 2, width + 2), dtype=np.int32)
+    padded[1:-1, 1:-1] = significant
     return (
         padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
         + padded[1:-1, :-2] + padded[1:-1, 2:]
@@ -230,15 +254,7 @@ class SubbandPlaneCoder:
                 magnitude[ys[position], xs[position]] += plane_value
 
     def _check_bands(self, bands: list[np.ndarray]) -> None:
-        if len(bands) != len(self.band_shapes):
-            raise BitstreamError(
-                f"expected {len(self.band_shapes)} subbands, got {len(bands)}"
-            )
-        for band, (name, level, shape) in zip(bands, self.band_shapes):
-            if tuple(band.shape) != tuple(shape):
-                raise BitstreamError(
-                    f"subband {name}{level} shape {band.shape} != expected {shape}"
-                )
+        check_bands(self.band_shapes, bands)
 
 
 def truncation_distortions(

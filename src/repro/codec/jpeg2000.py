@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.codec.bitplane import PlaneSegment, SubbandPlaneCoder
 from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.fastpath import VectorizedPlaneCoder
 from repro.codec.dwt import Wavelet, WaveletCoeffs, forward_dwt2d, inverse_dwt2d
 from repro.codec.quantize import (
     QuantizerSpec,
@@ -37,6 +38,13 @@ from repro.codec.quantize import (
 from repro.errors import BitstreamError, CodecError, RateControlError
 
 _MAGIC = b"EPJ2"
+
+#: Entropy-coding backends: both produce byte-identical bitstreams (enforced
+#: by the differential test harness); "vectorized" is the fast path.
+PLANE_CODER_BACKENDS = {
+    "reference": SubbandPlaneCoder,
+    "vectorized": VectorizedPlaneCoder,
+}
 
 
 def subband_shapes(
@@ -220,18 +228,27 @@ class EncodedImage:
         bit_depth = reader.read_uvarint()
         n_layers = reader.read_uvarint()
         (base_step,) = struct.unpack("<d", reader.read_bytes(8))
-        config = CodecConfig(
-            tile_size=tile_size,
-            levels=levels,
-            wavelet=wavelet,
-            bit_depth=bit_depth,
-            base_step=base_step if base_step > 0 else 1.0 / 512.0,
-        )
+        # A corrupted header must surface as BitstreamError, never as a
+        # config/validation error or a pathological allocation.
+        try:
+            config = CodecConfig(
+                tile_size=tile_size,
+                levels=levels,
+                wavelet=wavelet,
+                bit_depth=bit_depth,
+                base_step=base_step if base_step > 0 else 1.0 / 512.0,
+            )
+        except CodecError as exc:
+            raise BitstreamError(f"corrupt container header: {exc}") from exc
+        if n_layers < 1:
+            raise BitstreamError(f"corrupt layer count {n_layers}")
         roi_size = reader.read_uvarint()
         tiles_y = (height + tile_size - 1) // tile_size
         tiles_x = (width + tile_size - 1) // tile_size
         if roi_size != tiles_y * tiles_x:
             raise BitstreamError("ROI bitmap size mismatch")
+        if roi_size > reader.remaining_bytes() * 8:
+            raise BitstreamError("truncated ROI bitmap")
         roi = np.zeros(roi_size, dtype=bool)
         for idx in range(roi_size):
             roi[idx] = bool(reader.read_bit())
@@ -243,7 +260,17 @@ class EncodedImage:
             ty = reader.read_uvarint()
             tx = reader.read_uvarint()
             max_plane = reader.read_uvarint() - 1
+            # Magnitudes are reconstructed into int64 planes; anything
+            # deeper than 62 is unreachable from a real encode and would
+            # overflow downstream, so treat it as corruption here.
+            if max_plane > 62:
+                raise BitstreamError(f"corrupt max_plane {max_plane}")
             n_segments = reader.read_uvarint()
+            if n_segments > max_plane + 1:
+                raise BitstreamError(
+                    f"corrupt tile: {n_segments} segments for "
+                    f"max_plane {max_plane}"
+                )
             layer_planes = [reader.read_uvarint() for _ in range(n_layers)]
             seg_lens = [reader.read_uvarint() for _ in range(n_segments)]
             metas.append((ty, tx, max_plane, layer_planes, seg_lens))
@@ -281,10 +308,35 @@ class ImageCodec:
     Args:
         config: Codec parameters; defaults match the paper's setup
             (64x64 tiles, 3-level 9/7).
+        backend: Entropy-coding backend, ``"reference"`` (per-bit adaptive
+            coder) or ``"vectorized"`` (batched fast path).  The two are
+            bit-exact: identical bitstreams, identical reconstructions.
+        parallel_tiles: Worker processes for the tile-level parallel
+            encode/decode driver; ``1`` (default) runs in-process.  Tiles
+            are independent, so parallel results are byte-identical to
+            serial ones.
     """
 
-    def __init__(self, config: CodecConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: CodecConfig | None = None,
+        backend: str = "reference",
+        parallel_tiles: int = 1,
+    ) -> None:
         self.config = config if config is not None else CodecConfig()
+        if backend not in PLANE_CODER_BACKENDS:
+            raise CodecError(
+                f"backend must be one of {sorted(PLANE_CODER_BACKENDS)}, "
+                f"got {backend!r}"
+            )
+        if parallel_tiles < 1:
+            raise CodecError(
+                f"parallel_tiles must be >= 1, got {parallel_tiles}"
+            )
+        self.backend = backend
+        self.parallel_tiles = parallel_tiles
+        self._coder_cls = PLANE_CODER_BACKENDS[backend]
+        self._pool = None
 
     # ------------------------------------------------------------------
     # Tiling helpers
@@ -343,15 +395,26 @@ class ImageCodec:
         if tuple(roi.shape) != grid:
             raise CodecError(f"roi shape {roi.shape} != tile grid {grid}")
         step = base_step if base_step is not None else self.config.base_step
-        tiles: list[EncodedTile] = []
+        jobs: list[tuple[np.ndarray, tuple[int, int]]] = []
         for ty in range(grid[0]):
             for tx in range(grid[1]):
                 if not roi[ty, tx]:
                     continue
                 y0, y1, x0, x1 = self._tile_bounds(image.shape, ty, tx)
-                tiles.append(
-                    self._encode_tile(image[y0:y1, x0:x1], (ty, tx), step)
-                )
+                jobs.append((image[y0:y1, x0:x1], (ty, tx)))
+        if self.parallel_tiles > 1 and len(jobs) > 1:
+            tiles = self._map_tiles_parallel(
+                _encode_tile_job,
+                [
+                    (self.config, self.backend, tile_img, index, step)
+                    for tile_img, index in jobs
+                ],
+            )
+        else:
+            tiles = [
+                self._encode_tile(tile_img, index, step)
+                for tile_img, index in jobs
+            ]
         self._allocate(tiles, target_bytes, n_layers)
         return EncodedImage(
             shape=image.shape,
@@ -390,7 +453,7 @@ class ImageCodec:
             (f"{name}{level}", level, band.shape)
             for name, level, band in quantized
         ]
-        coder = SubbandPlaneCoder(
+        coder = self._coder_cls(
             [(key, level, shape) for key, level, shape in band_shapes]
         )
         bands = [band for _, _, band in quantized]
@@ -529,16 +592,55 @@ class ImageCodec:
             out = background.astype(np.float64).copy()
         else:
             out = np.zeros(encoded.shape, dtype=np.float64)
+        bounds = []
+        jobs = []
         for tile in encoded.tiles:
             ty, tx = tile.tile_index
             y0, y1, x0, x1 = self._tile_bounds(encoded.shape, ty, tx)
             n_planes = tile.layer_planes[layers - 1] if tile.layer_planes else len(
                 tile.segments
             )
-            out[y0:y1, x0:x1] = self._decode_tile(
-                (y1 - y0, x1 - x0), tile, n_planes, encoded.base_step
+            bounds.append((y0, y1, x0, x1))
+            jobs.append((tile, (y1 - y0, x1 - x0), n_planes))
+        if self.parallel_tiles > 1 and len(jobs) > 1:
+            patches = self._map_tiles_parallel(
+                _decode_tile_job,
+                [
+                    (self.config, self.backend, shape, tile, n_planes,
+                     encoded.base_step)
+                    for tile, shape, n_planes in jobs
+                ],
             )
+        else:
+            patches = [
+                self._decode_tile(shape, tile, n_planes, encoded.base_step)
+                for tile, shape, n_planes in jobs
+            ]
+        for (y0, y1, x0, x1), patch in zip(bounds, patches):
+            out[y0:y1, x0:x1] = patch
         return out
+
+    def _map_tiles_parallel(self, job, args_list: list) -> list:
+        """Run per-tile jobs across worker processes, preserving tile order.
+
+        Tiles are fully independent, so the gathered results are identical
+        to a serial run — the differential tests assert byte equality.  The
+        pool is created lazily and reused across calls: a simulation encodes
+        one image per capture, and paying worker spawn per image would undo
+        the parallel win.  (The interpreter reaps it at exit.)
+        """
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.parallel_tiles)
+        return list(self._pool.map(job, args_list))
+
+    def __getstate__(self) -> dict:
+        # Executors are process-local; a codec shipped to a worker (e.g. by
+        # the scenario layer) re-creates its pool lazily on first use.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
 
     def _decode_tile(
         self,
@@ -552,7 +654,7 @@ class ImageCodec:
         if tile.max_plane < 0:
             # All-zero tile: mid-grey zero reconstruction.
             return np.zeros(shape, dtype=np.float64)
-        coder = SubbandPlaneCoder(
+        coder = self._coder_cls(
             [(f"{name}{level}", level, shp) for name, level, shp in shapes]
         )
         decoded = coder.decode(tile.segments[:n_planes], tile.max_plane)
@@ -601,3 +703,21 @@ class ImageCodec:
         return WaveletCoeffs(
             approx=approx, details=details, shape=shape, wavelet=wavelet
         )
+
+
+def _encode_tile_job(
+    args: tuple[CodecConfig, str, np.ndarray, tuple[int, int], float]
+) -> EncodedTile:
+    """Encode one tile in a worker process (tile-parallel driver)."""
+    config, backend, tile_img, index, step = args
+    return ImageCodec(config, backend=backend)._encode_tile(tile_img, index, step)
+
+
+def _decode_tile_job(
+    args: tuple[CodecConfig, str, tuple[int, int], EncodedTile, int, float]
+) -> np.ndarray:
+    """Decode one tile in a worker process (tile-parallel driver)."""
+    config, backend, shape, tile, n_planes, base_step = args
+    return ImageCodec(config, backend=backend)._decode_tile(
+        shape, tile, n_planes, base_step
+    )

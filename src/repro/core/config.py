@@ -106,8 +106,14 @@ class EarthPlusConfig:
             packed in 2 bytes).
         codec_backend: ``"model"`` uses the calibrated fast rate model for
             ROI encoding (default; right for parameter sweeps);
-            ``"real"`` runs the full bit-exact arithmetic-coded codec so
-            every downlinked byte is a real bitstream byte.
+            ``"reference"`` (alias ``"real"``) runs the full bit-exact
+            arithmetic-coded codec so every downlinked byte is a real
+            bitstream byte; ``"vectorized"`` runs the same codec through
+            the batched fast path, which is proven byte-identical to the
+            reference coder by the differential test harness.
+        codec_parallel_tiles: Worker processes for the codec's tile-level
+            parallel encode/decode driver (1 = in-process; only meaningful
+            for the real-codec backends).
     """
 
     tile_size: int = 64
@@ -123,6 +129,7 @@ class EarthPlusConfig:
     reference_bytes_per_pixel: int = 1
     raw_bytes_per_pixel: int = 2
     codec_backend: str = "model"
+    codec_parallel_tiles: int = 1
 
     def __post_init__(self) -> None:
         if self.tile_size <= 0:
@@ -156,10 +163,15 @@ class EarthPlusConfig:
             raise ConfigError(
                 "delta_reference_updates requires cache_references_onboard"
             )
-        if self.codec_backend not in ("model", "real"):
+        if self.codec_backend not in ("model", "real", "reference", "vectorized"):
             raise ConfigError(
-                f"codec_backend must be 'model' or 'real', "
-                f"got {self.codec_backend!r}"
+                f"codec_backend must be 'model', 'real'/'reference', or "
+                f"'vectorized', got {self.codec_backend!r}"
+            )
+        if self.codec_parallel_tiles < 1:
+            raise ConfigError(
+                f"codec_parallel_tiles must be >= 1, "
+                f"got {self.codec_parallel_tiles}"
             )
 
     def reference_compression_ratio(self) -> float:

@@ -49,16 +49,29 @@ ALIGNMENT_BYTES = _ALIGNMENT_BYTES
 def build_rate_model(
     config: EarthPlusConfig, codec_config: CodecConfig | None = None
 ):
-    """The configured rate backend: fast model or real arithmetic codec."""
+    """The configured rate backend: fast model or real arithmetic codec.
+
+    ``codec_backend`` selects ``"model"`` (calibrated rate model),
+    ``"reference"``/``"real"`` (bit-exact arithmetic codec), or
+    ``"vectorized"`` (same codec via the byte-identical batched fast path).
+    """
     resolved = (
         codec_config
         if codec_config is not None
         else CodecConfig(tile_size=config.tile_size)
     )
-    if config.codec_backend == "real":
+    if config.codec_backend in ("real", "reference", "vectorized"):
         from repro.codec.adapter import RealCodecAdapter
 
-        return RealCodecAdapter(resolved, n_layers=config.n_quality_layers)
+        entropy_backend = (
+            "vectorized" if config.codec_backend == "vectorized" else "reference"
+        )
+        return RealCodecAdapter(
+            resolved,
+            n_layers=config.n_quality_layers,
+            backend=entropy_backend,
+            parallel_tiles=config.codec_parallel_tiles,
+        )
     return RateModel(resolved)
 
 

@@ -127,3 +127,38 @@ class TestRealBackendPipeline:
             totals[backend] = encoder.process_capture(capture).total_bytes
         ratio = totals["real"] / totals["model"]
         assert 0.5 < ratio < 2.0
+
+    def test_reference_and_vectorized_pipeline_identical(
+        self, onboard_detector, tiny_sentinel_dataset
+    ):
+        """The vectorized backend is bit-exact through the whole pipeline:
+        identical byte counts and identical PSNR, not merely 'close'."""
+        from repro.core.config import EarthPlusConfig
+        from repro.core.encoder import EarthPlusEncoder
+        from repro.core.reference import OnboardReferenceCache
+
+        sensor = tiny_sentinel_dataset.sensors["A"]
+        t = 0.0
+        while t < 200:
+            capture = sensor.capture(0, t)
+            if capture.cloud_coverage < 0.05:
+                break
+            t += 1.7
+        results = {}
+        for backend in ("reference", "vectorized"):
+            encoder = EarthPlusEncoder(
+                config=EarthPlusConfig(gamma_bpp=0.3, codec_backend=backend),
+                bands=tiny_sentinel_dataset.bands,
+                image_shape=tiny_sentinel_dataset.image_shape,
+                cloud_detector=onboard_detector,
+                cache=OnboardReferenceCache(lr_tile=8),
+            )
+            results[backend] = encoder.process_capture(capture)
+        ref, vec = results["reference"], results["vectorized"]
+        assert ref.total_bytes == vec.total_bytes
+        for band_ref, band_vec in zip(ref.bands, vec.bands):
+            assert band_ref.bytes_downlinked == band_vec.bytes_downlinked
+            assert band_ref.psnr_downloaded == band_vec.psnr_downloaded
+            assert np.array_equal(
+                band_ref.reconstruction, band_vec.reconstruction
+            )

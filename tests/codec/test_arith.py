@@ -5,10 +5,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.codec.arith import (
+    _MAX_TOTAL,
     ArithmeticDecoder,
     ArithmeticEncoder,
     ContextModel,
     ContextSet,
+    clamp_probability0,
 )
 
 
@@ -35,6 +37,81 @@ class TestContextModel:
         for _ in range(10_000):
             model.update(0)
         assert model.count0 + model.count1 < 5000
+
+
+class TestProbabilityClamp:
+    """The centralized 1..65535 clamp shared by both coder backends."""
+
+    def test_clamp_bounds(self):
+        assert clamp_probability0(-5) == 1
+        assert clamp_probability0(0) == 1
+        assert clamp_probability0(1) == 1
+        assert clamp_probability0(32768) == 32768
+        assert clamp_probability0(65535) == 65535
+        assert clamp_probability0(65536) == 65535
+        assert clamp_probability0(10**9) == 65535
+
+    def test_model_probability_goes_through_clamp(self):
+        """probability0_scaled == clamp of the raw scaled ratio, always."""
+        model = ContextModel()
+        rng = np.random.default_rng(11)
+        for _ in range(20_000):
+            raw = (model.count0 << 16) // (model.count0 + model.count1)
+            assert model.probability0_scaled() == clamp_probability0(raw)
+            model.update(int(rng.integers(0, 2)))
+
+    def test_clamp_is_noop_for_legal_counts(self):
+        """With Laplace counts >= 1 and total < _MAX_TOTAL the raw value is
+        already in 1..65535, so both backends may inline the division."""
+        for count0 in (1, 2, _MAX_TOTAL // 2, _MAX_TOTAL - 2):
+            for count1 in (1, 2, _MAX_TOTAL - 1 - count0):
+                if count1 < 1 or count0 + count1 >= _MAX_TOTAL:
+                    continue
+                raw = (count0 << 16) // (count0 + count1)
+                assert 1 <= raw <= 65535
+                assert clamp_probability0(raw) == raw
+
+
+class TestAdaptiveHalving:
+    """Pins the exact count evolution around the _MAX_TOTAL boundary."""
+
+    def test_halving_triggers_exactly_at_max_total(self):
+        model = ContextModel()
+        # Drive the total to _MAX_TOTAL - 1 (no halving yet: the check is
+        # post-update, and totals below the cap are left untouched).
+        for _ in range(_MAX_TOTAL - 3):
+            model.update(0)
+        assert model.count0 + model.count1 == _MAX_TOTAL - 1
+        assert model.count0 == _MAX_TOTAL - 2
+        assert model.count1 == 1
+        # The update that reaches _MAX_TOTAL halves both counts, rounding up.
+        model.update(0)
+        assert model.count0 == _MAX_TOTAL // 2
+        assert model.count1 == 1
+
+    def test_halving_rounds_up_both_counts(self):
+        model = ContextModel()
+        model.count0 = 2047
+        model.count1 = 2048
+        model.update(1)  # total hits 4096 with count1 = 2049
+        assert model.count0 == (2047 + 1) >> 1
+        assert model.count1 == (2049 + 1) >> 1
+
+    def test_total_never_reaches_max_after_update(self):
+        model = ContextModel()
+        rng = np.random.default_rng(5)
+        for _ in range(3 * _MAX_TOTAL):
+            model.update(int(rng.integers(0, 2)))
+            assert model.count0 + model.count1 < _MAX_TOTAL
+            assert model.count0 >= 1
+            assert model.count1 >= 1
+
+    def test_halving_preserves_probability_skew(self):
+        """Halving keeps the learned skew (ratio) approximately intact."""
+        model = ContextModel()
+        for _ in range(_MAX_TOTAL):  # heavily zero-biased, multiple halvings
+            model.update(0)
+        assert model.probability0_scaled() > 60000
 
 
 class TestRoundtrip:

@@ -67,11 +67,19 @@ class TestEarthPlusConfig:
             {"drop_cloud_fraction": 0.0},
             {"guaranteed_download_days": 0.0},
             {"n_quality_layers": 0},
+            {"codec_backend": "kakadu"},
+            {"codec_parallel_tiles": 0},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ConfigError):
             EarthPlusConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "backend", ["model", "real", "reference", "vectorized"]
+    )
+    def test_codec_backends_accepted(self, backend):
+        assert EarthPlusConfig(codec_backend=backend).codec_backend == backend
 
     def test_delta_requires_cache(self):
         with pytest.raises(ConfigError):
