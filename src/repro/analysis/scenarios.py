@@ -14,6 +14,16 @@ their specs inside workers, detector training is seeded and memoized, and
 the ground segment's RNG streams are derived from the spec's seed.  A
 process-parallel batch is therefore byte-identical to running the same
 specs sequentially.
+
+Warm state rides on that determinism: because :meth:`DatasetSpec.build`
+memoizes per process, every scenario of a sweep that names the same spec
+shares one set of ``EarthModel``/``CloudModel``/sensor objects — and with
+them the fast path's capture/surface caches and the schedule's memoized
+visit ordering (see :mod:`repro.perf` and docs/architecture.md,
+"Simulation fast path").  The first run of a sweep pays full imagery
+synthesis; subsequent policies/seeds over the same dataset re-observe
+cached captures.  The caches never change results (differential-tested);
+they only remove redundant recomputation.
 """
 
 from __future__ import annotations
@@ -232,6 +242,12 @@ def run_scenarios(
     Results are returned in spec order and are byte-identical to running
     :func:`run_scenario` on each spec sequentially — workers rebuild
     datasets and detectors deterministically from the specs.
+
+    Prefer :class:`DatasetSpec` over a prebuilt dataset for batches: specs
+    hit the per-process dataset cache, so every scenario a worker runs
+    over the same dataset reuses one warm set of models, sensors, caches,
+    and the precomputed visit ordering.  A prebuilt dataset is pickled
+    per task and arrives cold in each worker.
 
     Args:
         specs: The scenarios to run.

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import perf
 from repro.analysis.experiments import POLICY_NAMES, run_policy
 from repro.analysis.scenarios import (
     DatasetSpec,
@@ -152,6 +153,26 @@ def _scenario_dict(spec: ScenarioSpec, result) -> dict:
     }
 
 
+def _profile_rows(profiler) -> list[dict]:
+    """Phase + kernel timing rows for ``simulate --profile``.
+
+    Phases (``uplink``/``capture``/``ingest``) tile the simulation loop;
+    kernels (``imagery``/``codec``/``dwt``/``scoring``) run inside phases
+    and break down where phase time goes.
+    """
+    phase_names = ("uplink", "capture", "ingest")
+    rows = []
+    for entry in profiler.rows():
+        entry = dict(entry)
+        entry["kind"] = (
+            "phase" if entry["section"] in phase_names else "kernel"
+        )
+        rows.append(entry)
+    # Phases first (loop tiling), kernels after (breakdown), each group
+    # longest-running first — profiler.rows() is already time-sorted.
+    return sorted(rows, key=lambda r: r["kind"] != "phase")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one declarative scenario and print it in the chosen format."""
     spec = ScenarioSpec(
@@ -161,7 +182,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         uplink_bytes_per_contact=args.uplink_bytes,
         seed=args.seed,
     )
-    result = run_scenario(spec)
+    profiler = perf.enable_profiler() if args.profile else None
+    try:
+        result = run_scenario(spec)
+    finally:
+        if profiler is not None:
+            perf.disable_profiler()
     print(
         format_rows(
             _SCENARIO_COLUMNS,
@@ -170,6 +196,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             title=f"{args.policy} on {args.dataset} ({args.days:.0f} days)",
         )
     )
+    if profiler is not None:
+        print()
+        print(
+            format_rows(
+                ["kind", "section", "seconds", "calls"],
+                _profile_rows(profiler),
+                fmt=args.format,
+                title="per-phase timing breakdown "
+                "(kernels run inside phases)",
+            )
+        )
     return 0
 
 
@@ -319,6 +356,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--format", choices=("table", "csv", "json"), default="table",
         help="output format",
+    )
+    simulate_parser.add_argument(
+        "--profile", action="store_true",
+        help="emit a per-phase timing breakdown (uplink/capture/ingest "
+        "plus imagery/codec/dwt/scoring kernels) after the results",
     )
     simulate_parser.set_defaults(func=cmd_simulate)
 

@@ -10,6 +10,15 @@ the same quantities the adaptive coder's contexts track.
 The estimate is validated against the true coder in
 ``tests/codec/test_ratemodel.py`` (agreement within a calibrated tolerance);
 treat it as the "Kakadu throughput path" of the reproduction.
+
+When the simulation fast path is active (see :mod:`repro.perf`) the model
+runs batched: all ROI tiles of an image are transformed in one
+:func:`~repro.codec.dwt.dwt_many` call, quantization and the per-bit-plane
+significance statistics operate on ``(tile, h, w)`` stacks, and the step
+search reuses its decompositions for the final encode.  Every batched
+stage performs the same elementwise arithmetic in the same accumulation
+order as the per-tile reference loops, so results (byte estimates AND
+reconstructions) are bit-identical — the differential tests pin this.
 """
 
 from __future__ import annotations
@@ -19,7 +28,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.codec.dwt import Wavelet, WaveletCoeffs, forward_dwt2d, inverse_dwt2d
+from repro import perf
+from repro.codec.dwt import (
+    Wavelet,
+    WaveletCoeffs,
+    dwt_many,
+    forward_dwt2d,
+    idwt_many,
+    inverse_dwt2d,
+)
 from repro.codec.jpeg2000 import CodecConfig, effective_levels
 from repro.codec.metrics import psnr as psnr_metric
 from repro.codec.quantize import (
@@ -82,6 +99,116 @@ def estimate_band_bits(band_q: np.ndarray) -> tuple[float, int]:
     return bits, top + 1
 
 
+def _topbit_histogram(
+    band_q_stack: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Per-tile histogram of coefficient top-bit positions.
+
+    Returns ``(counts, tops, size)``: ``counts[t, p]`` is the number of
+    coefficients of tile ``t`` whose magnitude's highest set bit is plane
+    ``p``, ``tops[t]`` the tile's highest occupied plane (-1 when all
+    zero), and ``size`` the per-tile coefficient count.  np.frexp is exact
+    for the int32-quantized magnitudes (< 2^53): ``m = mantissa * 2**exp``
+    with mantissa in [0.5, 1), so the top bit is ``exp - 1``.
+    """
+    n_tiles = band_q_stack.shape[0]
+    magnitude = np.abs(band_q_stack.astype(np.int64)).reshape(n_tiles, -1)
+    return _histogram_from_magnitudes(magnitude.astype(np.float64))
+
+
+def _magnitude_histogram(
+    band_stack: np.ndarray, step: float
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Top-bit histogram of dead-zone quantized magnitudes, sign-free.
+
+    ``floor(|c| / step)`` produces exactly the magnitudes
+    :func:`~repro.codec.quantize.quantize_coeffs` would (floor never
+    crosses a power-of-two boundary, and the values stay far below 2^53),
+    so the histogram matches :func:`_topbit_histogram` of the signed
+    quantized stack while skipping the sign computation and integer
+    round-trips the step search never needs.
+
+    One exception: magnitudes at or above 2^31 wrap in the quantizer's
+    int32 cast.  Such steps are absurdly fine (never reached by the rate
+    search) but are reachable through the public ``encode(base_step=...)``
+    — replicate the wrap exactly by deferring to the signed path.
+    """
+    n_tiles = band_stack.shape[0]
+    magnitude = np.floor(np.abs(band_stack) / step).reshape(n_tiles, -1)
+    counts, tops, size = _histogram_from_magnitudes(magnitude)
+    if size and int(tops.max()) >= 31:
+        return _topbit_histogram(_quantize_stack(band_stack, step))
+    return counts, tops, size
+
+
+def _histogram_from_magnitudes(
+    magnitude: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Shared histogram core over float64 integer-valued magnitudes."""
+    n_tiles = magnitude.shape[0]
+    _, exponents = np.frexp(magnitude)
+    topbit = exponents.astype(np.int64) - 1
+    tops = topbit.max(axis=1)
+    max_top = int(tops.max()) if n_tiles else -1
+    n_bins = max(max_top, 0) + 2  # bin 0 holds zeros (topbit == -1)
+    offsets = (np.arange(n_tiles, dtype=np.int64) * n_bins)[:, None]
+    counts = np.bincount(
+        (topbit + 1 + offsets).ravel(), minlength=n_tiles * n_bins
+    ).reshape(n_tiles, n_bins)[:, 1:]
+    return counts, tops, magnitude.shape[1]
+
+
+def _plane_walk_bits(
+    counts: np.ndarray, tops: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Entropy-model bit counts from top-bit histograms, batched.
+
+    Replays :func:`estimate_band_bits`'s descending plane walk for every
+    row at once: all per-plane statistics (significant / newly-significant
+    / insignificant counts) are exact integers derived from the histogram,
+    the Bernoulli entropies are computed in one elementwise call, and each
+    row's ``bits`` accumulator receives the same three additions in the
+    same plane order as the scalar walk — so each row's result is
+    bit-identical to the scalar estimate for that subband.
+
+    Args:
+        counts: ``(rows, planes)`` top-bit histograms (possibly padded
+            with zero columns above each row's top plane).
+        tops: ``(rows,)`` highest occupied plane per row (-1 if empty).
+        sizes: ``(rows,)`` coefficient counts per row.
+
+    Returns:
+        ``(rows,)`` float64 estimated bits.
+    """
+    n_rows, n_planes = counts.shape
+    bits = np.zeros(n_rows, dtype=np.float64)
+    if n_planes == 0:
+        return bits
+    # n_ge[:, p] = #(topbit >= p); the significant count at plane p is
+    # n_ge[:, p + 1].
+    n_ge = counts[:, ::-1].cumsum(axis=1)[:, ::-1].astype(np.float64)
+    sizes_f = sizes.astype(np.float64)
+    k_mat = counts.astype(np.float64)
+    n_sig_mat = np.zeros((n_rows, n_planes), dtype=np.float64)
+    n_sig_mat[:, :-1] = n_ge[:, 1:]
+    n_insig_mat = sizes_f[:, None] - n_sig_mat
+    safe_insig = np.where(n_insig_mat > 0, n_insig_mat, 1.0)
+    entropy_mat = _binary_entropy(k_mat / safe_insig)
+    zero = np.zeros(n_rows, dtype=np.float64)
+    for plane in range(n_planes - 1, -1, -1):
+        # Rows whose top plane is below `plane` must contribute nothing —
+        # the scalar walk starts at each subband's own top plane.
+        active = plane <= tops
+        n_insig = n_insig_mat[:, plane]
+        contributes = active & (n_insig > 0)
+        # Same three additions, in the same order, as the scalar walk;
+        # inactive rows add exact zeros (a float no-op for bits >= 0).
+        bits += np.where(contributes, n_insig * entropy_mat[:, plane], zero)
+        bits += np.where(contributes, k_mat[:, plane], zero)
+        bits += np.where(active, 0.95 * n_sig_mat[:, plane], zero)
+    return bits
+
+
 @dataclass
 class RateModelResult:
     """Outcome of a rate-model encode.
@@ -110,6 +237,67 @@ class RateModelResult:
         return self.coded_bytes * 8.0 / self.roi_pixels
 
 
+class _DecompBatch(list):
+    """ROI tile decompositions plus their stacked-subband batch plan.
+
+    Behaves exactly like the reference list of ``(y0, y1, x0, x1, levels,
+    coeffs)`` entries; ``plan`` additionally holds, per geometry group,
+    ``(tile_indices, subband_meta, subband_stacks)`` so the step search
+    quantizes prestacked subbands instead of restacking per bisection
+    step.
+    """
+
+    def __init__(self, entries, plan) -> None:
+        super().__init__(entries)
+        self.plan = plan
+
+
+def _plan_from_entries(entries) -> list[tuple]:
+    """Build the stacked-subband batch plan for decomposition entries.
+
+    Groups the ``(y0, y1, x0, x1, levels, coeffs)`` entries by geometry
+    and stacks each subband position across its group.  The single
+    source of the plan layout — transform, step search, and final encode
+    all consume what this builds.
+    """
+    groups: dict[tuple[int, int, int], list[int]] = {}
+    for idx, (_, _, _, _, levels, coeffs) in enumerate(entries):
+        key = (coeffs.shape[0], coeffs.shape[1], levels)
+        groups.setdefault(key, []).append(idx)
+    plan = []
+    for indices in groups.values():
+        subband_lists = [entries[i][5].subbands() for i in indices]
+        meta = [(n, l) for n, l, _ in subband_lists[0]]
+        stacks = [
+            np.stack([bands[b][2] for bands in subband_lists])
+            for b in range(len(meta))
+        ]
+        plan.append((indices, meta, stacks))
+    return plan
+
+
+def _quantize_stack(
+    band_stack: np.ndarray, step: float
+) -> np.ndarray:
+    """Dead-zone quantize a stacked subband (elementwise twin of
+    :func:`~repro.codec.quantize.quantize_coeffs`)."""
+    magnitudes = np.floor(np.abs(band_stack) / step).astype(np.int32)
+    signs = np.sign(band_stack).astype(np.int32)
+    return signs * magnitudes
+
+
+def _dequantize_stack(
+    band_q_stack: np.ndarray, step: float, reconstruction_offset: float = 0.5
+) -> np.ndarray:
+    """Elementwise twin of :func:`~repro.codec.quantize.dequantize_coeffs`."""
+    magnitudes = np.abs(band_q_stack).astype(np.float64)
+    return np.where(
+        band_q_stack != 0,
+        np.sign(band_q_stack) * (magnitudes + reconstruction_offset) * step,
+        0.0,
+    )
+
+
 class RateModel:
     """Fast encode-cost/quality model mirroring :class:`ImageCodec`.
 
@@ -120,13 +308,10 @@ class RateModel:
     def __init__(self, config: CodecConfig | None = None) -> None:
         self.config = config if config is not None else CodecConfig()
 
-    def _tile_decompositions(
+    def _roi_tile_blocks(
         self, image: np.ndarray, roi: np.ndarray
-    ) -> list[tuple[int, int, int, int, int, object]]:
-        """Forward-transform every ROI tile once (reused across step search).
-
-        Returns ``(y0, y1, x0, x1, levels, coeffs)`` per ROI tile.
-        """
+    ) -> list[tuple[int, int, int, int]]:
+        """Pixel bounds of every ROI tile, row-major."""
         tile = self.config.tile_size
         tiles_y, tiles_x = roi.shape
         out = []
@@ -137,38 +322,215 @@ class RateModel:
                 y0, x0 = ty * tile, tx * tile
                 y1 = min(y0 + tile, image.shape[0])
                 x1 = min(x0 + tile, image.shape[1])
-                block = image[y0:y1, x0:x1].astype(np.float64)
-                levels = effective_levels(block.shape, self.config.levels)
-                coeffs = forward_dwt2d(block, levels, Wavelet.CDF97)
-                out.append((y0, y1, x0, x1, levels, coeffs))
+                out.append((y0, y1, x0, x1))
         return out
+
+    def _tile_decompositions(
+        self, image: np.ndarray, roi: np.ndarray
+    ) -> list[tuple[int, int, int, int, int, object]]:
+        """Forward-transform every ROI tile once (reused across step search).
+
+        On the fast path, same-shape tiles are transformed together in one
+        :func:`~repro.codec.dwt.dwt_many` call (bit-identical per tile).
+
+        Returns ``(y0, y1, x0, x1, levels, coeffs)`` per ROI tile,
+        row-major.
+        """
+        bounds = self._roi_tile_blocks(image, roi)
+        if perf.simulation_fastpath():
+            # Group tiles by block shape (full-size interior tiles plus up
+            # to three edge shapes) and batch each group's transform.
+            groups: dict[tuple[int, int], list[int]] = {}
+            for idx, (y0, y1, x0, x1) in enumerate(bounds):
+                groups.setdefault((y1 - y0, x1 - x0), []).append(idx)
+            coeffs_by_idx: dict[int, tuple[int, object]] = {}
+            for shape, indices in groups.items():
+                levels = effective_levels(shape, self.config.levels)
+                blocks = [
+                    image[bounds[i][0] : bounds[i][1],
+                          bounds[i][2] : bounds[i][3]].astype(np.float64)
+                    for i in indices
+                ]
+                for i, coeffs in zip(
+                    indices, dwt_many(blocks, levels, Wavelet.CDF97)
+                ):
+                    coeffs_by_idx[i] = (levels, coeffs)
+            entries = [
+                bounds[i] + coeffs_by_idx[i] for i in range(len(bounds))
+            ]
+            return _DecompBatch(entries, _plan_from_entries(entries))
+        out = []
+        for y0, y1, x0, x1 in bounds:
+            block = image[y0:y1, x0:x1].astype(np.float64)
+            levels = effective_levels(block.shape, self.config.levels)
+            coeffs = forward_dwt2d(block, levels, Wavelet.CDF97)
+            out.append((y0, y1, x0, x1, levels, coeffs))
+        return out
+
+    def _payload_stats(
+        self, decomps, step: float, want_quantized: bool = True
+    ) -> tuple[float, int, dict[int, list[np.ndarray]] | None]:
+        """Per-step payload statistics shared by estimate and encode.
+
+        Returns ``(payload_bits, n_plane_segments, quantized_by_tile)``
+        where ``quantized_by_tile`` maps decomposition index to its
+        quantized subband arrays (fast path with ``want_quantized`` only;
+        otherwise None — the step search needs just the byte estimate,
+        and the reference path re-quantizes per tile).
+
+        ``payload_bits`` is accumulated tile-major then subband-major —
+        the exact order of the reference per-tile loop — from per-band bit
+        counts that are themselves bit-identical to
+        :func:`estimate_band_bits`.
+        """
+        spec = QuantizerSpec(base_step=step)
+        if not perf.simulation_fastpath():
+            payload_bits = 0.0
+            n_plane_segments = 0
+            for _, _, _, _, _, coeffs in decomps:
+                quantized = quantize_coeffs(coeffs, spec)
+                max_planes = 0
+                for _, _, band_q in quantized:
+                    bits, planes = estimate_band_bits(band_q)
+                    payload_bits += bits
+                    max_planes = max(max_planes, planes)
+                n_plane_segments += max_planes
+            return payload_bits, n_plane_segments, None
+        # Fast path: quantize + estimate each subband position on stacks
+        # spanning every same-geometry tile.  The stacks come prebuilt
+        # with the decompositions; rebuild them when handed a plain list.
+        plan = getattr(decomps, "plan", None)
+        if plan is None:
+            plan = _plan_from_entries(decomps)
+        quantized_by_tile = (
+            self._quantize_tiles_from_plan(plan, len(decomps), spec)
+            if want_quantized
+            else None
+        )
+        # Histogram every subband stack's quantized top-bit positions and
+        # run ONE plane walk over all (tile, subband) rows at once.  The
+        # bisection search never needs signed coefficients, so those are
+        # only materialized for the final encode (want_quantized).
+        count_blocks: list[np.ndarray] = []
+        top_blocks: list[np.ndarray] = []
+        size_blocks: list[np.ndarray] = []
+        pending: list[tuple[int, int | None, int]] = []  # (tile, row, planes)
+        n_rows = 0
+        for indices, subband_meta, stacks in plan:
+            for band_idx, (name, level) in enumerate(subband_meta):
+                band_step = spec.step_for(name, level)
+                if stacks[band_idx][0].size == 0:
+                    pending.extend((tile_idx, None, 0) for tile_idx in indices)
+                    continue
+                counts, tops, size = _magnitude_histogram(
+                    stacks[band_idx], band_step
+                )
+                count_blocks.append(counts)
+                top_blocks.append(tops)
+                size_blocks.append(
+                    np.full(len(indices), size, dtype=np.int64)
+                )
+                for pos, tile_idx in enumerate(indices):
+                    planes = int(tops[pos]) + 1 if tops[pos] >= 0 else 0
+                    pending.append((tile_idx, n_rows + pos, planes))
+                n_rows += len(indices)
+        if count_blocks:
+            max_planes = max(block.shape[1] for block in count_blocks)
+            counts_mat = np.zeros((n_rows, max_planes), dtype=np.int64)
+            row = 0
+            for block in count_blocks:
+                counts_mat[row : row + block.shape[0], : block.shape[1]] = block
+                row += block.shape[0]
+            row_bits = _plane_walk_bits(
+                counts_mat,
+                np.concatenate(top_blocks),
+                np.concatenate(size_blocks),
+            )
+        else:
+            row_bits = np.zeros(0)
+        bits_by_tile: dict[int, list[float]] = {
+            i: [] for i in range(len(decomps))
+        }
+        planes_by_tile: dict[int, int] = {i: 0 for i in range(len(decomps))}
+        for tile_idx, row, planes in pending:
+            bits_by_tile[tile_idx].append(
+                float(row_bits[row]) if row is not None else 0.0
+            )
+            planes_by_tile[tile_idx] = max(planes_by_tile[tile_idx], planes)
+        payload_bits = 0.0
+        n_plane_segments = 0
+        for tile_idx in range(len(decomps)):
+            for bits in bits_by_tile[tile_idx]:
+                payload_bits += bits
+            n_plane_segments += planes_by_tile[tile_idx]
+        return payload_bits, n_plane_segments, quantized_by_tile
+
+    def _resolve_roi(
+        self, image: np.ndarray, roi: np.ndarray | None
+    ) -> np.ndarray:
+        """Default and validate an ROI grid for ``image`` (single source
+        of the tile-grid arithmetic)."""
+        tile = self.config.tile_size
+        grid_shape = (
+            (image.shape[0] + tile - 1) // tile,
+            (image.shape[1] + tile - 1) // tile,
+        )
+        if roi is None:
+            return np.ones(grid_shape, dtype=bool)
+        if roi.shape != grid_shape:
+            raise CodecError(
+                f"roi shape {roi.shape} != tile grid {grid_shape}"
+            )
+        return roi
+
+    def prepare(
+        self, image: np.ndarray, roi: np.ndarray | None = None
+    ) -> list:
+        """Precompute the step-independent transforms for (image, roi).
+
+        Public entry point for warm-start callers: the returned
+        decompositions can be passed to :meth:`encode` /
+        :meth:`find_step_for_bytes` / :meth:`estimate_with_stats` so one
+        forward transform is shared across a warm-step probe and the
+        fallback search.  Backends without this method simply take the
+        un-shared path.
+        """
+        return self._tile_decompositions(image, self._resolve_roi(image, roi))
+
+    def estimate_with_stats(
+        self, decomps, step: float
+    ) -> tuple[int, float, int]:
+        """Coded-size estimate plus the stats it derives from.
+
+        Returns ``(coded_bytes, payload_bits, n_plane_segments)`` so
+        callers that go on to encode at this exact step can skip
+        recomputing the payload statistics (pass them back as
+        ``payload_hint``).
+        """
+        with perf.profiled("codec"):
+            payload_bits, n_plane_segments, _ = self._payload_stats(
+                decomps, step, want_quantized=False
+            )
+            payload_bytes = int(math.ceil(payload_bits / 8.0))
+            coded = (
+                payload_bytes
+                + _HEADER_BYTES
+                + len(decomps) * _TILE_OVERHEAD_BYTES
+                + n_plane_segments * _PLANE_FLUSH_BYTES
+            )
+            return coded, payload_bits, n_plane_segments
 
     def _estimate_bytes(self, decomps, step: float) -> int:
         """Coded-size estimate at ``step`` from precomputed decompositions."""
-        payload_bits = 0.0
-        n_plane_segments = 0
-        spec = QuantizerSpec(base_step=step)
-        for _, _, _, _, _, coeffs in decomps:
-            quantized = quantize_coeffs(coeffs, spec)
-            max_planes = 0
-            for _, _, band_q in quantized:
-                bits, planes = estimate_band_bits(band_q)
-                payload_bits += bits
-                max_planes = max(max_planes, planes)
-            n_plane_segments += max_planes
-        payload_bytes = int(math.ceil(payload_bits / 8.0))
-        return (
-            payload_bytes
-            + _HEADER_BYTES
-            + len(decomps) * _TILE_OVERHEAD_BYTES
-            + n_plane_segments * _PLANE_FLUSH_BYTES
-        )
+        return self.estimate_with_stats(decomps, step)[0]
 
     def encode(
         self,
         image: np.ndarray,
         base_step: float | None = None,
         roi: np.ndarray | None = None,
+        decompositions: list | None = None,
+        payload_hint: tuple[float, float, int] | None = None,
     ) -> RateModelResult:
         """Model-encode ``image`` with quantizer ``base_step`` over ``roi``.
 
@@ -177,6 +539,13 @@ class RateModel:
             base_step: Quantizer base step (defaults to config).
             roi: Boolean tile grid; only True tiles are coded.  Non-ROI
                 pixels come back as zeros in the reconstruction.
+            decompositions: Optional precomputed output of
+                :meth:`_tile_decompositions` for this exact (image, roi),
+                letting the step search skip a redundant forward transform.
+            payload_hint: Optional ``(step, payload_bits,
+                n_plane_segments)`` from a prior
+                :meth:`estimate_with_stats` at this exact step; used
+                (fast path only) to skip recomputing payload statistics.
 
         Returns:
             A :class:`RateModelResult` with byte estimate and exact PSNR.
@@ -186,15 +555,20 @@ class RateModel:
         step = base_step if base_step is not None else self.config.base_step
         if step <= 0:
             raise CodecError(f"base_step must be positive, got {step}")
+        roi = self._resolve_roi(image, roi)
+        with perf.profiled("codec"):
+            if perf.simulation_fastpath():
+                return self._encode_batched(
+                    image, step, roi, decompositions, payload_hint
+                )
+            return self._encode_reference(image, step, roi)
+
+    def _encode_reference(
+        self, image: np.ndarray, step: float, roi: np.ndarray
+    ) -> RateModelResult:
+        """The original per-tile encode loop (differential-test oracle)."""
         tile = self.config.tile_size
-        tiles_y = (image.shape[0] + tile - 1) // tile
-        tiles_x = (image.shape[1] + tile - 1) // tile
-        if roi is None:
-            roi = np.ones((tiles_y, tiles_x), dtype=bool)
-        if roi.shape != (tiles_y, tiles_x):
-            raise CodecError(
-                f"roi shape {roi.shape} != tile grid {(tiles_y, tiles_x)}"
-            )
+        tiles_y, tiles_x = roi.shape
         recon = np.zeros(image.shape, dtype=np.float64)
         payload_bits = 0.0
         n_plane_segments = 0
@@ -238,6 +612,126 @@ class RateModel:
                 recon[y0:y1, x0:x1] = np.clip(
                     inverse_dwt2d(recon_coeffs), 0.0, 1.0
                 )
+        return self._assemble_result(
+            image, recon, roi_mask_pixels, payload_bits,
+            n_tiles, n_plane_segments, step,
+        )
+
+    def _quantize_tiles(
+        self, decomps, spec: QuantizerSpec
+    ) -> dict[int, list[np.ndarray]] | None:
+        """Quantized subband arrays per tile from a batch plan.
+
+        The quantize-only half of :meth:`_payload_stats`; returns None
+        when the decompositions carry no batch plan.
+        """
+        plan = getattr(decomps, "plan", None)
+        if plan is None:
+            return None
+        return self._quantize_tiles_from_plan(plan, len(decomps), spec)
+
+    @staticmethod
+    def _quantize_tiles_from_plan(
+        plan, n_tiles: int, spec: QuantizerSpec
+    ) -> dict[int, list[np.ndarray]]:
+        """Dead-zone quantize every subband stack of a batch plan."""
+        quantized_by_tile: dict[int, list[np.ndarray]] = {
+            i: [] for i in range(n_tiles)
+        }
+        for indices, subband_meta, stacks in plan:
+            for band_idx, (name, level) in enumerate(subband_meta):
+                q_stack = _quantize_stack(
+                    stacks[band_idx], spec.step_for(name, level)
+                )
+                for pos, tile_idx in enumerate(indices):
+                    quantized_by_tile[tile_idx].append(q_stack[pos])
+        return quantized_by_tile
+
+    def _encode_batched(
+        self,
+        image: np.ndarray,
+        step: float,
+        roi: np.ndarray,
+        decompositions: list | None,
+        payload_hint: tuple[float, float, int] | None = None,
+    ) -> RateModelResult:
+        """Batched encode: one transform + stacked quantize/dequantize.
+
+        Bit-identical to :meth:`_encode_reference` — the transform batch,
+        stacked (de)quantization, and payload accumulation all preserve the
+        reference's elementwise arithmetic and summation order.
+        """
+        decomps = (
+            decompositions
+            if decompositions is not None
+            else self._tile_decompositions(image, roi)
+        )
+        spec = QuantizerSpec(base_step=step)
+        quantized_by_tile = None
+        if payload_hint is not None and payload_hint[0] == step:
+            # The step search already computed this step's statistics.
+            quantized_by_tile = self._quantize_tiles(decomps, spec)
+        if quantized_by_tile is not None:
+            payload_bits, n_plane_segments = payload_hint[1], payload_hint[2]
+        else:
+            payload_bits, n_plane_segments, quantized_by_tile = (
+                self._payload_stats(decomps, step)
+            )
+        recon = np.zeros(image.shape, dtype=np.float64)
+        roi_mask_pixels = np.zeros(image.shape, dtype=bool)
+        # Dequantize on stacks grouped by geometry, then invert each group
+        # with one batched synthesis.
+        groups: dict[tuple[int, int, int], list[int]] = {}
+        for idx, (y0, y1, x0, x1, levels, _) in enumerate(decomps):
+            roi_mask_pixels[y0:y1, x0:x1] = True
+            groups.setdefault((y1 - y0, x1 - x0, levels), []).append(idx)
+        for (height, width, levels), indices in groups.items():
+            rebuilt: list[WaveletCoeffs] = []
+            for tile_idx in indices:
+                coeffs = decomps[tile_idx][5]
+                meta = [(n, l) for n, l, _ in coeffs.subbands()]
+                dequantized = [
+                    _dequantize_stack(
+                        quantized_by_tile[tile_idx][band_idx],
+                        spec.step_for(name, level),
+                    )
+                    for band_idx, (name, level) in enumerate(meta)
+                ]
+                rebuilt.append(
+                    WaveletCoeffs(
+                        approx=dequantized[0],
+                        details=[
+                            (
+                                dequantized[1 + 3 * i],
+                                dequantized[2 + 3 * i],
+                                dequantized[3 + 3 * i],
+                            )
+                            for i in range(levels)
+                        ],
+                        shape=(height, width),
+                        wavelet=Wavelet.CDF97,
+                    )
+                )
+            blocks = np.clip(idwt_many(rebuilt), 0.0, 1.0)
+            for pos, tile_idx in enumerate(indices):
+                y0, y1, x0, x1 = decomps[tile_idx][:4]
+                recon[y0:y1, x0:x1] = blocks[pos]
+        return self._assemble_result(
+            image, recon, roi_mask_pixels, payload_bits,
+            len(decomps), n_plane_segments, step,
+        )
+
+    def _assemble_result(
+        self,
+        image: np.ndarray,
+        recon: np.ndarray,
+        roi_mask_pixels: np.ndarray,
+        payload_bits: float,
+        n_tiles: int,
+        n_plane_segments: int,
+        step: float,
+    ) -> RateModelResult:
+        """Container accounting + PSNR shared by both encode paths."""
         payload_bytes = int(math.ceil(payload_bits / 8.0))
         coded_bytes = (
             payload_bytes
@@ -268,6 +762,7 @@ class RateModel:
         roi: np.ndarray | None = None,
         tolerance: float = 0.05,
         max_iterations: int = 24,
+        decompositions: list | None = None,
     ) -> RateModelResult:
         """Bisection search for the base step that meets a byte budget.
 
@@ -277,6 +772,10 @@ class RateModel:
             roi: Boolean tile grid restriction.
             tolerance: Acceptable relative overshoot/undershoot.
             max_iterations: Bisection iteration cap.
+            decompositions: Optional precomputed
+                :meth:`_tile_decompositions` output for (image, roi),
+                letting warm-start callers share one forward transform
+                across a rejected warm encode and the fallback search.
 
         Returns:
             The result at the chosen step (the largest-quality step whose
@@ -289,26 +788,44 @@ class RateModel:
             raise RateControlError(
                 f"target_bytes must be positive, got {target_bytes}"
             )
-        tile = self.config.tile_size
-        tiles_y = (image.shape[0] + tile - 1) // tile
-        tiles_x = (image.shape[1] + tile - 1) // tile
-        if roi is None:
-            roi = np.ones((tiles_y, tiles_x), dtype=bool)
+        roi = self._resolve_roi(image, roi)
         # The transform does not depend on the step: do it once, then walk
         # the step axis with cheap quantize+entropy-estimate evaluations.
-        decomps = self._tile_decompositions(image, roi)
+        decomps = (
+            decompositions
+            if decompositions is not None
+            else self._tile_decompositions(image, roi)
+        )
+        reuse = decomps if perf.simulation_fastpath() else None
+        # Every candidate step's payload stats are remembered so the final
+        # encode (always at an evaluated step) can skip recomputing them.
+        stats_by_step: dict[float, tuple[float, int]] = {}
+
+        def estimate(step: float) -> int:
+            coded, payload_bits, segments = self.estimate_with_stats(
+                decomps, step
+            )
+            stats_by_step[step] = (payload_bits, segments)
+            return coded
+
+        def final(step: float) -> RateModelResult:
+            hint = None
+            if reuse is not None and step in stats_by_step:
+                hint = (step,) + stats_by_step[step]
+            return self.encode(
+                image, step, roi, decompositions=reuse, payload_hint=hint
+            )
+
         lo_step, hi_step = 1.0 / 65536.0, 1.0
-        if self._estimate_bytes(decomps, hi_step) > target_bytes * (
-            1.0 + tolerance
-        ):
+        if estimate(hi_step) > target_bytes * (1.0 + tolerance):
             # Even the coarsest quantizer cannot fit (container overhead
             # dominates tiny budgets); deliver the coarsest encode as the
             # best effort, exactly as a real encoder ships its floor rate.
-            return self.encode(image, hi_step, roi)
+            return final(hi_step)
         best_step = hi_step
         for _ in range(max_iterations):
             mid = math.sqrt(lo_step * hi_step)
-            coded = self._estimate_bytes(decomps, mid)
+            coded = estimate(mid)
             if coded <= target_bytes:
                 best_step = mid
                 hi_step = mid
@@ -318,4 +835,4 @@ class RateModel:
                 if coded <= target_bytes:
                     best_step = mid
                 break
-        return self.encode(image, best_step, roi)
+        return final(best_step)

@@ -205,6 +205,84 @@ def detect_changes(
     )
 
 
+def detect_changes_many(
+    reference_lr_stack: np.ndarray,
+    capture_lr_stack: np.ndarray,
+    grid: TileGrid,
+    downsample: int,
+    theta: float,
+    valid_lr_stack: np.ndarray | None = None,
+) -> list[ChangeDetectionResult]:
+    """Batched :func:`detect_changes` over stacked bands.
+
+    The illumination fits stay per band (they are scalar reductions over
+    that band's pixels), while differencing, nearest-neighbour expansion,
+    and the per-tile mean reduction run once on the ``(band, h, w)`` stack.
+    Every stage performs the same elementwise arithmetic per band as the
+    single-band path, so each returned result is bit-identical to calling
+    :func:`detect_changes` on that band alone.
+
+    Args:
+        reference_lr_stack: ``(B, h, w)`` low-res references.
+        capture_lr_stack: ``(B, h, w)`` low-res captures.
+        grid: Full-resolution tile grid.
+        downsample: Linear ratio between full and low resolution.
+        theta: Change threshold.
+        valid_lr_stack: Optional ``(B, h, w)`` boolean validity masks.
+
+    Returns:
+        One :class:`ChangeDetectionResult` per band, in order.
+    """
+    if reference_lr_stack.shape != capture_lr_stack.shape:
+        raise PipelineError(
+            "low-res stack shape mismatch: "
+            f"{reference_lr_stack.shape} vs {capture_lr_stack.shape}"
+        )
+    n_bands = reference_lr_stack.shape[0]
+    fits = [
+        align_illumination(
+            reference_lr_stack[b],
+            capture_lr_stack[b],
+            valid_lr_stack[b] if valid_lr_stack is not None else None,
+        )
+        for b in range(n_bands)
+    ]
+    gains = np.array([g for g, _ in fits], dtype=np.float64)
+    offsets = np.array([o for _, o in fits], dtype=np.float64)
+    aligned = (
+        reference_lr_stack.astype(np.float64) * gains[:, None, None]
+        + offsets[:, None, None]
+    )
+    diff = np.abs(capture_lr_stack.astype(np.float64) - aligned)
+    if valid_lr_stack is not None:
+        diff = np.where(valid_lr_stack, diff, 0.0)
+    height, width = grid.image_shape
+    expanded = np.repeat(
+        np.repeat(diff, downsample, axis=1), downsample, axis=2
+    )
+    if expanded.shape[1] < height or expanded.shape[2] < width:
+        expanded = np.pad(
+            expanded,
+            (
+                (0, 0),
+                (0, max(0, height - expanded.shape[1])),
+                (0, max(0, width - expanded.shape[2])),
+            ),
+            mode="edge",
+        )
+    expanded = expanded[:, :height, :width]
+    scores = grid.reduce_mean_many(expanded)
+    return [
+        ChangeDetectionResult(
+            changed_tiles=changed_tile_mask(scores[b], theta),
+            gain=fits[b][0],
+            offset=fits[b][1],
+            tile_scores=scores[b],
+        )
+        for b in range(n_bands)
+    ]
+
+
 def calibrate_threshold(
     score_history: list[np.ndarray],
     truth_history: list[np.ndarray],

@@ -27,12 +27,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.codec.jpeg2000 import CodecConfig
 from repro.codec.ratemodel import RateModel
-from repro.core.change_detection import ChangeDetectionResult, detect_changes
+from repro.core.change_detection import (
+    ChangeDetectionResult,
+    detect_changes,
+    detect_changes_many,
+)
 from repro.core.cloud import CloudDetector
 from repro.core.config import EarthPlusConfig
-from repro.core.reference import OnboardReferenceCache, downsample_image
+from repro.core.reference import (
+    OnboardReferenceCache,
+    downsample_image,
+    downsample_many,
+)
 from repro.core.tiles import TileGrid
 from repro.errors import PipelineError
 from repro.imagery.bands import Band
@@ -103,15 +112,45 @@ class RoiRateController:
         roi: np.ndarray,
         target_bytes: int,
     ):
-        """Encode ``roi`` of ``image`` at close to ``target_bytes``."""
+        """Encode ``roi`` of ``image`` at close to ``target_bytes``.
+
+        On the fast path, backends exposing ``prepare()`` (the rate
+        model) have their ROI tiles forward-transformed once and shared
+        between the warm-step attempt and the fallback bisection search —
+        the transform does not depend on the quantizer step.
+        """
         warm = self._last_step.get(key)
+        decomps = None
+        prepare = getattr(self.rate_model, "prepare", None)
+        if perf.simulation_fastpath() and prepare is not None:
+            decomps = prepare(image, roi)
         if warm is not None:
-            result = self.rate_model.encode(image, warm, roi)
-            if 0.9 * target_bytes <= result.coded_bytes <= target_bytes:
-                return result
-        result = self.rate_model.find_step_for_bytes(
-            image, target_bytes, roi, tolerance=0.08, max_iterations=14
-        )
+            if decomps is not None:
+                # The byte estimate alone decides warm acceptance and is
+                # bit-identical to encode().coded_bytes, so the (rejected)
+                # warm attempt skips reconstruction entirely — and the
+                # accepted one reuses the estimate's payload statistics.
+                coded, payload_bits, segments = (
+                    self.rate_model.estimate_with_stats(decomps, warm)
+                )
+                if 0.9 * target_bytes <= coded <= target_bytes:
+                    return self.rate_model.encode(
+                        image, warm, roi, decompositions=decomps,
+                        payload_hint=(warm, payload_bits, segments),
+                    )
+            else:
+                result = self.rate_model.encode(image, warm, roi)
+                if 0.9 * target_bytes <= result.coded_bytes <= target_bytes:
+                    return result
+        if decomps is not None:
+            result = self.rate_model.find_step_for_bytes(
+                image, target_bytes, roi, tolerance=0.08, max_iterations=14,
+                decompositions=decomps,
+            )
+        else:
+            result = self.rate_model.find_step_for_bytes(
+                image, target_bytes, roi, tolerance=0.08, max_iterations=14
+            )
         self._last_step[key] = result.base_step
         return result
 
@@ -256,10 +295,17 @@ class EarthPlusEncoder:
         # Guaranteed downloads additionally require a reasonably clear sky,
         # otherwise they would ship mostly zeros.
         guaranteed = guaranteed_due and coverage <= 0.05
-        band_results = [
-            self._process_band(capture, band, cloud_pixels, cloudy_tiles, guaranteed)
-            for band in self.bands
-        ]
+        if perf.simulation_fastpath():
+            band_results = self._process_bands_batched(
+                capture, cloud_pixels, cloudy_tiles, guaranteed
+            )
+        else:
+            band_results = [
+                self._process_band(
+                    capture, band, cloud_pixels, cloudy_tiles, guaranteed
+                )
+                for band in self.bands
+            ]
         onboard_bytes = sum(b.bytes_downlinked for b in band_results)
         return CaptureEncodeResult(
             location=capture.location,
@@ -271,6 +317,101 @@ class EarthPlusEncoder:
             bands=band_results,
             onboard_encoded_bytes=onboard_bytes,
         )
+
+    # ------------------------------------------------------------------
+    def _process_bands_batched(
+        self,
+        capture: Capture,
+        cloud_pixels: np.ndarray,
+        cloudy_tiles: np.ndarray,
+        guaranteed: bool,
+    ) -> list[BandEncodeResult]:
+        """All bands of a capture through the stacked fast path.
+
+        Cloud removal and reference-resolution downsampling run once on a
+        ``(band, h, w)`` stack, the shared non-cloud validity mask is
+        computed once instead of per band, and change detection for every
+        reference-carrying band goes through one
+        :func:`~repro.core.change_detection.detect_changes_many` call.
+        Each band's result is bit-identical to :meth:`_process_band` (the
+        per-band reference path, kept as the differential-test oracle).
+        """
+        ratio = self.config.reference_downsample
+        images = np.stack(
+            [capture.pixels[band.name] for band in self.bands]
+        )
+        cleaned = np.where(cloud_pixels[None, :, :], 0.0, images)
+        n_bands = len(self.bands)
+        had_reference = [
+            self.cache.has(capture.location, band.name)
+            for band in self.bands
+        ]
+        detections: list[ChangeDetectionResult | None] = [None] * n_bands
+        unfilled_tiles: list[np.ndarray] = [
+            np.zeros(self.grid.grid_shape, dtype=bool)
+            for _ in range(n_bands)
+        ]
+        ref_indices = [i for i in range(n_bands) if had_reference[i]]
+        if ref_indices:
+            with perf.profiled("scoring"):
+                capture_lr_stack = downsample_many(
+                    cleaned[np.array(ref_indices)], ratio
+                )
+                valid_lr_base = (
+                    downsample_image(
+                        (~cloud_pixels).astype(np.float64), ratio
+                    )
+                    > 0.5
+                )
+                reference_stack = []
+                valid_stack = []
+                for band_idx in ref_indices:
+                    band = self.bands[band_idx]
+                    _, reference_lr = self.cache.get(
+                        capture.location, band.name
+                    )
+                    valid_lr = valid_lr_base
+                    unfilled_lr = ~self.cache.get_validity(
+                        capture.location, band.name
+                    )
+                    if unfilled_lr.any():
+                        valid_lr = valid_lr & ~unfilled_lr
+                        unfilled_px = (
+                            np.repeat(
+                                np.repeat(unfilled_lr, ratio, axis=0),
+                                ratio,
+                                axis=1,
+                            )[: self.image_shape[0], : self.image_shape[1]]
+                        )
+                        unfilled_tiles[band_idx] = self.grid.reduce_any(
+                            unfilled_px
+                        )
+                    reference_stack.append(reference_lr)
+                    valid_stack.append(valid_lr)
+                results = detect_changes_many(
+                    np.stack(reference_stack),
+                    capture_lr_stack,
+                    self.grid,
+                    ratio,
+                    self.config.theta,
+                    np.stack(valid_stack),
+                )
+            for band_idx, detection in zip(ref_indices, results):
+                detections[band_idx] = detection
+        return [
+            self._assemble_band_result(
+                capture,
+                self.bands[band_idx],
+                cleaned[band_idx],
+                cloud_pixels,
+                cloudy_tiles,
+                guaranteed,
+                had_reference[band_idx],
+                detections[band_idx],
+                unfilled_tiles[band_idx],
+            )
+            for band_idx in range(n_bands)
+        ]
 
     # ------------------------------------------------------------------
     def _process_band(
@@ -285,7 +426,6 @@ class EarthPlusEncoder:
         ratio = self.config.reference_downsample
         # Cloud removal: zero out detected cloud before anything else.
         cleaned = np.where(cloud_pixels, 0.0, image)
-        gain, offset = 1.0, 0.0
         detection: ChangeDetectionResult | None = None
         had_reference = self.cache.has(capture.location, band.name)
         unfilled_tiles = np.zeros(self.grid.grid_shape, dtype=bool)
@@ -309,15 +449,45 @@ class EarthPlusEncoder:
                     )[: self.image_shape[0], : self.image_shape[1]]
                 )
                 unfilled_tiles = self.grid.reduce_any(unfilled_px)
-            detection = detect_changes(
-                reference_lr,
-                capture_lr,
-                self.grid,
-                ratio,
-                self.config.theta,
-                valid_lr=valid_lr,
-            )
-            gain, offset = detection.gain, detection.offset
+            with perf.profiled("scoring"):
+                detection = detect_changes(
+                    reference_lr,
+                    capture_lr,
+                    self.grid,
+                    ratio,
+                    self.config.theta,
+                    valid_lr=valid_lr,
+                )
+        return self._assemble_band_result(
+            capture,
+            band,
+            cleaned,
+            cloud_pixels,
+            cloudy_tiles,
+            guaranteed,
+            had_reference,
+            detection,
+            unfilled_tiles,
+        )
+
+    def _assemble_band_result(
+        self,
+        capture: Capture,
+        band: Band,
+        cleaned: np.ndarray,
+        cloud_pixels: np.ndarray,
+        cloudy_tiles: np.ndarray,
+        guaranteed: bool,
+        had_reference: bool,
+        detection: ChangeDetectionResult | None,
+        unfilled_tiles: np.ndarray,
+    ) -> BandEncodeResult:
+        """Download decision + ROI encode shared by both band paths."""
+        gain, offset = (
+            (detection.gain, detection.offset)
+            if detection is not None
+            else (1.0, 0.0)
+        )
         if guaranteed or not had_reference:
             download = ~cloudy_tiles
             changed_fraction = float(download.mean())

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro import perf
 from repro.core.accounting import (
     CaptureRecord,
     MetricCollector,
@@ -162,7 +163,14 @@ class ConstellationSimulator:
         ]
 
     def run(self) -> RunResult:
-        """Simulate the full schedule and return aggregated results."""
+        """Simulate the full schedule and return aggregated results.
+
+        The global visit ordering is memoized on the schedule, so repeated
+        runs over one dataset (policy comparisons, seed sweeps) sort it
+        once instead of once per run.  When a profiler is installed (see
+        :mod:`repro.perf`) each phase's wall time is recorded under the
+        phase's name.
+        """
         state = ConstellationState(self.policy_factory)
         phases = self.build_phases()
         metrics = MetricsAccumulator(
@@ -175,7 +183,8 @@ class ConstellationSimulator:
                 visit=visit, state=state.for_satellite(visit.satellite_id)
             )
             for phase in phases:
-                phase.run(event)
+                with perf.profiled(phase.name):
+                    phase.run(event)
             metrics.observe(event)
         return metrics.finalize(
             horizon_days=self.schedule.horizon_days,

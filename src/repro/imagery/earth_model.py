@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.errors import ImageryError
 from repro.imagery.bands import Band, BandCategory
 from repro.imagery.events import TileChangeModel
@@ -175,6 +177,29 @@ class EarthModel:
         self._change_models: dict[str, TileChangeModel] = {}
         self._class_map_cache: np.ndarray | None = None
         self._elevation_cache: np.ndarray | None = None
+        # Warm-state caches (fast path only; see ground_truth).  Composed
+        # pre-snow surfaces are keyed by the change-version grid, rendered
+        # change patches by their seed — both pure functions of their keys.
+        self._surface_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._patch_cache: OrderedDict[int, tuple[np.ndarray, float]] = (
+            OrderedDict()
+        )
+        self._snow_texture_cache: dict[str, np.ndarray] = {}
+
+    #: Bound on cached composed surfaces per model (LRU).  Consecutive
+    #: captures usually share a version grid, so a handful of entries
+    #: already absorbs nearly all recomposition.
+    _SURFACE_CACHE_MAX = 24
+    #: Bound on cached rendered change patches per model (LRU).
+    _PATCH_CACHE_MAX = 512
+
+    def __getstate__(self):
+        """Pickle without warm-state caches (worker tasks start cold)."""
+        state = dict(self.__dict__)
+        state["_surface_cache"] = OrderedDict()
+        state["_patch_cache"] = OrderedDict()
+        state["_snow_texture_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Static structure
@@ -286,8 +311,37 @@ class EarthModel:
         if t_days < 0:
             raise ImageryError(f"t_days must be >= 0, got {t_days}")
         band = self._get_band(band_name)
-        surface = self.base_map(band_name).copy()
         versions = self.change_model(band_name).version_grid(t_days)
+        if perf.simulation_fastpath():
+            # Warm state: the pre-snow composition is a pure function of
+            # the change-version grid, which only moves at jump times —
+            # consecutive captures (and repeated scenario runs over the
+            # same dataset) hit the cache instead of re-blending every
+            # historical change patch.
+            key = (band.name, versions.tobytes())
+            cached = self._surface_cache.get(key)
+            if cached is None:
+                cached = self._compose_surface(band, versions)
+                cached.setflags(write=False)
+                self._surface_cache[key] = cached
+                while len(self._surface_cache) > self._SURFACE_CACHE_MAX:
+                    self._surface_cache.popitem(last=False)
+            else:
+                self._surface_cache.move_to_end(key)
+            surface = cached.copy()
+        else:
+            surface = self._compose_surface(band, versions)
+        snow = self.snow_mask(t_days)
+        if snow.any():
+            albedo = self._snow_albedo(t_days)
+            snow_texture = self._snow_texture(band.name)
+            snow_value = np.clip(albedo * (0.85 + 0.3 * (snow_texture - 0.5)), 0.0, 1.0)
+            surface[snow] = snow_value[snow]
+        return surface
+
+    def _compose_surface(self, band: Band, versions: np.ndarray) -> np.ndarray:
+        """Base map plus every active change patch (no snow)."""
+        surface = self.base_map(band.name).copy()
         cell = self.spec.change_cell_px
         height, width = self.spec.shape
         for ty, tx in zip(*np.nonzero(versions)):
@@ -298,29 +352,66 @@ class EarthModel:
             patch_seed = stable_hash(
                 self.spec.seed, "patch", band.name, int(ty), int(tx), version
             )
-            patch = fractal_noise(patch_shape, patch_seed, octaves=3, base_cells=3)
-            rng = np.random.default_rng(patch_seed)
-            # Terrestrial change perturbs content around its local value
-            # (harvest, construction, flooding) — it does not replace a tile
-            # with unrelated imagery.  Amplitudes are chosen so a changed
-            # tile's mean absolute difference (~0.03-0.08) clears the
-            # paper's theta = 0.01 decisively while leaving global image
-            # statistics (and thus the illumination fit) intact.
-            amplitude = 0.10 + 0.20 * rng.random()
+            patch, amplitude = self._change_patch(patch_seed, patch_shape)
             blended = surface[y0:y1, x0:x1] + amplitude * (patch - 0.5)
             surface[y0:y1, x0:x1] = np.clip(blended, 0.0, 1.0)
-        snow = self.snow_mask(t_days)
-        if snow.any():
-            albedo = self._snow_albedo(t_days)
-            snow_texture = fractal_noise(
+        return surface
+
+    def _change_patch(
+        self, patch_seed: int, patch_shape: tuple[int, int]
+    ) -> tuple[np.ndarray, float]:
+        """One rendered change patch and its blend amplitude.
+
+        Terrestrial change perturbs content around its local value
+        (harvest, construction, flooding) — it does not replace a tile
+        with unrelated imagery.  Amplitudes are chosen so a changed
+        tile's mean absolute difference (~0.03-0.08) clears the
+        paper's theta = 0.01 decisively while leaving global image
+        statistics (and thus the illumination fit) intact.
+
+        Pure function of ``(patch_seed, patch_shape)``; memoized on the
+        fast path so recomposition after a new change event does not
+        re-render every older patch.
+        """
+        if perf.simulation_fastpath():
+            cached = self._patch_cache.get(patch_seed)
+            if cached is not None:
+                self._patch_cache.move_to_end(patch_seed)
+                return cached
+        patch = fractal_noise(patch_shape, patch_seed, octaves=3, base_cells=3)
+        rng = np.random.default_rng(patch_seed)
+        amplitude = 0.10 + 0.20 * rng.random()
+        if perf.simulation_fastpath():
+            patch.setflags(write=False)
+            self._patch_cache[patch_seed] = (patch, amplitude)
+            while len(self._patch_cache) > self._PATCH_CACHE_MAX:
+                self._patch_cache.popitem(last=False)
+        return patch, amplitude
+
+    def _snow_texture(self, band_name: str) -> np.ndarray:
+        """Static per-band snow texture (pure function of seeds).
+
+        Cached on the fast path; re-rendered per call on the reference
+        path, as the original code did.
+        """
+        if not perf.simulation_fastpath():
+            return fractal_noise(
                 self.spec.shape,
-                stable_hash(self.spec.seed, "snowtex", band.name),
+                stable_hash(self.spec.seed, "snowtex", band_name),
                 octaves=3,
                 base_cells=8,
             )
-            snow_value = np.clip(albedo * (0.85 + 0.3 * (snow_texture - 0.5)), 0.0, 1.0)
-            surface[snow] = snow_value[snow]
-        return surface
+        cached = self._snow_texture_cache.get(band_name)
+        if cached is None:
+            cached = fractal_noise(
+                self.spec.shape,
+                stable_hash(self.spec.seed, "snowtex", band_name),
+                octaves=3,
+                base_cells=8,
+            )
+            cached.setflags(write=False)
+            self._snow_texture_cache[band_name] = cached
+        return cached
 
     def true_changed_tiles(
         self, band_name: str, t0_days: float, t1_days: float

@@ -9,7 +9,11 @@ interpolation, composed into fractal Brownian motion by
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+
+from repro import perf
 
 
 def smoothstep(t: np.ndarray) -> np.ndarray:
@@ -28,6 +32,32 @@ def _lattice_values(seed: int, cells_y: int, cells_x: int) -> np.ndarray:
     """Random values on a (cells_y+1, cells_x+1) integer lattice."""
     rng = np.random.default_rng(seed)
     return rng.random((cells_y + 1, cells_x + 1))
+
+
+@lru_cache(maxsize=256)
+def _interp_geometry(
+    height: int, width: int, cells_y: int, cells_x: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lattice indices and Hermite weights for one (shape, cells) pair.
+
+    Pure function of its arguments; memoized because imagery synthesis
+    re-renders the same shapes with thousands of different seeds.  The
+    index arrays are flat indices into the raveled ``(cells_y + 1,
+    cells_x + 1)`` lattice for the four cell corners.  Returned arrays
+    are read-only.
+    """
+    ys = np.linspace(0.0, cells_y, height, endpoint=False)
+    xs = np.linspace(0.0, cells_x, width, endpoint=False)
+    y0 = np.minimum(ys.astype(np.int64), cells_y - 1)
+    x0 = np.minimum(xs.astype(np.int64), cells_x - 1)
+    ty = smoothstep((ys - y0))[:, None]
+    tx = smoothstep((xs - x0))[None, :]
+    stride = cells_x + 1
+    flat00 = y0[:, None] * stride + x0[None, :]
+    corners = (flat00, flat00 + 1, flat00 + stride, flat00 + stride + 1)
+    for array in corners + (ty, tx):
+        array.setflags(write=False)
+    return corners, ty, tx
 
 
 def value_noise(shape: tuple[int, int], cells: int, seed: int) -> np.ndarray:
@@ -52,17 +82,25 @@ def value_noise(shape: tuple[int, int], cells: int, seed: int) -> np.ndarray:
     cells_x = max(1, round(cells * width / longer))
     lattice = _lattice_values(seed, cells_y, cells_x)
 
-    ys = np.linspace(0.0, cells_y, height, endpoint=False)
-    xs = np.linspace(0.0, cells_x, width, endpoint=False)
-    y0 = np.minimum(ys.astype(np.int64), cells_y - 1)
-    x0 = np.minimum(xs.astype(np.int64), cells_x - 1)
-    ty = smoothstep((ys - y0))[:, None]
-    tx = smoothstep((xs - x0))[None, :]
-
-    v00 = lattice[np.ix_(y0, x0)]
-    v01 = lattice[np.ix_(y0, x0 + 1)]
-    v10 = lattice[np.ix_(y0 + 1, x0)]
-    v11 = lattice[np.ix_(y0 + 1, x0 + 1)]
+    if perf.simulation_fastpath():
+        # Flat-index gathers of the four cell corners, with the index
+        # geometry memoized per (shape, cells): the same lattice elements
+        # the reference np.ix_ path selects, without rebuilding the open
+        # mesh per call.
+        corners, ty, tx = _interp_geometry(height, width, cells_y, cells_x)
+        flat = lattice.ravel()
+        v00, v01, v10, v11 = (flat[c] for c in corners)
+    else:
+        ys = np.linspace(0.0, cells_y, height, endpoint=False)
+        xs = np.linspace(0.0, cells_x, width, endpoint=False)
+        y0 = np.minimum(ys.astype(np.int64), cells_y - 1)
+        x0 = np.minimum(xs.astype(np.int64), cells_x - 1)
+        ty = smoothstep((ys - y0))[:, None]
+        tx = smoothstep((xs - x0))[None, :]
+        v00 = lattice[np.ix_(y0, x0)]
+        v01 = lattice[np.ix_(y0, x0 + 1)]
+        v10 = lattice[np.ix_(y0 + 1, x0)]
+        v11 = lattice[np.ix_(y0 + 1, x0 + 1)]
 
     top = v00 * (1.0 - tx) + v01 * tx
     bottom = v10 * (1.0 - tx) + v11 * tx

@@ -12,16 +12,72 @@ pixel arrays; the truth fields are for scoring.
 
 from __future__ import annotations
 
+import os
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.errors import ImageryError
 from repro.imagery.bands import Band
 from repro.imagery.clouds import CloudModel, CloudSample
 from repro.imagery.earth_model import EarthModel
 from repro.imagery.illumination import IlluminationModel, IlluminationSample
 from repro.imagery.noise import stable_hash
+
+#: Byte budget per sensor for the warm-state capture cache (fast path).
+#: A capture is deterministic in (satellite, time), so repeated scenario
+#: runs over one dataset — e.g. comparing three policies on the same
+#: schedule — re-observe identical captures; caching them removes the
+#: dominant imagery-synthesis cost from every run after the first.
+_CAPTURE_CACHE_BYTES = int(
+    float(os.environ.get("REPRO_CAPTURE_CACHE_MB", "64")) * 1e6
+)
+
+#: Process-wide ceiling across all live sensors, so many-location datasets
+#: cannot multiply the per-sensor budget without bound.
+_CAPTURE_CACHE_TOTAL_BYTES = int(
+    float(os.environ.get("REPRO_CAPTURE_CACHE_TOTAL_MB", "512")) * 1e6
+)
+
+#: Live sensors with non-empty caches, keyed by id (weak values: garbage-
+#: collected datasets drop out, releasing their share of the global budget
+#: automatically; a WeakValueDictionary is used because the dataclass'
+#: generated __eq__ makes instances unhashable, ruling out a WeakSet).
+_CACHING_SENSORS: "weakref.WeakValueDictionary[int, SatelliteSensor]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def _global_capture_cache_bytes() -> int:
+    """Bytes currently held by all live sensors' capture caches."""
+    return sum(
+        sensor._capture_cache_bytes for sensor in _CACHING_SENSORS.values()
+    )
+
+
+def _enforce_global_capture_budget() -> None:
+    """Evict oldest entries of the largest caches until under the ceiling.
+
+    Reclaims from whichever sensor holds the most (a hoarding sensor that
+    is no longer visited gives its share back), rather than punishing the
+    sensor that happens to be inserting.
+    """
+    total = _global_capture_cache_bytes()
+    while total > _CAPTURE_CACHE_TOTAL_BYTES:
+        victim = max(
+            _CACHING_SENSORS.values(),
+            key=lambda sensor: sensor._capture_cache_bytes,
+            default=None,
+        )
+        if victim is None or not victim._capture_cache:
+            break
+        _, evicted = victim._capture_cache.popitem(last=False)
+        freed = victim._capture_nbytes(evicted)
+        victim._capture_cache_bytes -= freed
+        total -= freed
 
 
 @dataclass
@@ -94,6 +150,15 @@ class SatelliteSensor:
             self._illum_model = IlluminationModel(
                 seed=stable_hash(self.earth.spec.seed, "illumination"),
             )
+        self._capture_cache: OrderedDict[tuple, Capture] = OrderedDict()
+        self._capture_cache_bytes = 0
+
+    def __getstate__(self):
+        """Pickle without the capture cache (worker tasks start cold)."""
+        state = dict(self.__dict__)
+        state["_capture_cache"] = OrderedDict()
+        state["_capture_cache_bytes"] = 0
+        return state
 
     @property
     def cloud_model(self) -> CloudModel:
@@ -114,6 +179,11 @@ class SatelliteSensor:
         (one atmosphere per pass), while sensor noise is independent per
         band.
 
+        Captures are deterministic in ``(satellite_id, t_days)``, so on
+        the simulation fast path they are memoized (bounded by a per-
+        sensor byte budget, ``REPRO_CAPTURE_CACHE_MB``); cached pixel
+        arrays are returned read-only and shared between callers.
+
         Args:
             satellite_id: Observing satellite index (enters the noise seed).
             t_days: Capture time in days (>= 0).
@@ -123,6 +193,50 @@ class SatelliteSensor:
         """
         if t_days < 0:
             raise ImageryError(f"t_days must be >= 0, got {t_days}")
+        use_cache = perf.simulation_fastpath() and _CAPTURE_CACHE_BYTES > 0
+        # Raw-float key: replayed schedules pass bit-identical times, and
+        # quantizing would let two nearby-but-distinct capture times
+        # silently collide onto one rendered capture.
+        key = (satellite_id, t_days)
+        if use_cache:
+            cached = self._capture_cache.get(key)
+            if cached is not None:
+                self._capture_cache.move_to_end(key)
+                return cached
+        with perf.profiled("imagery"):
+            result = self._render_capture(satellite_id, t_days)
+        if use_cache:
+            for array in self._capture_arrays(result):
+                array.setflags(write=False)
+            _CACHING_SENSORS[id(self)] = self
+            self._capture_cache[key] = result
+            self._capture_cache_bytes += self._capture_nbytes(result)
+            # Per-sensor budget first, then the process-wide ceiling so
+            # datasets with many locations stay bounded.
+            while (
+                self._capture_cache_bytes > _CAPTURE_CACHE_BYTES
+                and len(self._capture_cache) > 1
+            ):
+                _, evicted = self._capture_cache.popitem(last=False)
+                self._capture_cache_bytes -= self._capture_nbytes(evicted)
+            _enforce_global_capture_budget()
+        return result
+
+    @staticmethod
+    def _capture_arrays(capture: Capture) -> list[np.ndarray]:
+        """Every array a cached capture shares with its consumers."""
+        return list(capture.pixels.values()) + [
+            capture.cloud.mask,
+            capture.cloud.thickness,
+        ]
+
+    @classmethod
+    def _capture_nbytes(cls, capture: Capture) -> int:
+        """Cache footprint of one capture (pixels + cloud truth fields)."""
+        return sum(array.nbytes for array in cls._capture_arrays(capture))
+
+    def _render_capture(self, satellite_id: int, t_days: float) -> Capture:
+        """Synthesize the capture (the original uncached path)."""
         cloud = self.cloud_model.sample(t_days)
         illumination = self.illumination_model.sample(t_days)
         pixels: dict[str, np.ndarray] = {}

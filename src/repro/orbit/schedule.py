@@ -43,6 +43,15 @@ class VisitSchedule:
     visits: dict[str, list[Visit]]
     horizon_days: float
 
+    def __post_init__(self) -> None:
+        self._sorted_cache: list[Visit] | None = None
+
+    def __getstate__(self):
+        """Pickle without the memoized ordering (recomputed on demand)."""
+        state = dict(self.__dict__)
+        state["_sorted_cache"] = None
+        return state
+
     def locations(self) -> list[str]:
         """Scheduled location names."""
         return list(self.visits)
@@ -119,9 +128,23 @@ class VisitSchedule:
         return np.diff(times)
 
     def all_visits_sorted(self) -> list[Visit]:
-        """Every visit across locations, globally time-sorted."""
-        merged: list[Visit] = []
-        for entries in self.visits.values():
-            merged.extend(entries)
-        merged.sort(key=lambda v: v.t_days)
-        return merged
+        """Every visit across locations, globally time-sorted.
+
+        The merged ordering is computed once and memoized: the simulator
+        replays it on every run, and scenario sweeps replay the same
+        schedule many times over.  Callers must treat the returned list as
+        read-only (it is shared), and code that mutates ``visits`` after
+        construction — nothing in this repository does — would need to
+        call :meth:`invalidate_order`.
+        """
+        if self._sorted_cache is None:
+            merged: list[Visit] = []
+            for entries in self.visits.values():
+                merged.extend(entries)
+            merged.sort(key=lambda v: v.t_days)
+            self._sorted_cache = merged
+        return self._sorted_cache
+
+    def invalidate_order(self) -> None:
+        """Drop the memoized global ordering (after mutating ``visits``)."""
+        self._sorted_cache = None

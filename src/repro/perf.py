@@ -1,0 +1,130 @@
+"""Simulation fast-path switch and lightweight kernel profiling.
+
+Two small, dependency-free facilities the whole simulation stack shares:
+
+* **The fast-path switch.**  Every performance layer added on top of the
+  reference simulation — vectorized DWT lifting, the batched tile pipeline
+  in the rate model and encoder, warm-state imagery/capture caches — is
+  differential-tested to produce byte-identical results, and every one of
+  them checks :func:`simulation_fastpath` so the original reference code
+  paths stay runnable.  Disable via ``REPRO_SIM_FASTPATH=0`` or
+  :func:`set_simulation_fastpath`; tests use :func:`fastpath_disabled` to
+  compare both paths in one process.
+
+* **The profiler.**  :func:`enable_profiler` installs a process-wide
+  :class:`SimProfiler`; instrumented sections (simulation phases, DWT,
+  codec/rate model, change-detection scoring, imagery synthesis) record
+  wall time into it via :func:`profiled`.  When no profiler is installed
+  the instrumentation is a near-zero-cost fast return, so hot kernels can
+  stay instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+_FASTPATH = os.environ.get("REPRO_SIM_FASTPATH", "1") not in ("0", "false", "no")
+
+
+def simulation_fastpath() -> bool:
+    """Whether the vectorized/batched/cached simulation paths are active."""
+    return _FASTPATH
+
+
+def set_simulation_fastpath(enabled: bool) -> None:
+    """Globally enable or disable the simulation fast path."""
+    global _FASTPATH
+    _FASTPATH = bool(enabled)
+
+
+@contextmanager
+def fastpath_disabled():
+    """Run a block on the reference (pre-fast-path) implementations."""
+    previous = _FASTPATH
+    set_simulation_fastpath(False)
+    try:
+        yield
+    finally:
+        set_simulation_fastpath(previous)
+
+
+@contextmanager
+def fastpath_enabled():
+    """Run a block with the fast path forced on (symmetry for tests)."""
+    previous = _FASTPATH
+    set_simulation_fastpath(True)
+    try:
+        yield
+    finally:
+        set_simulation_fastpath(previous)
+
+
+class SimProfiler:
+    """Accumulates wall-clock time per named section.
+
+    Sections are flat (no nesting semantics): a section's time is the sum
+    of every ``profiled(name)`` span that ran while this profiler was
+    installed.  Phase sections (``uplink``/``capture``/``ingest``) tile the
+    simulation loop; kernel sections (``dwt``/``codec``/``scoring``/
+    ``imagery``) run *inside* phases, so kernel times are a breakdown of
+    where phase time goes, not an additional cost.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one span of ``seconds`` against section ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def rows(self) -> list[dict]:
+        """Per-section summary rows, longest-running first."""
+        return [
+            {
+                "section": name,
+                "seconds": round(self.seconds[name], 6),
+                "calls": self.calls[name],
+            }
+            for name in sorted(
+                self.seconds, key=lambda n: self.seconds[n], reverse=True
+            )
+        ]
+
+
+_PROFILER: SimProfiler | None = None
+
+
+def enable_profiler() -> SimProfiler:
+    """Install (and return) a fresh process-wide profiler."""
+    global _PROFILER
+    _PROFILER = SimProfiler()
+    return _PROFILER
+
+
+def disable_profiler() -> None:
+    """Remove the installed profiler (instrumentation returns to no-op)."""
+    global _PROFILER
+    _PROFILER = None
+
+
+def active_profiler() -> SimProfiler | None:
+    """The installed profiler, if any."""
+    return _PROFILER
+
+
+@contextmanager
+def profiled(name: str):
+    """Time a block against section ``name`` when a profiler is installed."""
+    profiler = _PROFILER
+    if profiler is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        profiler.add(name, time.perf_counter() - start)

@@ -84,6 +84,37 @@ class TestScenarioCommands:
         assert rows[0]["policy"] == "earthplus"
         assert rows[0]["records"] > 0
 
+    def test_simulate_profile_table(self, capsys):
+        code = main(
+            ["simulate", "--locations", "A", "--bands", "B4",
+             "--days", "30", "--size", "128", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase timing breakdown" in out
+        for section in ("uplink", "capture", "ingest"):
+            assert section in out
+
+    def test_simulate_profile_json(self, capsys):
+        import json
+
+        code = main(
+            ["simulate", "--locations", "A", "--bands", "B4",
+             "--days", "30", "--size", "128", "--profile",
+             "--format", "json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Two JSON documents: scenario rows, then the timing breakdown.
+        decoder = json.JSONDecoder()
+        rows, end = decoder.raw_decode(out.strip())
+        profile = json.loads(out.strip()[end:])
+        assert rows[0]["policy"] == "earthplus"
+        sections = {row["section"] for row in profile}
+        assert {"uplink", "capture", "ingest"} <= sections
+        phase_rows = [r for r in profile if r["kind"] == "phase"]
+        assert phase_rows and all(r["seconds"] >= 0 for r in profile)
+
     def test_sweep_table(self, capsys):
         code = main(
             ["sweep", "--locations", "A", "--bands", "B4", "--days", "30",

@@ -122,3 +122,63 @@ class TestStepSearch:
         result = model.find_step_for_bytes(image, 900, roi)
         assert result.coded_bytes <= 980
         assert result.roi_pixels == 64 * 64
+
+
+class TestBatchedEstimate:
+    """The histogram plane walk (the fast path's entropy estimate) must be
+    bit-identical to the scalar estimate_band_bits walk."""
+
+    def test_plane_walk_matches_scalar_walk(self, rng):
+        from repro.codec.ratemodel import (
+            _plane_walk_bits,
+            _topbit_histogram,
+            estimate_band_bits,
+        )
+
+        stack = rng.normal(0, 40, (7, 16, 16)).astype(np.int32)
+        stack[2] = 0  # all-zero subband
+        stack[4] = rng.normal(0, 3000, (16, 16)).astype(np.int32)  # deep planes
+        stack[5, :, :] = 0
+        stack[5, 3, 7] = 1  # single minimal coefficient
+        counts, tops, size = _topbit_histogram(stack)
+        bits = _plane_walk_bits(
+            counts, tops, np.full(stack.shape[0], size, dtype=np.int64)
+        )
+        batched = [
+            (float(bits[i]), int(tops[i]) + 1 if tops[i] >= 0 else 0)
+            for i in range(stack.shape[0])
+        ]
+        scalar = [estimate_band_bits(band) for band in stack]
+        assert batched == scalar
+
+    def test_magnitude_histogram_matches_signed_quantize(self, rng):
+        from repro.codec.ratemodel import (
+            _magnitude_histogram,
+            _quantize_stack,
+            _topbit_histogram,
+        )
+
+        stack = rng.normal(0, 0.3, (5, 16, 16))
+        for step in (1 / 16.0, 1 / 4096.0):
+            sign_free = _magnitude_histogram(stack, step)
+            signed = _topbit_histogram(_quantize_stack(stack, step))
+            assert np.array_equal(sign_free[0], signed[0])
+            assert np.array_equal(sign_free[1], signed[1])
+            assert sign_free[2] == signed[2]
+
+    def test_int32_wrap_steps_match_reference_encode(self, rng):
+        """Absurdly fine steps wrap in int32; fast must still match."""
+        from repro import perf
+
+        model = RateModel(CodecConfig(tile_size=64))
+        image = rng.random((64, 64))
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with perf.fastpath_disabled():
+                ref = model.encode(image, 1e-9)
+            with perf.fastpath_enabled():
+                fast = model.encode(image, 1e-9)
+        assert ref.coded_bytes == fast.coded_bytes
+        assert ref.payload_bytes == fast.payload_bytes
