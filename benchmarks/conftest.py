@@ -17,6 +17,10 @@ from pathlib import Path
 
 import pytest
 
+# Benchmarks measure simulation time; serving sweeps from the persistent
+# experiment store would time cache reads instead.  Force it off.
+os.environ["REPRO_STORE"] = "off"
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 

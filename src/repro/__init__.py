@@ -30,6 +30,9 @@ Subsystems
 ``repro.analysis``
     Experiment runners and table/series formatting for every figure and
     table in the paper's evaluation.
+``repro.store``
+    Persistent experiment store: content-addressed run cache with
+    resumable sweeps and the ``repro query`` CLI behind it.
 """
 
 from repro._version import __version__

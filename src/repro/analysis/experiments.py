@@ -7,6 +7,12 @@ figure driver and CLI command also goes through — so all comparisons share
 detectors, codec, and scoring.  Figure-specific drivers (reference-age
 CDFs, uplink ladders, constellation sweeps) live in
 :mod:`repro.analysis.figures`.
+
+Runs go through the persistent experiment store when one is active
+(``REPRO_STORE``; see :mod:`repro.store`): a :class:`DatasetSpec`-named
+scenario that was already simulated is a pure cache read.  Scenarios
+named by an already-built dataset are not content-addressable and always
+simulate.
 """
 
 from __future__ import annotations
@@ -15,13 +21,14 @@ from dataclasses import dataclass
 
 from repro.analysis.scenarios import (
     POLICY_NAMES,
+    DatasetSpec,
     ScenarioSpec,
-    run_scenario,
 )
 from repro.core.accounting import RunResult
 from repro.core.config import EarthPlusConfig
 from repro.datasets.generator import SyntheticDataset
 from repro.orbit.links import FluctuationModel
+from repro.store.runner import ENV_DEFAULT, run_scenario_cached
 
 __all__ = [
     "POLICY_NAMES",
@@ -32,18 +39,21 @@ __all__ = [
 
 
 def run_policy(
-    dataset: SyntheticDataset,
+    dataset: SyntheticDataset | DatasetSpec,
     policy: str,
     config: EarthPlusConfig | None = None,
     uplink_bytes_per_contact: int | None = None,
     fluctuation: FluctuationModel | None = None,
     ground_detector_for_scoring: bool = True,
     seed: int = 0,
+    store=ENV_DEFAULT,
 ) -> RunResult:
     """Simulate ``dataset`` under one compression policy.
 
     Args:
-        dataset: A synthetic dataset from :mod:`repro.datasets`.
+        dataset: A synthetic dataset from :mod:`repro.datasets`, or a
+            :class:`DatasetSpec` (preferred: spec-named runs are
+            content-addressable, so repeats become store reads).
         policy: One of ``earthplus``, ``kodan``, ``satroi``, ``naive``.
         config: Earth+ tunables (shared knobs also steer baselines).
         uplink_bytes_per_contact: Override the Table-1 default uplink
@@ -52,6 +62,9 @@ def run_policy(
         ground_detector_for_scoring: Whether the ground re-screens
             downloads with the accurate detector before mosaic ingest.
         seed: Ground-segment seed (random update skipping).
+        store: Experiment store: an
+            :class:`~repro.store.backend.ExperimentStore`, None to
+            bypass caching, or the default (resolve from ``REPRO_STORE``).
 
     Returns:
         The aggregated :class:`RunResult`.
@@ -59,7 +72,7 @@ def run_policy(
     Raises:
         ConfigError: For unknown policy names.
     """
-    return run_scenario(
+    return run_scenario_cached(
         ScenarioSpec(
             policy=policy,
             dataset=dataset,
@@ -68,7 +81,8 @@ def run_policy(
             fluctuation=fluctuation,
             ground_detector_for_scoring=ground_detector_for_scoring,
             seed=seed,
-        )
+        ),
+        store=store,
     )
 
 

@@ -4,6 +4,13 @@ Each driver returns plain data (lists/dicts) that the corresponding bench
 in ``benchmarks/`` renders with :mod:`repro.analysis.tables`.  Sizes are
 parameterized so tests can run them small and benches can scale up; the
 index in DESIGN.md maps figure -> driver -> bench.
+
+Simulation-backed drivers run their scenario batches through the
+persistent experiment store (the ``store`` parameter; default: resolve
+from ``REPRO_STORE``, None bypasses).  Regenerating a figure whose sweep
+already ran is then a pure cache read — but only for
+:class:`DatasetSpec`-named scenarios; drivers handed an already-built
+dataset always simulate.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.experiments import PolicyComparison, compare_policies, run_policy
-from repro.analysis.scenarios import DatasetSpec, ScenarioSpec, run_scenarios
+from repro.analysis.scenarios import DatasetSpec, ScenarioSpec
+from repro.store.runner import ENV_DEFAULT, run_scenarios_cached
 from repro.analysis.stats import cdf
 from repro.core.change_detection import detect_changes
 from repro.core.config import DovesSpec, EarthPlusConfig
@@ -226,6 +234,7 @@ def fig11_rate_distortion(
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
     base_config: EarthPlusConfig | None = None,
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Downlink-bandwidth vs PSNR curves for all policies.
 
@@ -245,7 +254,9 @@ def fig11_rate_distortion(
         for gamma in gammas
         for policy in policies
     ]
-    results = run_scenarios(specs, max_workers=max_workers)
+    results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
     curves: dict[str, list[dict]] = {p: [] for p in policies}
     for spec, result in zip(specs, results):
         curves[spec.policy].append(
@@ -301,6 +312,7 @@ def fig12_cdfs(
     config: EarthPlusConfig | None = None,
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Per-image downloaded-fraction and PSNR distributions per policy."""
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
@@ -308,7 +320,9 @@ def fig12_cdfs(
         ScenarioSpec(policy=policy, dataset=dataset, config=config)
         for policy in policies
     ]
-    results = run_scenarios(specs, max_workers=max_workers)
+    results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
     out: dict[str, dict] = {}
     for policy, result in zip(policies, results):
         fractions = [r.downloaded_fraction for r in result.delivered()]
@@ -334,6 +348,7 @@ def fig13_timeseries(
     config: EarthPlusConfig | None = None,
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Downloaded fraction and PSNR over time at one location."""
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
@@ -341,7 +356,9 @@ def fig13_timeseries(
         ScenarioSpec(policy=policy, dataset=dataset, config=config)
         for policy in policies
     ]
-    results = run_scenarios(specs, max_workers=max_workers)
+    results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
     out: dict[str, list[dict]] = {}
     for policy, result in zip(policies, results):
         out[policy] = [
@@ -368,6 +385,7 @@ def fig14_locations_bands(
     policies: tuple[str, ...] = ("earthplus", "kodan", "satroi"),
     seed: int = 20,
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Downlink saving grouped by location and by band (Sentinel-2-like).
 
@@ -387,7 +405,9 @@ def fig14_locations_bands(
         ScenarioSpec(policy=p, dataset=dataset_spec, config=config)
         for p in policies
     ]
-    run_results = run_scenarios(specs, max_workers=max_workers)
+    run_results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
     results = dict(zip(policies, run_results))
     earth = results["earthplus"]
     baselines = {p: r for p, r in results.items() if p != "earthplus"}
@@ -503,6 +523,7 @@ def fig17_uplink_ladder(
     config: EarthPlusConfig | None = None,
     spec: DovesSpec | None = None,
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Reference compression achieved by each §4.3 technique.
 
@@ -525,7 +546,7 @@ def fig17_uplink_ladder(
     no_delta = config.with_overrides(
         delta_reference_updates=False, cache_references_onboard=True
     )
-    result_delta, result_full = run_scenarios(
+    result_delta, result_full = run_scenarios_cached(
         [
             ScenarioSpec(
                 policy="earthplus", dataset=dataset, config=config,
@@ -537,7 +558,8 @@ def fig17_uplink_ladder(
             ),
         ],
         max_workers=max_workers,
-    )
+        store=store,
+    ).results
     if isinstance(dataset, DatasetSpec):
         dataset = dataset.build()
     height, width = dataset.image_shape
@@ -599,6 +621,7 @@ def fig18_uplink_sweep(
     uplink_bytes_options: list[int],
     config: EarthPlusConfig | None = None,
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Earth+ downlink demand as the per-contact uplink budget grows."""
     config = config if config is not None else EarthPlusConfig(gamma_bpp=0.2)
@@ -612,7 +635,9 @@ def fig18_uplink_sweep(
         )
         for budget in uplink_bytes_options
     ]
-    results = run_scenarios(specs, max_workers=max_workers)
+    results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
     rows = []
     for spec_item, result in zip(specs, results):
         budget = spec_item.extras["budget"]
@@ -639,6 +664,7 @@ def fig19_constellation_size(
     config: EarthPlusConfig | None = None,
     seed: int = 19,
     max_workers: int | None = None,
+    store=ENV_DEFAULT,
 ) -> dict:
     """Compression ratio (1 / mean downloaded area) vs constellation size.
 
@@ -666,7 +692,9 @@ def fig19_constellation_size(
         )
         for size in sizes
     ]
-    results = run_scenarios(specs, max_workers=max_workers)
+    results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
     rows = [{"satellites": 0, "policy": "naive", "compression_ratio": 1.0}]
     for size, result in zip(sizes, results):
         fraction = result.mean_downloaded_fraction()

@@ -28,9 +28,9 @@ they only remove redundant recomputation.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.baselines.kodan import KodanPolicy
 from repro.baselines.naive import NaivePolicy
@@ -43,10 +43,16 @@ from repro.core.system import ConstellationSimulator, EarthPlusPolicy
 from repro.datasets.generator import SyntheticDataset
 from repro.datasets.planet import planet_dataset
 from repro.datasets.sentinel2 import sentinel2_dataset
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ScenarioError
 from repro.orbit.links import FluctuationModel
 
 POLICY_NAMES = ("earthplus", "kodan", "satroi", "naive")
+
+#: Table-1 uplink capacity of one ground contact (250 kbps x 600 s), the
+#: value a ``ScenarioSpec`` with ``uplink_bytes_per_contact=None`` runs
+#: with — shared with the store's spec hashing so explicit-default and
+#: implicit-default specs resolve to one content key.
+DEFAULT_UPLINK_BYTES_PER_CONTACT = int(250e3 * 600 / 8)
 
 #: Dataset builders a :class:`DatasetSpec` may name.
 DATASET_BUILDERS = {
@@ -226,16 +232,25 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
         uplink_bytes_per_contact=(
             spec.uplink_bytes_per_contact
             if spec.uplink_bytes_per_contact is not None
-            else int(250e3 * 600 / 8)
+            else DEFAULT_UPLINK_BYTES_PER_CONTACT
         ),
         fluctuation=spec.fluctuation,
     )
     return simulator.run()
 
 
+def _batch_error(spec: ScenarioSpec, index: int, exc: Exception) -> ScenarioError:
+    """Wrap a worker failure so the batch caller learns which spec died."""
+    return ScenarioError(
+        f"scenario {spec.resolved_label()!r} (spec {index + 1} of a batch) "
+        f"failed: {exc}"
+    )
+
+
 def run_scenarios(
     specs: Sequence[ScenarioSpec],
     max_workers: int | None = None,
+    on_result: Callable[[int, ScenarioSpec, RunResult], None] | None = None,
 ) -> list[RunResult]:
     """Execute a batch of scenarios, optionally process-parallel.
 
@@ -253,17 +268,64 @@ def run_scenarios(
         specs: The scenarios to run.
         max_workers: None or 1 runs in-process; >= 2 fans the batch out
             over that many worker processes.
+        on_result: Optional streaming hook called as each scenario lands
+            (in completion order, which under parallel workers is not spec
+            order) with ``(spec_index, spec, result)``.  The experiment
+            store persists results through this hook, so everything that
+            finished before a failure survives the batch.
 
     Returns:
         One :class:`RunResult` per spec, in order.
+
+    Raises:
+        ScenarioError: When any scenario fails.  The message names the
+            failing spec's ``resolved_label()`` and the original exception
+            rides along as ``__cause__``.  Scenarios that completed before
+            the failure was observed have already been delivered to
+            ``on_result``; remaining queued work is cancelled.
     """
     specs = list(specs)
     if max_workers is not None and max_workers < 1:
         raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    results: list[RunResult] = [None] * len(specs)  # type: ignore[list-item]
     if max_workers is None or max_workers == 1 or len(specs) <= 1:
-        return [run_scenario(spec) for spec in specs]
+        for index, spec in enumerate(specs):
+            try:
+                result = run_scenario(spec)
+            except Exception as exc:
+                raise _batch_error(spec, index, exc) from exc
+            results[index] = result
+            if on_result is not None:
+                on_result(index, spec, result)
+        return results
+    failure: tuple[int, Exception] | None = None
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(run_scenario, specs))
+        index_of = {
+            pool.submit(run_scenario, spec): index
+            for index, spec in enumerate(specs)
+        }
+        # Drain in completion order so every scenario that finishes —
+        # even after another already failed — still reaches on_result;
+        # only not-yet-started work is cancelled.
+        for future in as_completed(index_of):
+            index = index_of[future]
+            try:
+                result = future.result()
+            except CancelledError:
+                continue
+            except Exception as exc:
+                if failure is None:
+                    failure = (index, exc)
+                    for pending in index_of:
+                        pending.cancel()
+                continue
+            results[index] = result
+            if on_result is not None:
+                on_result(index, specs[index], result)
+    if failure is not None:
+        index, exc = failure
+        raise _batch_error(specs[index], index, exc) from exc
+    return results
 
 
 def sweep_specs(

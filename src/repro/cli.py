@@ -4,6 +4,9 @@ Usage::
 
     python -m repro simulate --dataset sentinel2 --policy earthplus --gamma 0.3
     python -m repro sweep --policies earthplus,kodan --seeds 0,1 --workers 4
+    python -m repro sweep --seeds 0,1,2,3 --workers 4 --resume
+    python -m repro query --policy earthplus --format csv
+    python -m repro query --aggregate policy,gamma
     python -m repro run --dataset sentinel2 --policy earthplus --gamma 0.3
     python -m repro compare --dataset planet --satellites 16
     python -m repro calibrate --band B4
@@ -14,6 +17,13 @@ declarative :class:`~repro.analysis.scenarios.ScenarioSpec`, sweeps fan the
 cross-product out over worker processes, and results print as an aligned
 table, csv, or json (``--format``).  All options have small laptop-friendly
 defaults.
+
+Both commands go through the persistent experiment store (default
+``~/.cache/repro``; point elsewhere with ``--store``/``REPRO_STORE``,
+disable with ``--no-store``/``REPRO_STORE=off``): scenarios already in
+the store are pure cache reads, new results persist as they land, and an
+interrupted sweep re-run with ``--resume`` simulates only the missing
+specs.  ``query`` inspects the store without simulating anything.
 """
 
 from __future__ import annotations
@@ -27,13 +37,14 @@ from repro.analysis.scenarios import (
     DatasetSpec,
     ScenarioSpec,
     run_scenario,
-    run_scenarios,
     sweep_specs,
 )
 from repro.analysis.tables import format_rows, format_table
 from repro.core.config import EarthPlusConfig
 from repro.datasets.planet import planet_dataset
 from repro.datasets.sentinel2 import SENTINEL2_LOCATIONS, sentinel2_dataset
+from repro.store.backend import QUERY_COLUMNS, default_store, open_store
+from repro.store.runner import run_scenario_cached, run_scenarios_cached
 
 
 def _build_dataset(args: argparse.Namespace):
@@ -87,6 +98,51 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="fast rate model, full arithmetic-coded codec, or its "
         "bit-exact vectorized fast path",
     )
+
+
+def _add_store_args(
+    parser: argparse.ArgumentParser, resumable: bool = False
+) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="experiment-store directory (default: REPRO_STORE or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="bypass the experiment store entirely",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="re-simulate even when the store already has the result "
+        "(the fresh result overwrites the entry)",
+    )
+    if resumable:
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="continue an interrupted sweep: specs already in the "
+            "store are reused, only the missing ones simulate (this is "
+            "also the default store behavior; --resume makes the intent "
+            "explicit and fails loudly if the store is disabled)",
+        )
+
+
+def _resolve_store(args: argparse.Namespace):
+    """The store the flags select (None = disabled), or exit on conflict."""
+    if args.no_store:
+        if getattr(args, "resume", False):
+            raise SystemExit("--resume needs the store; drop --no-store")
+        if args.store is not None:
+            raise SystemExit("--store and --no-store are mutually exclusive")
+        return None
+    if args.store is not None:
+        return open_store(args.store)
+    store = default_store()
+    if store is None and getattr(args, "resume", False):
+        raise SystemExit(
+            "--resume needs the store, but REPRO_STORE disables it"
+        )
+    return store
 
 
 def _build_dataset_spec(args: argparse.Namespace) -> DatasetSpec:
@@ -184,7 +240,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     profiler = perf.enable_profiler() if args.profile else None
     try:
-        result = run_scenario(spec)
+        if profiler is not None:
+            # Serving a profile run from the store would time nothing;
+            # profiling always simulates (and does not persist).
+            result = run_scenario(spec)
+        else:
+            result = run_scenario_cached(
+                spec, store=_resolve_store(args), refresh=args.refresh
+            )
     finally:
         if profiler is not None:
             perf.disable_profiler()
@@ -241,11 +304,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base_config=EarthPlusConfig(codec_backend=args.codec),
         uplink_bytes_per_contact=args.uplink_bytes,
     )
-    results = run_scenarios(specs, max_workers=args.workers)
+    store = _resolve_store(args)
+    sweep = run_scenarios_cached(
+        specs, max_workers=args.workers, store=store, refresh=args.refresh
+    )
     print(
         format_rows(
             _SCENARIO_COLUMNS,
-            [_scenario_dict(s, r) for s, r in zip(specs, results)],
+            [_scenario_dict(s, r) for s, r in zip(specs, sweep.results)],
             fmt=args.format,
             title=(
                 f"sweep on {args.dataset}: {len(specs)} scenarios "
@@ -254,6 +320,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if store is not None and args.format == "table":
+        print(f"store: {sweep.summary()} ({store.root})")
+    return 0
+
+
+#: Group-by columns ``repro query --aggregate`` accepts.
+_AGGREGATE_COLUMNS = ("policy", "dataset", "gamma", "seed", "label")
+
+
+def _aggregate_rows(rows: list[dict], by: list[str]) -> list[dict]:
+    """Group run rows and average their metrics (mean over the group)."""
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row.get(c) for c in by), []).append(row)
+
+    def mean(values: list) -> float | None:
+        finite = [v for v in values if isinstance(v, (int, float))]
+        return round(sum(finite) / len(finite), 4) if finite else None
+
+    out = []
+    for group_key in sorted(
+        groups, key=lambda k: tuple(str(part) for part in k)
+    ):
+        members = groups[group_key]
+        row = dict(zip(by, group_key))
+        row["runs"] = len(members)
+        for metric in (
+            "psnr_db", "downloaded_fraction", "downlink_kb", "uplink_kb"
+        ):
+            row[metric] = mean([m.get(metric) for m in members])
+        out.append(row)
+    return out
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Inspect the experiment store: list, filter, aggregate stored runs."""
+    if args.store is not None:
+        store = open_store(args.store)
+    else:
+        store = default_store()
+    if store is None:
+        raise SystemExit(
+            "the experiment store is disabled (REPRO_STORE=off); "
+            "pass --store PATH to query one explicitly"
+        )
+    if args.stats:
+        stats = store.stats()
+        print(
+            format_rows(
+                list(stats), [stats], fmt=args.format,
+                title="experiment store",
+            )
+        )
+        return 0
+    rows = store.query(
+        policy=args.policy,
+        dataset=args.dataset,
+        seed=args.seed,
+        gamma=args.gamma,
+        label=args.label,
+        limit=args.limit,
+    )
+    if args.aggregate:
+        by = args.aggregate.split(",")
+        unknown = [c for c in by if c not in _AGGREGATE_COLUMNS]
+        if unknown:
+            raise SystemExit(
+                f"unknown aggregate column(s) {unknown}; "
+                f"expected a comma list of {_AGGREGATE_COLUMNS}"
+            )
+        rows = _aggregate_rows(rows, by)
+        columns = by + [
+            "runs", "psnr_db", "downloaded_fraction", "downlink_kb",
+            "uplink_kb",
+        ]
+        title = f"{len(rows)} group(s) by {','.join(by)} ({store.root})"
+    else:
+        columns = list(QUERY_COLUMNS)
+        title = f"{len(rows)} stored run(s) ({store.root})"
+    print(format_rows(columns, rows, fmt=args.format, title=title))
     return 0
 
 
@@ -360,8 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--profile", action="store_true",
         help="emit a per-phase timing breakdown (uplink/capture/ingest "
-        "plus imagery/codec/dwt/scoring kernels) after the results",
+        "plus imagery/codec/dwt/scoring kernels) after the results; "
+        "always simulates (never served from the store)",
     )
+    _add_store_args(simulate_parser)
     simulate_parser.set_defaults(func=cmd_simulate)
 
     sweep_parser = sub.add_parser(
@@ -391,7 +539,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "csv", "json"), default="table",
         help="output format",
     )
+    _add_store_args(sweep_parser, resumable=True)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    query_parser = sub.add_parser(
+        "query",
+        help="inspect the experiment store without simulating anything",
+    )
+    query_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="experiment-store directory (default: REPRO_STORE or "
+        "~/.cache/repro)",
+    )
+    query_parser.add_argument(
+        "--policy", choices=POLICY_NAMES, default=None,
+        help="only runs of this policy",
+    )
+    query_parser.add_argument(
+        "--dataset", choices=("sentinel2", "planet"), default=None,
+        help="only runs on this dataset kind",
+    )
+    query_parser.add_argument(
+        "--seed", type=int, default=None, help="only runs with this seed"
+    )
+    query_parser.add_argument(
+        "--gamma", type=float, default=None,
+        help="only runs with this gamma (bits per downloaded pixel)",
+    )
+    query_parser.add_argument(
+        "--label", default=None,
+        help="only runs whose label contains this substring",
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=None, help="at most this many rows"
+    )
+    query_parser.add_argument(
+        "--aggregate", default=None, metavar="COLS",
+        help="group rows by a comma list of "
+        f"{_AGGREGATE_COLUMNS} and average the metrics",
+    )
+    query_parser.add_argument(
+        "--stats", action="store_true",
+        help="print store totals (entries, payload size, budget) instead",
+    )
+    query_parser.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format",
+    )
+    query_parser.set_defaults(func=cmd_query)
 
     run_parser = sub.add_parser("run", help="simulate one policy")
     _add_dataset_args(run_parser)

@@ -53,6 +53,30 @@ class PipelineError(ReproError):
     """The Earth+ on-board pipeline was driven with inconsistent inputs."""
 
 
+class ScenarioError(ReproError):
+    """A scenario in a batch failed; the message names the failing spec.
+
+    Raised by :func:`repro.analysis.scenarios.run_scenarios` wrapping the
+    worker's original exception (available as ``__cause__``) so batch
+    callers learn *which* spec failed, not just what went wrong.
+    """
+
+
+class StoreError(ReproError):
+    """Base class for persistent experiment-store failures."""
+
+
+class UncacheableSpecError(StoreError):
+    """A scenario spec cannot be content-addressed.
+
+    Raised when a spec carries state the canonical serializer cannot
+    reproduce from plain data — e.g. an already-built dataset instead of a
+    :class:`~repro.analysis.scenarios.DatasetSpec`, or a custom
+    fluctuation-model subclass.  Such scenarios still run; they just
+    bypass the store.
+    """
+
+
 class ReferenceError_(ReproError):
     """Reference-store failures (missing reference, shape mismatch, stale delta).
 

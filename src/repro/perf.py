@@ -11,6 +11,11 @@ Two small, dependency-free facilities the whole simulation stack shares:
   :func:`set_simulation_fastpath`; tests use :func:`fastpath_disabled` to
   compare both paths in one process.
 
+* **Environment switches.**  :func:`env_flag` (and the lower-level
+  :func:`parse_flag`) is the one parser every boolean ``REPRO_*``
+  variable goes through, so ``off``/``FALSE``/``no`` disable a switch
+  exactly like ``0`` everywhere.
+
 * **The profiler.**  :func:`enable_profiler` installs a process-wide
   :class:`SimProfiler`; instrumented sections (simulation phases, DWT,
   codec/rate model, change-detection scoring, imagery synthesis) record
@@ -23,9 +28,72 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from contextlib import contextmanager
 
-_FASTPATH = os.environ.get("REPRO_SIM_FASTPATH", "1") not in ("0", "false", "no")
+#: Accepted spellings for boolean ``REPRO_*`` environment switches.
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off", ""})
+
+
+def parse_flag(value: str) -> bool | None:
+    """Parse one boolean-switch spelling, case-insensitively.
+
+    Returns True/False for a recognized spelling (``1/true/yes/on`` vs
+    ``0/false/no/off`` or empty), or None when ``value`` is not a boolean
+    word at all — callers with path-or-flag variables (``REPRO_STORE``)
+    use None to mean "treat it as a path".
+    """
+    word = value.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    return None
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Read a boolean ``REPRO_*`` environment switch.
+
+    The single parser every repro on/off switch goes through, so
+    ``FALSE``/``off``/``no`` disable exactly like ``0`` (historically
+    only ``0/false/no`` were recognized and ``FALSE`` silently enabled).
+
+    Args:
+        name: Environment variable name.
+        default: Value when the variable is unset.
+
+    Raises:
+        ValueError: For a set value that is not a recognized boolean
+            spelling — loud beats silently enabling.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    flag = parse_flag(raw)
+    if flag is None:
+        raise ValueError(
+            f"{name}={raw!r} is not a boolean switch; expected one of "
+            f"{sorted(_TRUE_WORDS)} or {sorted(_FALSE_WORDS - {''})}"
+        )
+    return flag
+
+
+def _env_flag_lenient(name: str, default: bool) -> bool:
+    """Import-time variant of :func:`env_flag`: warn-and-default on garbage.
+
+    Raising at import would brick every ``repro`` entry point (even
+    ``--help``) over an unrelated shell export; commands that never
+    consult the switch must still run.
+    """
+    try:
+        return env_flag(name, default)
+    except ValueError as exc:
+        warnings.warn(f"{exc}; using the default ({default})", stacklevel=2)
+        return default
+
+
+_FASTPATH = _env_flag_lenient("REPRO_SIM_FASTPATH", True)
 
 
 def simulation_fastpath() -> bool:

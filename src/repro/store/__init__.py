@@ -1,0 +1,58 @@
+"""Persistent experiment store: content-addressed run caching.
+
+PR 3 made every simulation deterministic and byte-identical across the
+fast path, so a :class:`~repro.analysis.scenarios.ScenarioSpec` is a true
+content address for its :class:`~repro.core.accounting.RunResult`.  This
+package turns that invariant into a persistent cache:
+
+* :mod:`repro.store.specs` — canonical, versioned serialization of
+  scenario specs into stable content keys (sha256 over a canonical JSON
+  document, salted with :data:`~repro.store.specs.SCHEMA_VERSION` so
+  codec/kernel changes invalidate old entries);
+* :mod:`repro.store.backend` — the on-disk store: an SQLite index (WAL
+  mode, advisory-locked writes so concurrent sweep workers coordinate
+  safely) over npz/json payload files, committed atomically by
+  write-then-rename, bounded in size with LRU eviction;
+* :mod:`repro.store.runner` — cache-aware batch execution wrapping
+  :func:`~repro.analysis.scenarios.run_scenarios`: cached specs are pure
+  reads, missing specs stream into the store as each lands, and an
+  interrupted sweep resumes from whatever already committed.
+
+See docs/architecture.md, "Experiment store".
+"""
+
+from repro.store.backend import (
+    DEFAULT_STORE_DIR,
+    ExperimentStore,
+    default_store,
+    open_store,
+    resolve_store_path,
+)
+from repro.store.runner import (
+    ENV_DEFAULT,
+    CachedSweep,
+    run_scenario_cached,
+    run_scenarios_cached,
+)
+from repro.store.specs import (
+    SCHEMA_VERSION,
+    is_cacheable,
+    spec_document,
+    spec_key,
+)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "ExperimentStore",
+    "default_store",
+    "open_store",
+    "resolve_store_path",
+    "ENV_DEFAULT",
+    "CachedSweep",
+    "run_scenario_cached",
+    "run_scenarios_cached",
+    "SCHEMA_VERSION",
+    "is_cacheable",
+    "spec_document",
+    "spec_key",
+]

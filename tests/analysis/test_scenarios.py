@@ -13,7 +13,7 @@ from repro.analysis.scenarios import (
     sweep_specs,
 )
 from repro.core.config import EarthPlusConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ScenarioError
 
 SMALL_DATASET = DatasetSpec.of(
     "sentinel2",
@@ -95,6 +95,66 @@ class TestRunScenarios:
         assert len(parallel) == 4
         for par, seq in zip(parallel, sequential):
             assert pickle.dumps(par) == pickle.dumps(seq)
+
+
+class TestBatchFailureSemantics:
+    """One failing spec names itself; finished results still stream out."""
+
+    BAD_SPEC = ScenarioSpec(
+        policy="earthplus",
+        # Bypasses DatasetSpec.of validation, so the failure surfaces
+        # inside run_scenario — like any mid-batch worker error would.
+        dataset=DatasetSpec(kind="landsat"),
+        label="the-broken-one",
+    )
+
+    def test_failure_names_the_spec(self):
+        specs = [
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET),
+            self.BAD_SPEC,
+        ]
+        with pytest.raises(ScenarioError) as excinfo:
+            run_scenarios(specs)
+        assert "the-broken-one" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, KeyError)
+
+    def test_results_before_failure_reach_on_result(self):
+        landed = []
+        specs = [
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET, seed=0),
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET, seed=1),
+            self.BAD_SPEC,
+        ]
+        with pytest.raises(ScenarioError):
+            run_scenarios(
+                specs,
+                on_result=lambda i, spec, result: landed.append(i),
+            )
+        assert landed == [0, 1]
+
+    def test_parallel_failure_names_the_spec(self):
+        specs = [
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET, seed=0),
+            self.BAD_SPEC,
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET, seed=1),
+        ]
+        with pytest.raises(ScenarioError) as excinfo:
+            run_scenarios(specs, max_workers=2)
+        assert "the-broken-one" in str(excinfo.value)
+
+    def test_on_result_streams_all_indices(self):
+        landed = {}
+        specs = [
+            ScenarioSpec(policy="naive", dataset=SMALL_DATASET, seed=seed)
+            for seed in (0, 1)
+        ]
+        results = run_scenarios(
+            specs,
+            on_result=lambda i, spec, result: landed.__setitem__(i, result),
+        )
+        assert sorted(landed) == [0, 1]
+        for index, result in landed.items():
+            assert pickle.dumps(result) == pickle.dumps(results[index])
 
 
 class TestSweepSpecs:

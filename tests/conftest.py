@@ -6,8 +6,18 @@ assembly) so the suite stays fast while exercising real components.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Keep the suite hermetic: never read or write the developer's real
+# experiment store (~/.cache/repro) — a warm real store would serve
+# stale cached results to simulation tests and mask regressions.  Store
+# tests opt back in with explicit ExperimentStore instances / --store
+# flags on tmp paths.  Unconditional on purpose: an exported
+# REPRO_STORE must not leak in either.
+os.environ["REPRO_STORE"] = "off"
 
 from repro.core.config import EarthPlusConfig
 from repro.core.tiles import TileGrid
@@ -97,3 +107,101 @@ def ground_detector(two_bands):
 def rng():
     """Fresh deterministic RNG per test."""
     return np.random.default_rng(0xC0FFEE)
+
+
+# ----------------------------------------------------------------------
+# Experiment-store fixtures (tests/store/).  Defined here — not in a
+# tests/store/conftest.py — because the benchmarks import *their*
+# conftest by bare module name, which a second nested conftest would
+# shadow.
+# ----------------------------------------------------------------------
+
+#: Smallest dataset that exercises real simulation paths.
+_TINY_STORE_DATASET = None
+
+
+def _tiny_store_dataset():
+    global _TINY_STORE_DATASET
+    if _TINY_STORE_DATASET is None:
+        from repro.analysis.scenarios import DatasetSpec
+
+        _TINY_STORE_DATASET = DatasetSpec.of(
+            "sentinel2",
+            locations=["A"],
+            bands=["B4"],
+            horizon_days=20.0,
+            image_shape=(128, 128),
+        )
+    return _TINY_STORE_DATASET
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny spec-named dataset for store round-trip tests."""
+    return _tiny_store_dataset()
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """Factory for content-addressable scenarios on the tiny dataset."""
+    from repro.analysis.scenarios import ScenarioSpec
+
+    def factory(policy: str = "earthplus", seed: int = 0, **kwargs):
+        return ScenarioSpec(
+            policy=policy, dataset=_tiny_store_dataset(), seed=seed, **kwargs
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def result_factory():
+    """Factory for synthetic (simulation-free) run results with the
+    plain-scalar field types real simulations produce."""
+    from repro.core.accounting import CaptureRecord, RunResult
+
+    def factory(
+        policy: str = "earthplus", n_records: int = 3, downlink: int = 1000
+    ) -> RunResult:
+        records = [
+            CaptureRecord(
+                location="A",
+                satellite_id=i,
+                t_days=float(i) * 2.5,
+                dropped=(i % 3 == 2),
+                guaranteed=(i == 0),
+                cloud_coverage=0.125 * i,
+                psnr=float("nan") if i % 3 == 2 else 30.0 + i,
+                downloaded_fraction=0.25 * (i % 4),
+                bytes_downlinked=100 * i,
+                band_bytes={"B4": 60 * i, "B11": 40 * i},
+                band_psnr={"B4": 31.5 + i, "B11": float("inf")},
+                changed_fraction=0.1 * i,
+            )
+            for i in range(n_records)
+        ]
+        return RunResult(
+            policy=policy,
+            records=records,
+            downlink_bytes=downlink,
+            uplink_bytes=321,
+            updates_skipped=1,
+            horizon_days=20.0,
+            contacts_per_day=7,
+            contact_duration_s=600.0,
+            reference_storage_bytes=2048,
+            captured_storage_bytes=512,
+            uplink_stats={"updates_sent": 2, "full_update_bytes": 321},
+            extra_metrics={},
+        )
+
+    return factory
+
+
+@pytest.fixture()
+def store(tmp_path):
+    """A fresh experiment store in a per-test temp dir (unbounded)."""
+    from repro.store.backend import ExperimentStore
+
+    with ExperimentStore(tmp_path / "store", max_bytes=0x7FFFFFFF) as st:
+        yield st

@@ -1,0 +1,81 @@
+"""Tests for the shared boolean environment-switch parser (repro.perf)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+
+
+class TestParseFlag:
+    @pytest.mark.parametrize("word", ["1", "true", "TRUE", "Yes", "on", " ON "])
+    def test_true_words(self, word):
+        assert perf.parse_flag(word) is True
+
+    @pytest.mark.parametrize(
+        "word", ["0", "false", "FALSE", "No", "off", "OFF", ""]
+    )
+    def test_false_words(self, word):
+        assert perf.parse_flag(word) is False
+
+    @pytest.mark.parametrize("word", ["~/.cache/repro", "2", "maybe"])
+    def test_non_flags_are_none(self, word):
+        assert perf.parse_flag(word) is None
+
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert perf.env_flag("REPRO_TEST_FLAG", True) is True
+        assert perf.env_flag("REPRO_TEST_FLAG", False) is False
+
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [("1", True), ("on", True), ("0", False), ("FALSE", False),
+         ("off", False), ("No", False)],
+    )
+    def test_set_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert perf.env_flag("REPRO_TEST_FLAG", not expected) is expected
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "maybe")
+        with pytest.raises(ValueError, match="REPRO_TEST_FLAG"):
+            perf.env_flag("REPRO_TEST_FLAG", True)
+
+    def test_fastpath_regression_spellings(self, monkeypatch):
+        """The bug that motivated env_flag: FALSE/off used to enable."""
+        for spelling in ("FALSE", "off", "No", "OFF"):
+            monkeypatch.setenv("REPRO_SIM_FASTPATH", spelling)
+            assert perf.env_flag("REPRO_SIM_FASTPATH", True) is False
+
+    def test_import_time_parse_warns_instead_of_raising(self, monkeypatch):
+        """Garbage in the env must not brick module import (CLI --help)."""
+        monkeypatch.setenv("REPRO_TEST_FLAG", "garbage")
+        with pytest.warns(UserWarning, match="REPRO_TEST_FLAG"):
+            assert perf._env_flag_lenient("REPRO_TEST_FLAG", True) is True
+        with pytest.warns(UserWarning):
+            assert perf._env_flag_lenient("REPRO_TEST_FLAG", False) is False
+
+
+class TestStorePathResolution:
+    """REPRO_STORE is path-or-flag, parsed through the same words."""
+
+    def test_false_words_disable(self, monkeypatch):
+        from repro.store.backend import resolve_store_path
+
+        for word in ("off", "0", "FALSE"):
+            monkeypatch.setenv("REPRO_STORE", word)
+            assert resolve_store_path() is None
+
+    def test_true_words_pick_default(self, monkeypatch):
+        from repro.store.backend import DEFAULT_STORE_DIR, resolve_store_path
+
+        monkeypatch.setenv("REPRO_STORE", "on")
+        assert resolve_store_path() == DEFAULT_STORE_DIR.expanduser()
+
+    def test_path_value(self, monkeypatch, tmp_path):
+        from repro.store.backend import resolve_store_path
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "mystore"))
+        assert resolve_store_path() == tmp_path / "mystore"

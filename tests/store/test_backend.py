@@ -1,0 +1,163 @@
+"""ExperimentStore backend tests: round trips, healing, eviction, query.
+
+Everything here uses hand-built synthetic results, so the backend's
+serialization, index, and eviction logic are exercised without paying
+for simulations.  Byte-identity against *real* simulated results is
+covered by tests/store/test_roundtrip.py.
+"""
+
+from __future__ import annotations
+
+import pickle
+import shutil
+
+from repro.store.backend import ExperimentStore
+
+
+def _spec_and_result(tiny_spec, result_factory, seed=0, n_records=3):
+    spec = tiny_spec(seed=seed)
+    return spec, result_factory(n_records=n_records)
+
+
+class TestRoundTrip:
+    def test_put_get_is_pickle_identical(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        loaded = store.get(spec)
+        assert pickle.dumps(loaded) == pickle.dumps(result)
+        assert store.contains(key)
+
+    def test_nan_and_inf_fields_survive(self, store, tiny_spec, result_factory):
+        """NaN psnr (dropped captures) and inf band PSNR round-trip."""
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        loaded = store.get(store.put(spec, result))
+        dropped = [r for r in loaded.records if r.dropped]
+        assert dropped and all(r.psnr != r.psnr for r in dropped)
+        assert loaded.records[1].band_psnr["B11"] == float("inf")
+
+    def test_get_by_key_or_spec(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        assert pickle.dumps(store.get(key)) == pickle.dumps(store.get(spec))
+
+    def test_missing_key_is_none(self, store, tiny_spec):
+        assert store.get("0" * 64) is None
+        assert store.get(tiny_spec()) is None
+
+    def test_double_put_is_idempotent(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        assert store.put(spec, result) == store.put(spec, result)
+        assert store.stats()["entries"] == 1
+
+    def test_zero_record_result(self, store, tiny_spec, result_factory):
+        spec = tiny_spec(policy="naive")
+        result = result_factory(policy="naive", n_records=0)
+        loaded = store.get(store.put(spec, result))
+        assert pickle.dumps(loaded) == pickle.dumps(result)
+
+
+class TestHealing:
+    """Broken entries are misses, never exceptions."""
+
+    def test_deleted_payload_heals_to_miss(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        shutil.rmtree(store._payload_dir(key))
+        assert store.get(key) is None
+        assert not store.contains(key)
+
+    def test_corrupt_npz_heals_to_miss(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        (store._payload_dir(key) / "records.npz").write_bytes(b"not a zip")
+        assert store.get(key) is None
+        assert not store.contains(key)
+
+    def test_corrupt_json_heals_to_miss(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        (store._payload_dir(key) / "result.json").write_text("{truncated")
+        assert store.get(key) is None
+
+    def test_payload_version_mismatch_heals_to_miss(
+        self, store, tiny_spec, result_factory, monkeypatch
+    ):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        import repro.store.backend as backend
+
+        monkeypatch.setattr(backend, "PAYLOAD_VERSION", 999)
+        assert store.get(key) is None
+
+
+class TestEviction:
+    def test_lru_eviction_keeps_recently_used(self, tmp_path, tiny_spec, result_factory):
+        store = ExperimentStore(tmp_path / "bounded", max_bytes=0x7FFFFFFF)
+        keys = [
+            store.put(tiny_spec(seed=seed), result_factory(n_records=20))
+            for seed in range(4)
+        ]
+        # Touch the oldest entry so it is the most recently used...
+        assert store.get(keys[0]) is not None
+        # ...then shrink the budget to roughly two payloads.
+        per_entry = store.stats()["payload_mb"] * 1e6 / 4
+        evicted = store.evict(max_bytes=int(2.5 * per_entry))
+        assert evicted == 2
+        assert store.contains(keys[0]), "LRU evicted the just-touched entry"
+        assert not store.contains(keys[1])
+        assert not store.contains(keys[2])
+        assert store.contains(keys[3])
+        store.close()
+
+    def test_unbounded_store_never_evicts(self, tmp_path, tiny_spec, result_factory):
+        store = ExperimentStore(tmp_path / "unbounded", max_bytes=None)
+        store.max_bytes = None
+        store.put(tiny_spec(), result_factory())
+        assert store.evict() == 0
+        store.close()
+
+
+class TestQueryAndStats:
+    def test_query_filters(self, store, tiny_spec, result_factory):
+        for policy in ("earthplus", "naive"):
+            for seed in (0, 1):
+                store.put(
+                    tiny_spec(policy=policy, seed=seed),
+                    result_factory(policy=policy),
+                )
+        assert len(store.query()) == 4
+        assert len(store.query(policy="earthplus")) == 2
+        assert len(store.query(policy="earthplus", seed=1)) == 1
+        assert len(store.query(dataset="planet")) == 0
+        assert len(store.query(label="naive")) == 2
+        assert len(store.query(limit=3)) == 3
+        row = store.query(policy="naive", seed=0)[0]
+        assert row["dataset"] == "sentinel2"
+        assert row["records"] == 3
+        assert row["downlink_kb"] == 1.0
+
+    def test_stats(self, store, tiny_spec, result_factory):
+        stats = store.stats()
+        assert stats["entries"] == 0
+        store.put(tiny_spec(), result_factory())
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["payload_mb"] > 0
+
+
+class TestConcurrency:
+    def test_concurrent_writers_share_one_store(self, tmp_path, tiny_spec, result_factory):
+        """Two stores on one root (as two sweep processes would open)
+        interleave puts/gets without corrupting the index."""
+        root = tmp_path / "shared"
+        a = ExperimentStore(root, max_bytes=0x7FFFFFFF)
+        b = ExperimentStore(root, max_bytes=0x7FFFFFFF)
+        key0 = a.put(tiny_spec(seed=0), result_factory())
+        key1 = b.put(tiny_spec(seed=1), result_factory())
+        # Same-key race: both write identical content, first commit wins.
+        assert b.put(tiny_spec(seed=0), result_factory()) == key0
+        assert a.get(key1) is not None
+        assert b.get(key0) is not None
+        assert a.stats()["entries"] == 2
+        a.close()
+        b.close()

@@ -1,0 +1,153 @@
+"""CLI-level store tests: sweep --store/--resume round trips, repro query."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SWEEP_ARGS = [
+    "sweep", "--locations", "A", "--bands", "B4", "--days", "20",
+    "--size", "128", "--policies", "earthplus,naive", "--seeds", "0,1",
+]
+
+
+@pytest.fixture()
+def warm_store(tmp_path, capsys):
+    """A store warmed by one CLI sweep (4 scenarios)."""
+    root = tmp_path / "store"
+    assert main(SWEEP_ARGS + ["--store", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "store: 0 reused, 4 simulated" in out
+    return root
+
+
+class TestSweepStoreFlags:
+    def test_second_sweep_is_all_cache_hits(self, warm_store, capsys):
+        assert main(SWEEP_ARGS + ["--store", str(warm_store)]) == 0
+        assert "store: 4 reused, 0 simulated" in capsys.readouterr().out
+
+    def test_resume_flag(self, warm_store, capsys):
+        assert (
+            main(SWEEP_ARGS + ["--store", str(warm_store), "--resume"]) == 0
+        )
+        assert "store: 4 reused, 0 simulated" in capsys.readouterr().out
+
+    def test_refresh_resimulates(self, warm_store, capsys):
+        assert (
+            main(SWEEP_ARGS + ["--store", str(warm_store), "--refresh"]) == 0
+        )
+        assert "store: 0 reused, 4 simulated" in capsys.readouterr().out
+
+    def test_no_store_prints_no_summary(self, capsys):
+        assert main(SWEEP_ARGS + ["--no-store"]) == 0
+        assert "store:" not in capsys.readouterr().out
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(SystemExit):
+            main(SWEEP_ARGS + ["--no-store", "--resume"])
+
+    def test_store_and_no_store_conflict(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                SWEEP_ARGS
+                + ["--store", str(tmp_path / "x"), "--no-store"]
+            )
+
+    def test_sweep_output_identical_cold_vs_warm(
+        self, tmp_path, capsys
+    ):
+        args = SWEEP_ARGS + [
+            "--format", "csv", "--store", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+
+class TestSimulateStore:
+    def test_simulate_caches(self, tmp_path, capsys):
+        args = [
+            "simulate", "--locations", "A", "--bands", "B4", "--days",
+            "20", "--size", "128", "--format", "json",
+            "--store", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold
+        assert main(["query", "--store", str(tmp_path / "store")]) == 0
+        assert "earthplus" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_lists_runs(self, warm_store, capsys):
+        assert main(["query", "--store", str(warm_store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 stored run(s)" in out
+        assert "earthplus" in out and "naive" in out
+
+    def test_filters(self, warm_store, capsys):
+        assert (
+            main(
+                [
+                    "query", "--store", str(warm_store), "--policy",
+                    "naive", "--seed", "1", "--format", "json",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["policy"] == "naive"
+        assert rows[0]["seed"] == 1
+
+    def test_label_filter(self, warm_store, capsys):
+        assert (
+            main(
+                [
+                    "query", "--store", str(warm_store), "--label",
+                    "g0.3/s0", "--format", "json",
+                ]
+            )
+            == 0
+        )
+        assert len(json.loads(capsys.readouterr().out)) == 2
+
+    def test_aggregate(self, warm_store, capsys):
+        assert (
+            main(
+                [
+                    "query", "--store", str(warm_store), "--aggregate",
+                    "policy", "--format", "json",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["policy"] for r in rows] == ["earthplus", "naive"]
+        assert all(r["runs"] == 2 for r in rows)
+        assert all(r["psnr_db"] is not None for r in rows)
+
+    def test_aggregate_unknown_column_rejected(self, warm_store):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--store", str(warm_store), "--aggregate",
+                    "bogus",
+                ]
+            )
+
+    def test_stats(self, warm_store, capsys):
+        assert main(["query", "--store", str(warm_store), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+
+    def test_disabled_store_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "off")
+        with pytest.raises(SystemExit):
+            main(["query"])
