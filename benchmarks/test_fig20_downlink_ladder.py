@@ -1,0 +1,70 @@
+"""Figure 20: downlink-budget ladder — layer shedding under contact limits.
+
+The §5 bandwidth-variation experiment on the downlink side: as the
+per-contact contact capacity shrinks, the layered encoder sheds trailing
+quality layers first (graceful PSNR degradation) and only defers/drops
+captures once even base quality no longer fits.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures as F
+from repro.analysis.scenarios import (
+    DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
+    DatasetSpec,
+)
+from repro.analysis.tables import format_table
+from repro.core.config import EarthPlusConfig
+
+
+def test_fig20_downlink_ladder(benchmark, emit, bench_scale):
+    horizon = 180.0 if bench_scale == "full" else 120.0
+    dataset = DatasetSpec.of(
+        "sentinel2",
+        locations=["A"],
+        bands=["B4", "B11"],
+        horizon_days=horizon,
+        image_shape=(192, 192),
+    )
+    config = EarthPlusConfig(gamma_bpp=0.3, n_quality_layers=3)
+    budgets = [DEFAULT_DOWNLINK_BYTES_PER_CONTACT, 500, 120, 60, 25]
+    result = run_once(
+        benchmark,
+        lambda: F.fig20_downlink_ladder(
+            dataset=dataset,
+            downlink_bytes_options=budgets,
+            config=config,
+        ),
+    )
+    rows = [
+        [
+            row["downlink_bytes_per_contact"],
+            f"{row['delivered_fraction']:.2f}",
+            row["layers_shed"],
+            row["captures_deferred"] + row["captures_dropped"],
+            f"{row['delivered']}/{row['records']}",
+            f"{row['psnr']:.1f}",
+        ]
+        for row in result["rows"]
+    ]
+    emit(
+        "fig20_downlink_ladder",
+        format_table(
+            [
+                "downlink B/contact", "delivered frac", "layers shed",
+                "deferred+dropped", "delivered", "PSNR dB",
+            ],
+            rows,
+            title="Figure 20 - delivery vs per-contact downlink budget "
+            "(layers shed before captures drop)",
+        ),
+    )
+    by_budget = {r["downlink_bytes_per_contact"]: r for r in result["rows"]}
+    unconstrained = by_budget[DEFAULT_DOWNLINK_BYTES_PER_CONTACT]
+    tightest = by_budget[25]
+    # Table-1 capacity never sheds; the tight rungs shed and then drop.
+    assert unconstrained["layers_shed"] == 0
+    assert unconstrained["delivered_fraction"] == 1.0
+    assert any(r["layers_shed"] > 0 for r in result["rows"])
+    assert tightest["bytes_delivered"] <= unconstrained["bytes_delivered"]
+    assert tightest["delivered"] <= unconstrained["delivered"]

@@ -43,7 +43,9 @@ def run_policy(
     policy: str,
     config: EarthPlusConfig | None = None,
     uplink_bytes_per_contact: int | None = None,
+    downlink_bytes_per_contact: int | None = None,
     fluctuation: FluctuationModel | None = None,
+    downlink_severity: float = 0.0,
     ground_detector_for_scoring: bool = True,
     seed: int = 0,
     store=ENV_DEFAULT,
@@ -58,7 +60,10 @@ def run_policy(
         config: Earth+ tunables (shared knobs also steer baselines).
         uplink_bytes_per_contact: Override the Table-1 default uplink
             capacity (only Earth+ uses the uplink).
+        downlink_bytes_per_contact: Override the Table-1 default downlink
+            capacity (small values engage quality-layer shedding).
         fluctuation: Optional per-contact bandwidth fluctuation model.
+        downlink_severity: Optional downlink-only fluctuation severity.
         ground_detector_for_scoring: Whether the ground re-screens
             downloads with the accurate detector before mosaic ingest.
         seed: Ground-segment seed (random update skipping).
@@ -78,7 +83,9 @@ def run_policy(
             dataset=dataset,
             config=config,
             uplink_bytes_per_contact=uplink_bytes_per_contact,
+            downlink_bytes_per_contact=downlink_bytes_per_contact,
             fluctuation=fluctuation,
+            downlink_severity=downlink_severity,
             ground_detector_for_scoring=ground_detector_for_scoring,
             seed=seed,
         ),

@@ -20,7 +20,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.experiments import PolicyComparison, compare_policies, run_policy
-from repro.analysis.scenarios import DatasetSpec, ScenarioSpec
+from repro.analysis.scenarios import (
+    DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
+    DatasetSpec,
+    ScenarioSpec,
+)
 from repro.store.runner import ENV_DEFAULT, run_scenarios_cached
 from repro.analysis.stats import cdf
 from repro.core.change_detection import detect_changes
@@ -708,6 +712,91 @@ def fig19_constellation_size(
                 ),
                 "downloaded_fraction": fraction,
                 "delivered": n_delivered,
+            }
+        )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Figure 20 — downlink-budget ladder: layer shedding under contact limits
+# ----------------------------------------------------------------------
+def fig20_downlink_ladder(
+    dataset: SyntheticDataset | DatasetSpec | None = None,
+    downlink_bytes_options: list[int] | None = None,
+    config: EarthPlusConfig | None = None,
+    downlink_severity: float = 0.0,
+    seed: int = 0,
+    max_workers: int | None = None,
+    store=ENV_DEFAULT,
+) -> dict:
+    """Delivery quality as the per-contact downlink budget shrinks.
+
+    The §5 bandwidth-variation experiment on the downlink side: each rung
+    constrains ``downlink_bytes_per_contact``, and the layered encoder
+    (``n_quality_layers`` > 1) sheds trailing quality layers before any
+    capture is deferred or dropped.  Rows report the offered/delivered
+    byte ratio, shedding and drop counts, and the PSNR the ground still
+    achieves — the graceful-degradation curve the paper describes.
+    """
+    config = (
+        config
+        if config is not None
+        else EarthPlusConfig(gamma_bpp=0.3, n_quality_layers=3)
+    )
+    if dataset is None:
+        dataset = DatasetSpec.of(
+            "sentinel2",
+            locations=["A"],
+            bands=["B4", "B11"],
+            horizon_days=120.0,
+            image_shape=(192, 192),
+        )
+    if downlink_bytes_options is None:
+        # An unconstrained anchor plus rungs descending through the
+        # regime where laptop-scale captures (tens of KB) stop fitting.
+        downlink_bytes_options = [
+            DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
+            200_000,
+            50_000,
+            20_000,
+            8_000,
+        ]
+    specs = [
+        ScenarioSpec(
+            policy="earthplus",
+            dataset=dataset,
+            config=config,
+            downlink_bytes_per_contact=budget,
+            downlink_severity=downlink_severity,
+            seed=seed,
+            extras={"budget": budget},
+        )
+        for budget in downlink_bytes_options
+    ]
+    results = run_scenarios_cached(
+        specs, max_workers=max_workers, store=store
+    ).results
+    rows = []
+    for spec_item, result in zip(specs, results):
+        stats = result.downlink_stats
+        offered = stats.get("bytes_offered", 0)
+        delivered = stats.get("bytes_delivered", 0)
+        rows.append(
+            {
+                "downlink_bytes_per_contact": spec_item.extras["budget"],
+                "bytes_offered": offered,
+                "bytes_delivered": delivered,
+                "delivered_fraction": (
+                    delivered / offered if offered else 1.0
+                ),
+                "layers_shed": stats.get("layers_shed", 0),
+                "captures_shed": stats.get("captures_shed", 0),
+                "captures_deferred": stats.get("captures_deferred", 0),
+                "captures_dropped": stats.get("captures_dropped", 0),
+                "delivered": len(result.delivered()),
+                "records": len(result.records),
+                "psnr": result.mean_psnr(),
+                "downlink_bps": result.required_downlink_bps(),
             }
         )
     return {"rows": rows}

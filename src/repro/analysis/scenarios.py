@@ -54,6 +54,12 @@ POLICY_NAMES = ("earthplus", "kodan", "satroi", "naive")
 #: implicit-default specs resolve to one content key.
 DEFAULT_UPLINK_BYTES_PER_CONTACT = int(250e3 * 600 / 8)
 
+#: Table-1 downlink capacity of one ground contact (200 Mbps x 600 s),
+#: the value a ``ScenarioSpec`` with ``downlink_bytes_per_contact=None``
+#: runs with.  At this capacity our laptop-scale scenarios never shed a
+#: layer, so defaulted runs stay byte-identical to unconstrained ones.
+DEFAULT_DOWNLINK_BYTES_PER_CONTACT = int(200e6 * 600 / 8)
+
 #: Dataset builders a :class:`DatasetSpec` may name.
 DATASET_BUILDERS = {
     "sentinel2": sentinel2_dataset,
@@ -135,7 +141,15 @@ class ScenarioSpec:
             baselines).
         uplink_bytes_per_contact: Override the Table-1 default uplink
             capacity (only Earth+ uses the uplink).
-        fluctuation: Optional per-contact bandwidth fluctuation model.
+        downlink_bytes_per_contact: Override the Table-1 default downlink
+            capacity (all policies compete for contact capacity; small
+            values engage quality-layer shedding).
+        fluctuation: Optional per-contact bandwidth fluctuation model
+            (shared by both links; each link draws its own stream).
+        downlink_severity: When > 0, the downlink fluctuates with this
+            log-space sigma even if ``fluctuation`` is None (the model is
+            derived deterministically: the shared fluctuation's seed when
+            present, else this spec's ``seed``).
         ground_detector_for_scoring: Whether the ground re-screens
             downloads with the accurate detector before mosaic ingest.
         seed: Ground-segment seed (random update skipping).
@@ -148,11 +162,31 @@ class ScenarioSpec:
     dataset: DatasetSpec | SyntheticDataset
     config: EarthPlusConfig | None = None
     uplink_bytes_per_contact: int | None = None
+    downlink_bytes_per_contact: int | None = None
     fluctuation: FluctuationModel | None = None
+    downlink_severity: float = 0.0
     ground_detector_for_scoring: bool = True
     seed: int = 0
     label: str | None = None
     extras: dict = field(default_factory=dict)
+
+    def downlink_fluctuation(self) -> FluctuationModel | None:
+        """The fluctuation model the downlink phase should draw from.
+
+        ``downlink_severity > 0`` derives a dedicated model (seeded from
+        the shared fluctuation when present, else from ``seed``) so the
+        downlink can degrade harder than the uplink; otherwise the shared
+        model serves both links via its per-link streams.
+        """
+        if self.downlink_severity > 0.0:
+            base = self.fluctuation
+            return FluctuationModel(
+                seed=base.seed if base is not None else self.seed,
+                severity=self.downlink_severity,
+                floor=base.floor if base is not None else 0.2,
+                ceiling=base.ceiling if base is not None else 1.5,
+            )
+        return self.fluctuation
 
     def resolved_label(self) -> str:
         """The display label (defaults to ``policy/seed<seed>``)."""
@@ -234,7 +268,13 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
             if spec.uplink_bytes_per_contact is not None
             else DEFAULT_UPLINK_BYTES_PER_CONTACT
         ),
+        downlink_bytes_per_contact=(
+            spec.downlink_bytes_per_contact
+            if spec.downlink_bytes_per_contact is not None
+            else DEFAULT_DOWNLINK_BYTES_PER_CONTACT
+        ),
         fluctuation=spec.fluctuation,
+        downlink_fluctuation=spec.downlink_fluctuation(),
     )
     return simulator.run()
 
@@ -335,7 +375,9 @@ def sweep_specs(
     gammas: Iterable[float] | None = None,
     base_config: EarthPlusConfig | None = None,
     uplink_bytes_per_contact: int | None = None,
+    downlink_bytes_per_contact: int | None = None,
     fluctuation: FluctuationModel | None = None,
+    downlink_severity: float = 0.0,
 ) -> list[ScenarioSpec]:
     """The policies x seeds x gammas cross-product as scenario specs.
 
@@ -346,7 +388,9 @@ def sweep_specs(
         gammas: Bits-per-pixel settings to sweep (None = the base config's).
         base_config: Config the gamma overrides apply to.
         uplink_bytes_per_contact: Optional shared uplink override.
+        downlink_bytes_per_contact: Optional shared downlink override.
         fluctuation: Optional shared fluctuation model.
+        downlink_severity: Optional downlink-only fluctuation severity.
 
     Returns:
         Labelled specs in (gamma, policy, seed) order.
@@ -364,7 +408,9 @@ def sweep_specs(
                         dataset=dataset,
                         config=config,
                         uplink_bytes_per_contact=uplink_bytes_per_contact,
+                        downlink_bytes_per_contact=downlink_bytes_per_contact,
                         fluctuation=fluctuation,
+                        downlink_severity=downlink_severity,
                         seed=seed,
                         label=f"{policy}/g{gamma:g}/s{seed}",
                         extras={"gamma": gamma, "seed": seed},

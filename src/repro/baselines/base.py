@@ -105,6 +105,8 @@ class BaselinePolicy:
             offset=offset,
             had_reference=had_reference,
             cloudy_pixels=cloudy_pixels,
+            layers=result.layers,
+            layers_factory=result.layers_factory,
         )
 
     @staticmethod

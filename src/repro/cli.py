@@ -98,6 +98,11 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="fast rate model, full arithmetic-coded codec, or its "
         "bit-exact vectorized fast path",
     )
+    parser.add_argument(
+        "--layers", type=int, default=1,
+        help="quality layers per encoded image (>1 lets a constrained "
+        "downlink shed trailing layers instead of dropping captures)",
+    )
 
 
 def _add_store_args(
@@ -187,11 +192,13 @@ _RESULT_HEADERS = [
 _SCENARIO_COLUMNS = [
     "scenario", "policy", "gamma", "seed", "downlink_kb", "psnr_db",
     "downloaded_fraction", "uplink_kb", "delivered", "records",
+    "layers_shed", "dl_dropped",
 ]
 
 
 def _scenario_dict(spec: ScenarioSpec, result) -> dict:
     """One sweep/simulate output row (plain data for any format)."""
+    downlink_stats = result.downlink_stats
     return {
         "scenario": spec.resolved_label(),
         "policy": spec.policy,
@@ -206,17 +213,22 @@ def _scenario_dict(spec: ScenarioSpec, result) -> dict:
         "uplink_kb": round(result.uplink_bytes / 1e3, 3),
         "delivered": len(result.delivered()),
         "records": len(result.records),
+        "layers_shed": downlink_stats.get("layers_shed", 0),
+        "dl_dropped": (
+            downlink_stats.get("captures_deferred", 0)
+            + downlink_stats.get("captures_dropped", 0)
+        ),
     }
 
 
 def _profile_rows(profiler) -> list[dict]:
     """Phase + kernel timing rows for ``simulate --profile``.
 
-    Phases (``uplink``/``capture``/``ingest``) tile the simulation loop;
-    kernels (``imagery``/``codec``/``dwt``/``scoring``) run inside phases
-    and break down where phase time goes.
+    Phases (``uplink``/``capture``/``downlink``/``ingest``) tile the
+    simulation loop; kernels (``imagery``/``codec``/``dwt``/``scoring``)
+    run inside phases and break down where phase time goes.
     """
-    phase_names = ("uplink", "capture", "ingest")
+    phase_names = ("uplink", "capture", "downlink", "ingest")
     rows = []
     for entry in profiler.rows():
         entry = dict(entry)
@@ -234,8 +246,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     spec = ScenarioSpec(
         policy=args.policy,
         dataset=_build_dataset_spec(args),
-        config=EarthPlusConfig(gamma_bpp=args.gamma, codec_backend=args.codec),
+        config=EarthPlusConfig(
+            gamma_bpp=args.gamma,
+            codec_backend=args.codec,
+            n_quality_layers=args.layers,
+        ),
         uplink_bytes_per_contact=args.uplink_bytes,
+        downlink_bytes_per_contact=args.downlink_bytes,
+        downlink_severity=args.downlink_severity,
         seed=args.seed,
     )
     profiler = perf.enable_profiler() if args.profile else None
@@ -301,8 +319,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         policies=policies,
         seeds=seeds,
         gammas=gammas,
-        base_config=EarthPlusConfig(codec_backend=args.codec),
+        base_config=EarthPlusConfig(
+            codec_backend=args.codec, n_quality_layers=args.layers
+        ),
         uplink_bytes_per_contact=args.uplink_bytes,
+        downlink_bytes_per_contact=args.downlink_bytes,
+        downlink_severity=args.downlink_severity,
     )
     store = _resolve_store(args)
     sweep = run_scenarios_cached(
@@ -347,7 +369,8 @@ def _aggregate_rows(rows: list[dict], by: list[str]) -> list[dict]:
         row = dict(zip(by, group_key))
         row["runs"] = len(members)
         for metric in (
-            "psnr_db", "downloaded_fraction", "downlink_kb", "uplink_kb"
+            "psnr_db", "downloaded_fraction", "downlink_kb", "uplink_kb",
+            "layers_shed", "updates_skipped", "dl_dropped",
         ):
             row[metric] = mean([m.get(metric) for m in members])
         out.append(row)
@@ -393,7 +416,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         rows = _aggregate_rows(rows, by)
         columns = by + [
             "runs", "psnr_db", "downloaded_fraction", "downlink_kb",
-            "uplink_kb",
+            "uplink_kb", "layers_shed", "updates_skipped", "dl_dropped",
         ]
         title = f"{len(rows)} group(s) by {','.join(by)} ({store.root})"
     else:
@@ -405,7 +428,11 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    config = EarthPlusConfig(gamma_bpp=args.gamma, codec_backend=args.codec)
+    config = EarthPlusConfig(
+        gamma_bpp=args.gamma,
+        codec_backend=args.codec,
+        n_quality_layers=args.layers,
+    )
     result = run_policy(dataset, args.policy, config)
     print(
         format_table(
@@ -420,7 +447,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    config = EarthPlusConfig(gamma_bpp=args.gamma, codec_backend=args.codec)
+    config = EarthPlusConfig(
+        gamma_bpp=args.gamma,
+        codec_backend=args.codec,
+        n_quality_layers=args.layers,
+    )
     rows = []
     for policy in ("earthplus", "kodan", "satroi"):
         result = run_policy(dataset, policy, config)
@@ -500,6 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="uplink bytes per contact (default: Table-1 capacity)",
     )
     simulate_parser.add_argument(
+        "--downlink-bytes", type=int, default=None,
+        help="downlink bytes per contact (default: Table-1 capacity, "
+        "which never constrains laptop-scale runs)",
+    )
+    simulate_parser.add_argument(
+        "--downlink-severity", type=float, default=0.0,
+        help="downlink-only bandwidth fluctuation severity (log-space "
+        "sigma; 0 = constant downlink)",
+    )
+    simulate_parser.add_argument(
         "--format", choices=("table", "csv", "json"), default="table",
         help="output format",
     )
@@ -534,6 +575,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--uplink-bytes", type=int, default=None,
         help="uplink bytes per contact (default: Table-1 capacity)",
+    )
+    sweep_parser.add_argument(
+        "--downlink-bytes", type=int, default=None,
+        help="downlink bytes per contact (default: Table-1 capacity)",
+    )
+    sweep_parser.add_argument(
+        "--downlink-severity", type=float, default=0.0,
+        help="downlink-only bandwidth fluctuation severity",
     )
     sweep_parser.add_argument(
         "--format", choices=("table", "csv", "json"), default="table",

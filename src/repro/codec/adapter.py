@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.codec.jpeg2000 import CodecConfig, ImageCodec
 from repro.codec.metrics import psnr as psnr_metric
-from repro.codec.ratemodel import RateModelResult
+from repro.codec.ratemodel import QualityLayer, RateModelResult
 from repro.errors import CodecError, RateControlError
 
 
@@ -100,6 +100,15 @@ class RealCodecAdapter:
             else float("inf")
         )
         total = encoded.total_bytes
+        layers_factory = None
+        if self.n_layers > 1:
+            # Deferred: each view costs a full decode + PSNR, and the
+            # downlink phase only asks for them when a capture exceeds
+            # its contact capacity.
+            layers_factory = lambda: self._layer_views(  # noqa: E731
+                image, encoded, roi_mask, roi_pixels,
+                total, quality, reconstruction,
+            )
         return RateModelResult(
             coded_bytes=total,
             payload_bytes=encoded.payload_bytes(),
@@ -107,4 +116,38 @@ class RealCodecAdapter:
             reconstruction=reconstruction,
             base_step=encoded.base_step,
             roi_pixels=roi_pixels,
+            layers_factory=layers_factory,
         )
+
+    def _layer_views(
+        self, image, encoded, roi_mask, roi_pixels, total, quality, recon
+    ) -> tuple[QualityLayer, ...]:
+        """Byte-exact truncation views of the layered bitstream.
+
+        Keeping ``k`` layers drops exactly the trailing layers' payload
+        segments from the container, so the truncated size is the full
+        size minus the shed layers' payload bytes — the same arithmetic a
+        ground station applies when it stops reading after ``k`` layers.
+        """
+        full_payload = encoded.payload_bytes()
+        views = []
+        for kept in range(1, encoded.n_layers):
+            truncated = self._codec.decode(encoded, layers=kept)
+            views.append(
+                QualityLayer(
+                    coded_bytes=total
+                    - (full_payload - encoded.payload_bytes(kept)),
+                    psnr_roi=(
+                        psnr_metric(image[roi_mask], truncated[roi_mask])
+                        if roi_pixels
+                        else float("inf")
+                    ),
+                    reconstruction=truncated,
+                )
+            )
+        views.append(
+            QualityLayer(
+                coded_bytes=total, psnr_roi=quality, reconstruction=recon
+            )
+        )
+        return tuple(views)

@@ -24,7 +24,8 @@ reconstructions) are bit-identical — the differential tests pin this.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -209,6 +210,26 @@ def _plane_walk_bits(
     return bits
 
 
+@dataclass(frozen=True)
+class QualityLayer:
+    """One quality-layer prefix of an encoded ROI.
+
+    ``layers[k - 1]`` of a :class:`RateModelResult` describes what the
+    ground receives when only the first ``k`` quality layers come down:
+    the truncated coded size, and the (coarser) reconstruction plus its
+    exact PSNR.  The last view always equals the full encode.
+
+    Attributes:
+        coded_bytes: Coded container bytes when trailing layers are shed.
+        psnr_roi: PSNR over ROI pixels of the truncated reconstruction.
+        reconstruction: Full-frame reconstruction from the kept layers.
+    """
+
+    coded_bytes: int
+    psnr_roi: float
+    reconstruction: np.ndarray
+
+
 @dataclass
 class RateModelResult:
     """Outcome of a rate-model encode.
@@ -220,6 +241,14 @@ class RateModelResult:
         reconstruction: The dequantized reconstruction (exact distortion).
         base_step: Quantizer step used.
         roi_pixels: Number of pixels inside the ROI.
+        layers: Per-quality-layer prefix views, finest last (None when the
+            encode was not layered, i.e. ``n_quality_layers == 1``, or
+            when the views are produced lazily via ``layers_factory``).
+        layers_factory: Deferred view construction.  Building the views
+            costs extra encodes/decodes per band, and the downlink phase
+            only reads them when a capture exceeds its contact capacity —
+            so backends attach a thunk and the consumer materializes on
+            demand.
     """
 
     coded_bytes: int
@@ -228,6 +257,10 @@ class RateModelResult:
     reconstruction: np.ndarray
     base_step: float
     roi_pixels: int
+    layers: tuple[QualityLayer, ...] | None = None
+    layers_factory: "Callable[[], tuple[QualityLayer, ...]] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def bits_per_roi_pixel(self) -> float:

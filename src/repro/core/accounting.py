@@ -13,7 +13,7 @@ can ride along in the same pass over events, and its value lands in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
@@ -21,26 +21,112 @@ import numpy as np
 from repro.codec.metrics import weighted_mean_psnr
 
 if TYPE_CHECKING:
-    from repro.core.phases import VisitEvent
+    from repro.core.phases import DownlinkReport, VisitEvent
+
+
+class _TupleState:
+    """Deterministic pickling for result dataclasses (tuple state).
+
+    Default dataclass pickling ships ``__dict__``, whose *keys* the
+    unpickler interns while ordinary dict keys are not — so a result that
+    crossed a worker-process boundary pickles with different string
+    sharing than one built in-process whenever a stats-dict key (e.g.
+    ``updates_skipped``) equals a field name.  Tuple state carries no
+    field-name strings at all, keeping "parallel batch == sequential
+    batch" byte-identical at the pickle level.
+    """
+
+    def __getstate__(self):
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def __setstate__(self, state):
+        if isinstance(state, dict):  # a pickle from an older layout
+            self.__dict__.update(state)
+            return
+        for f, value in zip(fields(self), state):
+            setattr(self, f.name, value)
 
 
 @dataclass
-class CaptureRecord:
+class DownlinkStats:
+    """Running contact-capacity accounting across a whole run.
+
+    The downlink twin of
+    :class:`~repro.core.ground_segment.UplinkStats`: the
+    :class:`MetricsAccumulator` folds every visit's
+    :class:`~repro.core.phases.DownlinkReport` into these totals.
+
+    Attributes:
+        capacity_bytes: Total contact capacity offered across the run.
+        bytes_offered: Encoded bytes the satellites wanted to send.
+        bytes_delivered: Bytes actually moved down after shedding/drops.
+        layers_shed: Trailing quality layers shed to fit contacts.
+        captures_shed: Captures delivered at reduced quality (>= 1 layer
+            shed).
+        captures_deferred: Guaranteed downloads that did not fit even at
+            base quality; the guarantee was re-armed for a later capture.
+        captures_dropped: Non-guaranteed captures discarded at downlink
+            time for not fitting at base quality.
+    """
+
+    capacity_bytes: int = 0
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+    layers_shed: int = 0
+    captures_shed: int = 0
+    captures_deferred: int = 0
+    captures_dropped: int = 0
+
+    def observe(self, report: "DownlinkReport") -> None:
+        """Fold one visit's downlink report into the totals."""
+        self.capacity_bytes += report.capacity_bytes
+        self.bytes_offered += report.offered_bytes
+        self.bytes_delivered += report.delivered_bytes
+        self.layers_shed += report.layers_shed
+        if report.layers_shed > 0:
+            self.captures_shed += 1
+        if report.deferred:
+            self.captures_deferred += 1
+        if report.dropped:
+            self.captures_dropped += 1
+
+    def as_run_stats(self) -> dict[str, int]:
+        """The contact-level dict carried on ``RunResult.downlink_stats``."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "bytes_offered": self.bytes_offered,
+            "bytes_delivered": self.bytes_delivered,
+            "layers_shed": self.layers_shed,
+            "captures_shed": self.captures_shed,
+            "captures_deferred": self.captures_deferred,
+            "captures_dropped": self.captures_dropped,
+        }
+
+
+@dataclass
+class CaptureRecord(_TupleState):
     """Everything remembered about one processed visit.
 
     Attributes:
         location: Location name.
         satellite_id: Observing satellite.
         t_days: Capture time.
-        dropped: Capture discarded for cloud.
+        dropped: Capture discarded (on board for cloud, or at downlink
+            for lack of contact capacity).
         guaranteed: Was a guaranteed full download.
         cloud_coverage: On-board detected cloud fraction.
-        psnr: Ground-side reconstruction PSNR (NaN when dropped).
+        psnr: Ground-side reconstruction PSNR (NaN when dropped; the
+            sentinel 0.0 when the capture was delivered but had no
+            scoreable non-cloud pixels).
         downloaded_fraction: Mean downloaded-tile fraction over bands.
         bytes_downlinked: Total downlink bytes.
         band_bytes: Per-band downlink bytes.
         band_psnr: Per-band coded-tile PSNR.
         changed_fraction: Mean detector changed fraction over bands.
+        downlink_capacity_bytes: Contact capacity offered to this capture
+            (0 when the run had no downlink constraint).
+        layers_shed: Trailing quality layers shed to fit the capacity.
+        downlink_deferred: Guaranteed download deferred at downlink time.
     """
 
     location: str
@@ -55,10 +141,13 @@ class CaptureRecord:
     band_bytes: dict[str, int] = field(default_factory=dict)
     band_psnr: dict[str, float] = field(default_factory=dict)
     changed_fraction: float = 0.0
+    downlink_capacity_bytes: int = 0
+    layers_shed: int = 0
+    downlink_deferred: bool = False
 
 
 @dataclass
-class RunResult:
+class RunResult(_TupleState):
     """Aggregate outcome of one simulation run.
 
     Attributes:
@@ -74,6 +163,9 @@ class RunResult:
         captured_storage_bytes: Peak per-capture encoded bytes held.
         uplink_stats: Update-level uplink accounting: counts and bytes of
             full vs delta reference updates.
+        downlink_stats: Contact-level downlink accounting (see
+            :meth:`DownlinkStats.as_run_stats`; empty when the run had no
+            downlink constraint).
         extra_metrics: Values of plugged-in :class:`MetricCollector`s,
             keyed by collector name.
     """
@@ -89,6 +181,7 @@ class RunResult:
     reference_storage_bytes: int
     captured_storage_bytes: int
     uplink_stats: dict[str, int] = field(default_factory=dict)
+    downlink_stats: dict[str, int] = field(default_factory=dict)
     extra_metrics: dict[str, object] = field(default_factory=dict)
 
     def delivered(self) -> list[CaptureRecord]:
@@ -96,11 +189,24 @@ class RunResult:
         return [r for r in self.records if not r.dropped]
 
     def mean_psnr(self) -> float:
-        """Pooled (MSE-domain) PSNR over delivered captures."""
-        values = [r.psnr for r in self.delivered() if np.isfinite(r.psnr)]
+        """Pooled (MSE-domain) PSNR over delivered captures.
+
+        Excludes the 0.0 "nothing scoreable" sentinel (see
+        :class:`~repro.core.ground_segment.ScoreRecord`) exactly as the
+        previous ``inf`` sentinel was excluded by the finiteness filter.
+        """
+        values = [
+            r.psnr
+            for r in self.delivered()
+            if np.isfinite(r.psnr) and r.psnr > 0.0
+        ]
         if not values:
             return float("inf")
         return weighted_mean_psnr(values)
+
+    def layers_shed(self) -> int:
+        """Total quality layers shed at downlink across the run."""
+        return sum(r.layers_shed for r in self.records)
 
     def mean_downloaded_fraction(self) -> float:
         """Mean downloaded-tile fraction over delivered captures."""
@@ -138,10 +244,10 @@ class RunResult:
         return totals
 
     def per_location_psnr(self) -> dict[str, float]:
-        """Pooled PSNR per location."""
+        """Pooled PSNR per location (0.0 sentinel excluded)."""
         groups: dict[str, list[float]] = {}
         for record in self.delivered():
-            if np.isfinite(record.psnr):
+            if np.isfinite(record.psnr) and record.psnr > 0.0:
                 groups.setdefault(record.location, []).append(record.psnr)
         return {
             loc: weighted_mean_psnr(values) for loc, values in groups.items()
@@ -190,13 +296,19 @@ class MetricsAccumulator:
         self.peak_reference_bytes = 0
         self.peak_captured_bytes = 0
         self.policy_name = ""
+        self.downlink = DownlinkStats()
+        self._saw_downlink = False
 
     def observe(self, event: "VisitEvent") -> None:
         """Fold one completed visit event into the running totals."""
         result = event.result
         score = event.score
+        report = event.downlink
         if result is None:
             return
+        if report is not None:
+            self._saw_downlink = True
+            self.downlink.observe(report)
         self.policy_name = event.state.policy.name
         self.downlink_bytes += result.total_bytes
         self.peak_reference_bytes = max(
@@ -225,6 +337,13 @@ class MetricsAccumulator:
                     float(np.mean([b.changed_fraction for b in result.bands]))
                     if result.bands
                     else 0.0
+                ),
+                downlink_capacity_bytes=(
+                    report.capacity_bytes if report is not None else 0
+                ),
+                layers_shed=report.layers_shed if report is not None else 0,
+                downlink_deferred=(
+                    report.deferred if report is not None else False
                 ),
             )
         )
@@ -261,6 +380,9 @@ class MetricsAccumulator:
             reference_storage_bytes=self.peak_reference_bytes,
             captured_storage_bytes=self.peak_captured_bytes,
             uplink_stats=uplink_stats,
+            downlink_stats=(
+                self.downlink.as_run_stats() if self._saw_downlink else {}
+            ),
             extra_metrics={
                 c.name: c.value() for c in self.collectors
             },

@@ -24,12 +24,13 @@ pipeline degrades to Kodan-like behaviour: download everything non-cloudy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro import perf
 from repro.codec.jpeg2000 import CodecConfig
-from repro.codec.ratemodel import RateModel
+from repro.codec.ratemodel import QualityLayer, RateModel
 from repro.core.change_detection import (
     ChangeDetectionResult,
     detect_changes,
@@ -103,6 +104,7 @@ class RoiRateController:
         codec_config: CodecConfig | None = None,
     ) -> None:
         self.rate_model = build_rate_model(config, codec_config)
+        self.n_layers = config.n_quality_layers
         self._last_step: dict[tuple[str, str], float] = {}
 
     def encode_roi(
@@ -124,6 +126,24 @@ class RoiRateController:
         prepare = getattr(self.rate_model, "prepare", None)
         if perf.simulation_fastpath() and prepare is not None:
             decomps = prepare(image, roi)
+        result = self._encode_roi_inner(
+            image, roi, target_bytes, warm, decomps, key
+        )
+        if (
+            self.n_layers > 1
+            and result.layers is None
+            and result.layers_factory is None
+        ):
+            # Deferred: each view is an extra encode, and the views are
+            # only read when the downlink budget actually binds.
+            result.layers_factory = (
+                lambda: self._model_layers(image, roi, result, decomps)
+            )
+        return result
+
+    def _encode_roi_inner(
+        self, image, roi, target_bytes, warm, decomps, key
+    ):
         if warm is not None:
             if decomps is not None:
                 # The byte estimate alone decides warm acceptance and is
@@ -154,6 +174,42 @@ class RoiRateController:
         self._last_step[key] = result.base_step
         return result
 
+    def _model_layers(self, image, roi, result, decomps):
+        """Quality-layer views for the fast rate model.
+
+        Layers split the embedded bitstream at bit-plane boundaries, and
+        truncating one trailing bit-plane is exactly a doubling of the
+        effective quantizer step — so the model's view of "keep ``k`` of
+        ``L`` layers" is its own encode at ``base_step * 2**(L - k)``.
+        The real codec backends produce their views from the genuine
+        layered bitstream instead (see
+        :meth:`~repro.codec.adapter.RealCodecAdapter._layer_views`).
+        """
+        views = []
+        for kept in range(1, self.n_layers):
+            step = result.base_step * float(2 ** (self.n_layers - kept))
+            if decomps is not None:
+                coarse = self.rate_model.encode(
+                    image, step, roi, decompositions=decomps
+                )
+            else:
+                coarse = self.rate_model.encode(image, step, roi)
+            views.append(
+                QualityLayer(
+                    coded_bytes=coarse.coded_bytes,
+                    psnr_roi=coarse.psnr_roi,
+                    reconstruction=coarse.reconstruction,
+                )
+            )
+        views.append(
+            QualityLayer(
+                coded_bytes=result.coded_bytes,
+                psnr_roi=result.psnr_roi,
+                reconstruction=result.reconstruction,
+            )
+        )
+        return tuple(views)
+
 
 @dataclass
 class BandEncodeResult:
@@ -173,6 +229,17 @@ class BandEncodeResult:
         offset: Illumination offset.
         had_reference: Whether a cached reference drove change detection.
         detection: The raw change-detection result (None without reference).
+        layers: Quality-layer prefix views of the coded payload, finest
+            last (None when ``n_quality_layers == 1``, nothing was coded,
+            or the views have not been materialized yet — see
+            :meth:`materialized_layers`).  The downlink phase sheds
+            trailing views under contact-capacity pressure.
+        layers_factory: Deferred view construction (building views costs
+            extra codec work per band, so it only happens when the
+            downlink budget actually binds).
+        layers_shed: Trailing quality layers shed at downlink time; when
+            positive, ``bytes_downlinked``/``psnr_downloaded``/
+            ``reconstruction`` already reflect the truncated stream.
     """
 
     band: str
@@ -187,6 +254,17 @@ class BandEncodeResult:
     had_reference: bool
     detection: ChangeDetectionResult | None = None
     cloudy_pixels: np.ndarray | None = None
+    layers: tuple[QualityLayer, ...] | None = None
+    layers_factory: "Callable[[], tuple[QualityLayer, ...]] | None" = field(
+        default=None, repr=False, compare=False
+    )
+    layers_shed: int = 0
+
+    def materialized_layers(self) -> tuple[QualityLayer, ...] | None:
+        """The layer views, building (and caching) them on first demand."""
+        if self.layers is None and self.layers_factory is not None:
+            self.layers = self.layers_factory()
+        return self.layers
 
     @property
     def downloaded_fraction(self) -> float:
@@ -222,6 +300,11 @@ class CaptureEncodeResult:
     def total_bytes(self) -> int:
         """Total downlink bytes for this capture."""
         return sum(b.bytes_downlinked for b in self.bands)
+
+    @property
+    def layers_shed(self) -> int:
+        """Trailing quality layers shed across all bands at downlink."""
+        return sum(b.layers_shed for b in self.bands)
 
 
 class EarthPlusEncoder:
@@ -530,6 +613,8 @@ class EarthPlusEncoder:
             had_reference=had_reference,
             detection=detection,
             cloudy_pixels=cloud_pixels,
+            layers=result.layers,
+            layers_factory=result.layers_factory,
         )
 
     def _encode_roi(

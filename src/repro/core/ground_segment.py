@@ -43,9 +43,12 @@ class ScoreRecord:
 
     Attributes:
         psnr: PSNR of the ground's reconstruction vs. the true capture,
-            over non-cloudy pixels.
+            over non-cloudy pixels.  The sentinel 0.0 means the capture
+            had no scoreable pixels at all (every tile cloudy); real
+            captures of [0, 1] imagery always score strictly above 0 dB,
+            and the run-level aggregates exclude the sentinel.
         downloaded_tile_fraction: Fraction of tiles downloaded (mean over
-            bands).
+            bands; 0.0 for band-less results).
         bytes_downlinked: Total downlink bytes for the capture.
     """
 
@@ -105,7 +108,9 @@ class UplinkStats:
     def as_run_stats(self) -> dict[str, int]:
         """The update-level dict carried on ``RunResult.uplink_stats``."""
         return {
+            "bytes_sent": self.bytes_sent,
             "updates_sent": self.updates_sent,
+            "updates_skipped": self.updates_skipped,
             "full_update_bytes": self.full_update_bytes,
             "full_update_count": self.full_update_count,
             "delta_update_bytes": self.delta_update_bytes,
@@ -230,10 +235,18 @@ class GroundSegment:
                     downloaded,
                     pixel_valid=pixel_valid,
                 )
-        mean_psnr = float(np.mean(psnrs)) if psnrs else float("inf")
+        # Degenerate captures score as finite sentinels, never inf/NaN: a
+        # fully-cloudy capture has no scoreable pixels (psnr 0.0) and a
+        # band-less result would otherwise hit np.mean([]) (NaN plus a
+        # RuntimeWarning) — sentinels keep aggregation warning-free.
+        mean_psnr = float(np.mean(psnrs)) if psnrs else 0.0
         return ScoreRecord(
             psnr=mean_psnr,
-            downloaded_tile_fraction=float(np.mean(downloaded_fractions)),
+            downloaded_tile_fraction=(
+                float(np.mean(downloaded_fractions))
+                if downloaded_fractions
+                else 0.0
+            ),
             bytes_downlinked=result.total_bytes,
         )
 

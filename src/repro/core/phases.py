@@ -10,7 +10,11 @@ variables:
    (only for policies that implement :class:`UplinkReceiver`);
 2. :class:`CapturePhase` — the sensor produces the capture and the
    satellite's compression policy processes it on board;
-3. :class:`IngestPhase` — the ground segment folds the downlinked result
+3. :class:`DownlinkPhase` — the capture competes for the contact capacity
+   accumulated since the previous visit; over-budget captures shed
+   trailing quality layers, and what cannot fit at base quality is
+   deferred (guaranteed downloads) or dropped;
+4. :class:`IngestPhase` — the ground segment folds the downlinked result
    into the mosaic and scores reconstruction quality.
 
 Per-satellite mutable state lives in :class:`SatelliteState`; what a phase
@@ -22,18 +26,18 @@ decoupling argument of Duet applied to the simulator itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.config import EarthPlusConfig
-from repro.core.encoder import CaptureEncodeResult
+from repro.core.encoder import ALIGNMENT_BYTES, CaptureEncodeResult
 from repro.core.ground_segment import GroundSegment, ScoreRecord, UplinkPlan
 from repro.core.reference import OnboardReferenceCache
 from repro.errors import PipelineError
 from repro.imagery.sensor import Capture, SatelliteSensor
-from repro.orbit.links import FluctuationModel
+from repro.orbit.links import DOWNLINK_STREAM, FluctuationModel
 from repro.orbit.schedule import Visit
 
 
@@ -76,7 +80,13 @@ class SatelliteState:
         satellite_id: The satellite this state belongs to.
         policy: The satellite's compression policy (owns encoder + cache).
         last_visit_days: Time of the previous visit (uplink accumulation).
-        contact_count: Ground contacts consumed so far (fluctuation stream).
+        contact_count: Ground contacts consumed so far (uplink fluctuation
+            stream).
+        last_downlink_days: Time of the previous visit as seen by the
+            downlink phase (its capacity accumulation is independent of
+            the uplink's, which only advances for uplink-using policies).
+        downlink_contact_count: Downlink contacts consumed so far (the
+            downlink fluctuation stream's per-satellite counter).
         last_guaranteed: Location -> time of the last guaranteed full
             download.  The guarantee is a *constellation-wide* promise per
             location, so every satellite's state shares one mapping
@@ -87,6 +97,8 @@ class SatelliteState:
     policy: CompressionPolicy
     last_visit_days: float = 0.0
     contact_count: int = 0
+    last_downlink_days: float = 0.0
+    downlink_contact_count: int = 0
     last_guaranteed: dict[str, float] = field(default_factory=dict)
 
 
@@ -111,6 +123,34 @@ class ConstellationState:
         return state
 
 
+@dataclass(frozen=True)
+class DownlinkReport:
+    """What the downlink phase decided for one visit's capture.
+
+    Attributes:
+        capacity_bytes: Contact capacity offered to this capture (contacts
+            banked since the previous visit x per-contact bytes x the
+            fluctuation multiplier).
+        offered_bytes: Encoded bytes the on-board pipeline wanted to send
+            (0 for captures already dropped on board).
+        delivered_bytes: Bytes actually moved down after any shedding
+            (never exceeds ``capacity_bytes``).
+        layers_shed: Trailing quality layers shed across bands to fit.
+        deferred: The capture was a guaranteed download that did not fit
+            even at base quality; nothing was delivered and the guarantee
+            timer was re-armed so the promise retries at the next capture.
+        dropped: A non-guaranteed capture did not fit even at base
+            quality and was discarded at downlink time.
+    """
+
+    capacity_bytes: int
+    offered_bytes: int
+    delivered_bytes: int
+    layers_shed: int = 0
+    deferred: bool = False
+    dropped: bool = False
+
+
 @dataclass
 class VisitEvent:
     """One visit's journey through the phase pipeline.
@@ -125,7 +165,11 @@ class VisitEvent:
             takes no uplink or the budget is zero).
         capture: The sensor output (set by :class:`CapturePhase`).
         result: The on-board processing outcome (set by
-            :class:`CapturePhase`).
+            :class:`CapturePhase`; :class:`DownlinkPhase` may replace it
+            with a layer-shed or dropped view of the same capture).
+        downlink: Contact-capacity accounting (set by
+            :class:`DownlinkPhase`; None when the simulation runs without
+            a downlink constraint).
         score: Ground-side quality assessment (set by :class:`IngestPhase`;
             None for dropped captures).
     """
@@ -135,6 +179,7 @@ class VisitEvent:
     uplink_plan: UplinkPlan | None = None
     capture: Capture | None = None
     result: CaptureEncodeResult | None = None
+    downlink: DownlinkReport | None = None
     score: ScoreRecord | None = None
 
 
@@ -238,6 +283,183 @@ class CapturePhase:
         event.result = event.state.policy.process(event.capture, due)
         if event.result.guaranteed:
             event.state.last_guaranteed[visit.location] = visit.t_days
+
+
+class DownlinkPhase:
+    """Constrain each capture to the satellite's banked contact capacity.
+
+    Mirrors :class:`UplinkPhase`'s budget arithmetic on the other link:
+    capacity accumulates per satellite as contacts since the previous
+    visit x ``downlink_bytes_per_contact`` x the fluctuation multiplier
+    (drawn from the *downlink* stream of the shared
+    :class:`~repro.orbit.links.FluctuationModel`, so the two links of one
+    satellite fluctuate independently).  Unused capacity is not banked
+    across visits, exactly like the uplink.
+
+    When a capture's encoded bytes exceed the capacity, trailing quality
+    layers are shed band by band (greedily from the currently most
+    expensive band — the layered bitstream truncates byte-exactly, see
+    ``BandEncodeResult.layers``) until the capture fits.  A capture that
+    does not fit even at base quality is *deferred* when it was a
+    guaranteed download — nothing is sent and the guarantee timer is
+    re-armed so the promise retries on the next sufficiently clear
+    capture — and *dropped* otherwise (the next pass over the location
+    supersedes it).
+
+    Args:
+        downlink_bytes_per_contact: Downlink capacity per ground contact.
+        contacts_per_day: Ground contacts per satellite per day.
+        fluctuation: Optional per-contact bandwidth fluctuation (shared
+            model; this phase reads the downlink stream).
+        max_accumulation_days: Cap on how much idle contact time can be
+            banked between a satellite's visits.
+    """
+
+    name = "downlink"
+
+    def __init__(
+        self,
+        downlink_bytes_per_contact: int,
+        contacts_per_day: int,
+        fluctuation: FluctuationModel | None = None,
+        max_accumulation_days: float = 2.0,
+    ) -> None:
+        if downlink_bytes_per_contact < 0:
+            raise PipelineError(
+                "downlink_bytes_per_contact must be >= 0, "
+                f"got {downlink_bytes_per_contact}"
+            )
+        self.downlink_bytes_per_contact = downlink_bytes_per_contact
+        self.contacts_per_day = contacts_per_day
+        self.fluctuation = fluctuation
+        self.max_accumulation_days = max_accumulation_days
+
+    def run(self, event: VisitEvent) -> None:
+        result = event.result
+        if result is None:
+            raise PipelineError(
+                "DownlinkPhase requires a completed capture phase"
+            )
+        state = event.state
+        gap = min(
+            event.visit.t_days - state.last_downlink_days,
+            self.max_accumulation_days,
+        )
+        n_contacts = max(1, int(gap * self.contacts_per_day))
+        multiplier = 1.0
+        if self.fluctuation is not None:
+            multiplier = self.fluctuation.multiplier(
+                state.satellite_id,
+                state.downlink_contact_count,
+                stream=DOWNLINK_STREAM,
+            )
+        state.downlink_contact_count += 1
+        state.last_downlink_days = event.visit.t_days
+        capacity = int(
+            n_contacts * self.downlink_bytes_per_contact * multiplier
+        )
+        if result.dropped:
+            event.downlink = DownlinkReport(
+                capacity_bytes=capacity, offered_bytes=0, delivered_bytes=0
+            )
+            return
+        offered = result.total_bytes
+        if offered <= capacity:
+            event.downlink = DownlinkReport(
+                capacity_bytes=capacity,
+                offered_bytes=offered,
+                delivered_bytes=offered,
+            )
+            return
+        shed_result, layers_shed = self._shed_layers(result, capacity)
+        if shed_result is not None:
+            event.result = shed_result
+            event.downlink = DownlinkReport(
+                capacity_bytes=capacity,
+                offered_bytes=offered,
+                delivered_bytes=shed_result.total_bytes,
+                layers_shed=layers_shed,
+            )
+            return
+        # Even the base layers do not fit this contact.  A guaranteed
+        # download is a freshness promise, not this capture's content:
+        # re-arm the timer (CapturePhase set it for this visit) so the
+        # guarantee retries on the next eligible capture.
+        deferred = result.guaranteed
+        if deferred:
+            state.last_guaranteed.pop(event.visit.location, None)
+        event.result = replace(
+            result, dropped=True, guaranteed=False, bands=[]
+        )
+        event.downlink = DownlinkReport(
+            capacity_bytes=capacity,
+            offered_bytes=offered,
+            delivered_bytes=0,
+            deferred=deferred,
+            dropped=not deferred,
+        )
+
+    def _shed_layers(
+        self, result: CaptureEncodeResult, capacity: int
+    ) -> tuple[CaptureEncodeResult | None, int]:
+        """Shed trailing quality layers until the capture fits.
+
+        Greedy and deterministic: each round removes one trailing layer
+        from the band whose current coded size is largest (ties break on
+        band order).  Bands encoded without layers (``n_quality_layers ==
+        1``, or nothing coded) cannot shed below their full payload.
+        Layer views are materialized here — only when the budget actually
+        binds — because building them costs extra codec work per band
+        (see ``BandEncodeResult.materialized_layers``).
+
+        Returns:
+            ``(new_result, layers_shed)`` on success, ``(None, 0)`` when
+            the capture exceeds ``capacity`` even at one layer per band.
+        """
+        views = [band.materialized_layers() for band in result.bands]
+        kept = [
+            len(view) if view is not None else 1 for view in views
+        ]
+
+        def band_bytes(index: int) -> int:
+            if views[index] is None:
+                return result.bands[index].bytes_downlinked
+            return views[index][kept[index] - 1].coded_bytes + ALIGNMENT_BYTES
+
+        total = sum(band_bytes(i) for i in range(len(result.bands)))
+        while total > capacity:
+            sheddable = [
+                i
+                for i in range(len(result.bands))
+                if views[i] is not None and kept[i] > 1
+            ]
+            if not sheddable:
+                return None, 0
+            victim = max(sheddable, key=lambda i: (band_bytes(i), -i))
+            total -= band_bytes(victim)
+            kept[victim] -= 1
+            total += band_bytes(victim)
+        layers_shed = 0
+        new_bands = []
+        for index, band in enumerate(result.bands):
+            view_tuple = views[index]
+            if view_tuple is None or kept[index] == len(view_tuple):
+                new_bands.append(band)
+                continue
+            view = view_tuple[kept[index] - 1]
+            layers_shed += len(view_tuple) - kept[index]
+            new_bands.append(
+                replace(
+                    band,
+                    bytes_downlinked=view.coded_bytes + ALIGNMENT_BYTES,
+                    psnr_downloaded=view.psnr_roi,
+                    reconstruction=view.reconstruction,
+                    layers=view_tuple[: kept[index]],
+                    layers_factory=None,
+                    layers_shed=len(view_tuple) - kept[index],
+                )
+            )
+        return replace(result, bands=new_bands), layers_shed
 
 
 class IngestPhase:

@@ -4,7 +4,7 @@ The :class:`ConstellationSimulator` replays a dataset's visit schedule in
 time order.  It is a thin driver over the event-phase kernel in
 :mod:`repro.core.phases`: each visit becomes a
 :class:`~repro.core.phases.VisitEvent` that flows through the uplink,
-capture and ingest phases, and the streaming
+capture, downlink and ingest phases, and the streaming
 :class:`~repro.core.accounting.MetricsAccumulator` folds the completed
 events into the :class:`~repro.core.accounting.RunResult`.
 
@@ -32,6 +32,7 @@ from repro.core.phases import (
     CapturePhase,
     CompressionPolicy,
     ConstellationState,
+    DownlinkPhase,
     IngestPhase,
     SimulationPhase,
     UplinkPhase,
@@ -107,11 +108,20 @@ class ConstellationSimulator:
         uplink_bytes_per_contact: Uplink capacity per ground contact.  The
             default mirrors Table 1 (250 kbps x 600 s); experiments scale it
             to our image geometry when studying uplink pressure.
+        downlink_bytes_per_contact: Downlink capacity per ground contact.
+            The default mirrors Table 1 (200 Mbps x 600 s), which never
+            constrains our laptop-scale scenarios — results are then
+            byte-identical to an unconstrained run.  Smaller values engage
+            quality-layer shedding; None disables the downlink phase
+            entirely.
         contacts_per_day: Ground contacts per satellite per day.
         contact_duration_s: Seconds per contact.
-        fluctuation: Optional per-contact bandwidth fluctuation.
-        max_uplink_accumulation_days: Cap on how much idle uplink time can
-            be banked between a satellite's visits.
+        fluctuation: Optional per-contact bandwidth fluctuation (shared by
+            both links; each draws from its own stream).
+        downlink_fluctuation: Override the downlink's fluctuation model
+            (None: share ``fluctuation``).
+        max_uplink_accumulation_days: Cap on how much idle contact time
+            can be banked between a satellite's visits (both links).
         collectors: Extra pluggable metrics observed per visit; their
             values land in ``RunResult.extra_metrics``.
     """
@@ -126,14 +136,21 @@ class ConstellationSimulator:
         policy_factory: Callable[[int], CompressionPolicy],
         ground_segment: GroundSegment,
         uplink_bytes_per_contact: int = int(250e3 * 600 / 8),
+        downlink_bytes_per_contact: int | None = int(200e6 * 600 / 8),
         contacts_per_day: int = 7,
         contact_duration_s: float = 600.0,
         fluctuation: FluctuationModel | None = None,
+        downlink_fluctuation: FluctuationModel | None = None,
         max_uplink_accumulation_days: float = 2.0,
         collectors: Sequence[MetricCollector] = (),
     ) -> None:
         if uplink_bytes_per_contact < 0:
             raise ConfigError("uplink_bytes_per_contact must be >= 0")
+        if (
+            downlink_bytes_per_contact is not None
+            and downlink_bytes_per_contact < 0
+        ):
+            raise ConfigError("downlink_bytes_per_contact must be >= 0")
         self.sensors = sensors
         self.bands = bands
         self.schedule = schedule
@@ -142,15 +159,21 @@ class ConstellationSimulator:
         self.policy_factory = policy_factory
         self.ground = ground_segment
         self.uplink_bytes_per_contact = uplink_bytes_per_contact
+        self.downlink_bytes_per_contact = downlink_bytes_per_contact
         self.contacts_per_day = contacts_per_day
         self.contact_duration_s = contact_duration_s
         self.fluctuation = fluctuation
+        self.downlink_fluctuation = (
+            downlink_fluctuation
+            if downlink_fluctuation is not None
+            else fluctuation
+        )
         self.max_uplink_accumulation_days = max_uplink_accumulation_days
         self.collectors = collectors
 
     def build_phases(self) -> list[SimulationPhase]:
-        """The default per-visit pipeline: uplink -> capture -> ingest."""
-        return [
+        """The per-visit pipeline: uplink -> capture -> downlink -> ingest."""
+        phases: list[SimulationPhase] = [
             UplinkPhase(
                 ground=self.ground,
                 uplink_bytes_per_contact=self.uplink_bytes_per_contact,
@@ -159,8 +182,18 @@ class ConstellationSimulator:
                 max_accumulation_days=self.max_uplink_accumulation_days,
             ),
             CapturePhase(sensors=self.sensors, config=self.config),
-            IngestPhase(ground=self.ground),
         ]
+        if self.downlink_bytes_per_contact is not None:
+            phases.append(
+                DownlinkPhase(
+                    downlink_bytes_per_contact=self.downlink_bytes_per_contact,
+                    contacts_per_day=self.contacts_per_day,
+                    fluctuation=self.downlink_fluctuation,
+                    max_accumulation_days=self.max_uplink_accumulation_days,
+                )
+            )
+        phases.append(IngestPhase(ground=self.ground))
+        return phases
 
     def run(self) -> RunResult:
         """Simulate the full schedule and return aggregated results.

@@ -60,13 +60,16 @@ class LinkBudget:
             )
         return payload_bytes * 8.0 / self.contact_duration_s
 
-    def check_uplink(self, payload_bytes: int) -> None:
-        """Raise if an upload does not fit a single contact's uplink."""
-        if payload_bytes > self.uplink_bytes_per_contact:
-            raise LinkBudgetError(
-                f"uplink payload {payload_bytes} B exceeds per-contact "
-                f"capacity {self.uplink_bytes_per_contact} B"
-            )
+
+#: Stream tag of the uplink multiplier sequence (the historical default,
+#: kept verbatim so existing uplink streams are unchanged).
+UPLINK_STREAM = "fluct"
+
+#: Stream tag of the downlink multiplier sequence.  One
+#: :class:`FluctuationModel` can degrade both links of a satellite with
+#: *independent* per-contact draws — the §5 bandwidth-variation setup —
+#: because each link consumes its own tagged stream.
+DOWNLINK_STREAM = "fluct-down"
 
 
 class FluctuationModel:
@@ -74,6 +77,10 @@ class FluctuationModel:
 
     Multipliers are log-normal with median 1, clipped to
     ``[floor, ceiling]``; severity 0 disables fluctuation entirely.
+    The draw for one contact depends only on ``(seed, stream,
+    satellite_id, contact_index)``, so streams are deterministic across
+    processes and the uplink and downlink of one satellite fluctuate
+    independently via their stream tags.
 
     Args:
         seed: Deterministic stream seed.
@@ -98,12 +105,24 @@ class FluctuationModel:
         self.floor = floor
         self.ceiling = ceiling
 
-    def multiplier(self, satellite_id: int, contact_index: int) -> float:
-        """Bandwidth multiplier for one (satellite, contact) pair."""
+    def multiplier(
+        self,
+        satellite_id: int,
+        contact_index: int,
+        stream: str = UPLINK_STREAM,
+    ) -> float:
+        """Bandwidth multiplier for one (satellite, contact) pair.
+
+        Args:
+            satellite_id: The satellite whose contact this is.
+            contact_index: Per-satellite contact counter.
+            stream: Which link's stream to draw from
+                (:data:`UPLINK_STREAM` or :data:`DOWNLINK_STREAM`).
+        """
         if self.severity == 0.0:
             return 1.0
         rng = np.random.default_rng(
-            stable_hash(self.seed, "fluct", satellite_id, contact_index)
+            stable_hash(self.seed, stream, satellite_id, contact_index)
         )
         value = float(np.exp(rng.normal(0.0, self.severity)))
         return float(np.clip(value, self.floor, self.ceiling))

@@ -49,7 +49,8 @@ DEFAULT_STORE_DIR = Path("~/.cache/repro")
 
 #: Version of the payload file layout (independent of the spec schema:
 #: bumping this invalidates how results are *stored*, not what they are).
-PAYLOAD_VERSION = 1
+#: 2: downlink_stats document entry + per-record downlink columns.
+PAYLOAD_VERSION = 2
 
 #: Default size bound, overridable via ``REPRO_STORE_MAX_MB`` (0 or a
 #: negative value disables eviction).
@@ -66,6 +67,9 @@ _RECORD_COLUMNS = (
     ("downloaded_fraction", np.float64),
     ("bytes_downlinked", np.int64),
     ("changed_fraction", np.float64),
+    ("downlink_capacity_bytes", np.int64),
+    ("layers_shed", np.int64),
+    ("downlink_deferred", np.bool_),
 )
 
 _SCHEMA_SQL = """
@@ -86,12 +90,24 @@ CREATE TABLE IF NOT EXISTS runs (
     psnr_db REAL,
     downloaded_fraction REAL,
     delivered INTEGER NOT NULL,
-    records INTEGER NOT NULL
+    records INTEGER NOT NULL,
+    layers_shed INTEGER NOT NULL DEFAULT 0,
+    updates_skipped INTEGER NOT NULL DEFAULT 0,
+    dl_dropped INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS runs_policy ON runs (policy);
 CREATE INDEX IF NOT EXISTS runs_dataset ON runs (dataset_kind);
 CREATE INDEX IF NOT EXISTS runs_lru ON runs (last_used_at);
 """
+
+#: Summary columns added after the index first shipped; opening an older
+#: store adds them in place (``ALTER TABLE`` with a constant default is
+#: cheap and idempotent — a lost race with another opener is harmless).
+_SCHEMA_MIGRATIONS = (
+    "ALTER TABLE runs ADD COLUMN layers_shed INTEGER NOT NULL DEFAULT 0",
+    "ALTER TABLE runs ADD COLUMN updates_skipped INTEGER NOT NULL DEFAULT 0",
+    "ALTER TABLE runs ADD COLUMN dl_dropped INTEGER NOT NULL DEFAULT 0",
+)
 
 #: Columns :meth:`ExperimentStore.query` rows expose, in display order.
 QUERY_COLUMNS = (
@@ -107,6 +123,9 @@ QUERY_COLUMNS = (
     "uplink_kb",
     "delivered",
     "records",
+    "layers_shed",
+    "updates_skipped",
+    "dl_dropped",
     "payload_kb",
     "age_days",
 )
@@ -172,6 +191,7 @@ def _result_document(result: RunResult) -> dict:
         "reference_storage_bytes": result.reference_storage_bytes,
         "captured_storage_bytes": result.captured_storage_bytes,
         "uplink_stats": dict(result.uplink_stats),
+        "downlink_stats": dict(result.downlink_stats),
         "extra_metrics": extra,
         "locations": [r.location for r in result.records],
         "band_bytes": [r.band_bytes for r in result.records],
@@ -213,6 +233,11 @@ def _rebuild_result(document: dict, arrays: dict[str, np.ndarray]) -> RunResult:
             band_bytes=document["band_bytes"][i],
             band_psnr=document["band_psnr"][i],
             changed_fraction=columns["changed_fraction"][i].item(),
+            downlink_capacity_bytes=(
+                columns["downlink_capacity_bytes"][i].item()
+            ),
+            layers_shed=columns["layers_shed"][i].item(),
+            downlink_deferred=columns["downlink_deferred"][i].item(),
         )
         for i in range(n_records)
     ]
@@ -228,6 +253,7 @@ def _rebuild_result(document: dict, arrays: dict[str, np.ndarray]) -> RunResult:
         reference_storage_bytes=document["reference_storage_bytes"],
         captured_storage_bytes=document["captured_storage_bytes"],
         uplink_stats=document["uplink_stats"],
+        downlink_stats=document["downlink_stats"],
         extra_metrics=document["extra_metrics"],
     )
 
@@ -260,6 +286,18 @@ class ExperimentStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA busy_timeout=30000")
         self._conn.executescript(_SCHEMA_SQL)
+        existing = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(runs)")
+        }
+        for migration in _SCHEMA_MIGRATIONS:
+            column = migration.split(" ADD COLUMN ")[1].split()[0]
+            if column in existing:
+                continue
+            try:
+                self._conn.execute(migration)
+            except sqlite3.OperationalError:
+                pass  # concurrent opener added it first
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -380,8 +418,12 @@ class ExperimentStore:
                     key, schema_version, policy, dataset_kind, gamma, seed,
                     label, spec_json, payload_bytes, created_at,
                     last_used_at, downlink_bytes, uplink_bytes, psnr_db,
-                    downloaded_fraction, delivered, records
-                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    downloaded_fraction, delivered, records, layers_shed,
+                    updates_skipped, dl_dropped
+                ) VALUES (
+                    ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
+                    ?, ?
+                )
                 """,
                 (
                     key,
@@ -401,6 +443,12 @@ class ExperimentStore:
                     result.mean_downloaded_fraction(),
                     len(result.delivered()),
                     len(result.records),
+                    result.downlink_stats.get("layers_shed", 0),
+                    result.updates_skipped,
+                    (
+                        result.downlink_stats.get("captures_deferred", 0)
+                        + result.downlink_stats.get("captures_dropped", 0)
+                    ),
                 ),
             )
             self._conn.execute("COMMIT")
@@ -485,7 +533,8 @@ class ExperimentStore:
         sql = (
             "SELECT key, policy, dataset_kind, gamma, seed, label, psnr_db,"
             " downloaded_fraction, downlink_bytes, uplink_bytes, delivered,"
-            " records, payload_bytes, created_at FROM runs"
+            " records, layers_shed, updates_skipped, dl_dropped,"
+            " payload_bytes, created_at FROM runs"
         )
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
@@ -498,7 +547,8 @@ class ExperimentStore:
         for (
             key, run_policy, dataset_kind, run_gamma, run_seed, run_label,
             psnr_db, downloaded_fraction, downlink_bytes, uplink_bytes,
-            delivered, records, payload_bytes, created_at,
+            delivered, records, layers_shed, updates_skipped, dl_dropped,
+            payload_bytes, created_at,
         ) in self._conn.execute(sql, params):
             rows.append(
                 {
@@ -518,6 +568,9 @@ class ExperimentStore:
                     "uplink_kb": round(uplink_bytes / 1e3, 3),
                     "delivered": delivered,
                     "records": records,
+                    "layers_shed": layers_shed,
+                    "updates_skipped": updates_skipped,
+                    "dl_dropped": dl_dropped,
                     "payload_kb": round(payload_bytes / 1e3, 1),
                     "age_days": round((now - created_at) / 86400.0, 3),
                 }

@@ -30,6 +30,7 @@ from dataclasses import asdict
 import numpy as np
 
 from repro.analysis.scenarios import (
+    DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
     DEFAULT_UPLINK_BYTES_PER_CONTACT,
     DatasetSpec,
     ScenarioSpec,
@@ -41,7 +42,9 @@ from repro.orbit.links import FluctuationModel
 #: Bump whenever simulation output changes for an unchanged spec (codec
 #: wire format, kernel numerics, detector training, default resolution).
 #: Old entries stop matching; the store never migrates payloads.
-SCHEMA_VERSION = 1
+#: 2: the downlink budget is enforced (DownlinkPhase; RunResult gained
+#: downlink_stats and per-record downlink columns).
+SCHEMA_VERSION = 2
 
 
 def _leaf(value):
@@ -121,13 +124,20 @@ def spec_document(spec: ScenarioSpec) -> dict:
         if spec.uplink_bytes_per_contact is not None
         else DEFAULT_UPLINK_BYTES_PER_CONTACT
     )
+    downlink = (
+        spec.downlink_bytes_per_contact
+        if spec.downlink_bytes_per_contact is not None
+        else DEFAULT_DOWNLINK_BYTES_PER_CONTACT
+    )
     return {
         "schema": SCHEMA_VERSION,
         "policy": spec.policy,
         "dataset": _dataset_document(spec.dataset),
         "config": _config_document(spec.config),
         "uplink_bytes_per_contact": _leaf(uplink),
+        "downlink_bytes_per_contact": _leaf(downlink),
         "fluctuation": _fluctuation_document(spec.fluctuation),
+        "downlink_severity": _leaf(float(spec.downlink_severity)),
         "ground_detector_for_scoring": bool(spec.ground_detector_for_scoring),
         "seed": _leaf(spec.seed),
     }

@@ -140,3 +140,46 @@ class TestScenarioCommands:
         )
         assert code == 0
         assert "naive/g0.2/s0" in capsys.readouterr().out
+
+
+class TestDownlinkFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.downlink_bytes is None
+        assert args.downlink_severity == 0.0
+        assert args.layers == 1
+
+    def test_simulate_constrained_downlink_json(self, capsys):
+        import json
+
+        code = main(
+            ["simulate", "--locations", "A", "--bands", "B4",
+             "--days", "30", "--size", "128", "--layers", "3",
+             "--downlink-bytes", "25", "--format", "json"]
+        )
+        assert code == 0
+        row = json.loads(capsys.readouterr().out)[0]
+        assert row["layers_shed"] + row["dl_dropped"] > 0
+
+    def test_simulate_unconstrained_reports_zero_shedding(self, capsys):
+        import json
+
+        code = main(
+            ["simulate", "--locations", "A", "--bands", "B4",
+             "--days", "30", "--size", "128", "--format", "json"]
+        )
+        assert code == 0
+        row = json.loads(capsys.readouterr().out)[0]
+        assert row["layers_shed"] == 0
+        assert row["dl_dropped"] == 0
+
+    def test_sweep_downlink_flags_accepted(self, capsys):
+        code = main(
+            ["sweep", "--locations", "A", "--bands", "B4", "--days", "20",
+             "--size", "128", "--policies", "naive", "--seeds", "0",
+             "--layers", "2", "--downlink-bytes", "40",
+             "--downlink-severity", "0.4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "layers_shed" in out

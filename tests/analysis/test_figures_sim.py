@@ -81,6 +81,37 @@ class TestFig18Driver:
         assert rows[0]["updates_skipped"] >= rows[1]["updates_skipped"]
 
 
+class TestFig20Driver:
+    def test_downlink_ladder_degrades_gracefully(self):
+        from repro.analysis.scenarios import (
+            DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
+            DatasetSpec,
+        )
+
+        dataset = DatasetSpec.of(
+            "sentinel2",
+            locations=["A"],
+            bands=["B4"],
+            horizon_days=60.0,
+            image_shape=(128, 128),
+        )
+        result = F.fig20_downlink_ladder(
+            dataset=dataset,
+            downlink_bytes_options=[
+                DEFAULT_DOWNLINK_BYTES_PER_CONTACT, 60, 25,
+            ],
+            config=EarthPlusConfig(gamma_bpp=0.3, n_quality_layers=3),
+        )
+        rows = result["rows"]
+        assert rows[0]["layers_shed"] == 0
+        assert rows[0]["delivered_fraction"] == 1.0
+        assert any(r["layers_shed"] > 0 for r in rows[1:])
+        delivered = [r["bytes_delivered"] for r in rows]
+        assert delivered == sorted(delivered, reverse=True)
+        for row in rows:
+            assert row["bytes_delivered"] <= row["bytes_offered"]
+
+
 class TestLayerAdaptationDriver:
     def test_monotone_bytes_and_quality(self):
         result = F.downlink_layer_adaptation(

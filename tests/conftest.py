@@ -177,6 +177,9 @@ def result_factory():
                 band_bytes={"B4": 60 * i, "B11": 40 * i},
                 band_psnr={"B4": 31.5 + i, "B11": float("inf")},
                 changed_fraction=0.1 * i,
+                downlink_capacity_bytes=5000 + 100 * i,
+                layers_shed=i % 2,
+                downlink_deferred=(i % 3 == 2),
             )
             for i in range(n_records)
         ]
@@ -192,6 +195,15 @@ def result_factory():
             reference_storage_bytes=2048,
             captured_storage_bytes=512,
             uplink_stats={"updates_sent": 2, "full_update_bytes": 321},
+            downlink_stats={
+                "capacity_bytes": 5000 * n_records,
+                "bytes_offered": downlink,
+                "bytes_delivered": downlink,
+                "layers_shed": n_records // 2,
+                "captures_shed": min(1, n_records),
+                "captures_deferred": 0,
+                "captures_dropped": 0,
+            },
             extra_metrics={},
         )
 

@@ -1,0 +1,215 @@
+"""Unit tests for the downlink phase: budgets, shedding, deferral."""
+
+import numpy as np
+import pytest
+
+from repro.codec.ratemodel import QualityLayer
+from repro.core.encoder import ALIGNMENT_BYTES, BandEncodeResult, CaptureEncodeResult
+from repro.core.phases import DownlinkPhase, SatelliteState, VisitEvent
+from repro.errors import PipelineError
+from repro.orbit.links import FluctuationModel
+from repro.orbit.schedule import Visit
+
+
+def make_band(name: str, layer_bytes: tuple[int, ...]) -> BandEncodeResult:
+    """A synthetic coded band whose layer views truncate to layer_bytes."""
+    shape = (8, 8)
+    layers = tuple(
+        QualityLayer(
+            coded_bytes=nbytes,
+            psnr_roi=20.0 + 5.0 * index,
+            reconstruction=np.full(shape, float(index)),
+        )
+        for index, nbytes in enumerate(layer_bytes)
+    )
+    return BandEncodeResult(
+        band=name,
+        downloaded_tiles=np.ones((1, 1), dtype=bool),
+        cloudy_tiles=np.zeros((1, 1), dtype=bool),
+        changed_fraction=1.0,
+        bytes_downlinked=layer_bytes[-1] + ALIGNMENT_BYTES,
+        psnr_downloaded=20.0 + 5.0 * (len(layer_bytes) - 1),
+        reconstruction=np.full(shape, float(len(layer_bytes) - 1)),
+        gain=1.0,
+        offset=0.0,
+        had_reference=True,
+        layers=layers,
+    )
+
+
+def make_result(bands, guaranteed: bool = False) -> CaptureEncodeResult:
+    return CaptureEncodeResult(
+        location="A",
+        satellite_id=0,
+        t_days=5.0,
+        dropped=False,
+        guaranteed=guaranteed,
+        cloud_coverage_detected=0.0,
+        bands=list(bands),
+        onboard_encoded_bytes=sum(b.bytes_downlinked for b in bands),
+    )
+
+
+def make_event(result, t_days: float = 5.0, policy=None) -> VisitEvent:
+    class _Policy:
+        name = "test"
+        uses_uplink = False
+
+    state = SatelliteState(satellite_id=0, policy=policy or _Policy())
+    if result is not None and result.guaranteed:
+        state.last_guaranteed["A"] = result.t_days
+    return VisitEvent(
+        visit=Visit(t_days=t_days, satellite_id=0, location="A"),
+        state=state,
+        result=result,
+    )
+
+
+def phase(budget: int, contacts_per_day: int = 1, **kwargs) -> DownlinkPhase:
+    return DownlinkPhase(
+        downlink_bytes_per_contact=budget,
+        contacts_per_day=contacts_per_day,
+        **kwargs,
+    )
+
+
+class TestBudgetArithmetic:
+    def test_requires_capture_phase(self):
+        with pytest.raises(PipelineError, match="capture"):
+            phase(1000).run(make_event(None))
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(PipelineError):
+            phase(-1)
+
+    def test_capacity_accumulates_capped_contacts(self):
+        """Capacity = contacts banked since last visit x bytes, capped."""
+        event = make_event(make_result([make_band("B4", (100, 200, 300))]),
+                           t_days=10.0)
+        downlink = phase(1000, contacts_per_day=3, max_accumulation_days=2.0)
+        downlink.run(event)
+        # gap capped at 2 days -> 6 contacts -> 6000 B.
+        assert event.downlink.capacity_bytes == 6000
+        assert event.state.downlink_contact_count == 1
+        assert event.state.last_downlink_days == 10.0
+
+    def test_fluctuation_scales_capacity(self):
+        fluct = FluctuationModel(seed=3, severity=0.8)
+        constant = make_event(make_result([make_band("B4", (10, 20, 30))]))
+        phase(1000).run(constant)
+        fluctuating = make_event(make_result([make_band("B4", (10, 20, 30))]))
+        phase(1000, fluctuation=fluct).run(fluctuating)
+        from repro.orbit.links import DOWNLINK_STREAM
+
+        expected = int(
+            constant.downlink.capacity_bytes
+            * fluct.multiplier(0, 0, stream=DOWNLINK_STREAM)
+        )
+        assert fluctuating.downlink.capacity_bytes == expected
+
+    def test_dropped_capture_reports_zero_offer(self):
+        result = make_result([make_band("B4", (100, 200))])
+        result.dropped = True
+        result.bands = []
+        event = make_event(result)
+        phase(1000).run(event)
+        assert event.downlink.offered_bytes == 0
+        assert event.downlink.delivered_bytes == 0
+        assert not event.downlink.dropped
+
+
+class TestDelivery:
+    def test_fitting_capture_untouched(self):
+        result = make_result([make_band("B4", (100, 200, 300))])
+        event = make_event(result)
+        phase(10_000).run(event)
+        assert event.result is result  # same object: no mutation at all
+        assert event.downlink.delivered_bytes == result.total_bytes
+        assert event.downlink.layers_shed == 0
+
+    def test_sheds_trailing_layers_to_fit(self):
+        result = make_result([make_band("B4", (100, 200, 300))])
+        event = make_event(result, t_days=1.0)
+        phase(250).run(event)  # 1 contact -> 250 B < 308 offered
+        band = event.result.bands[0]
+        assert band.layers_shed == 1
+        assert band.bytes_downlinked == 200 + ALIGNMENT_BYTES
+        assert band.psnr_downloaded == pytest.approx(25.0)
+        assert np.all(band.reconstruction == 1.0)
+        assert len(band.layers) == 2
+        assert event.downlink.layers_shed == 1
+        assert event.downlink.delivered_bytes == 200 + ALIGNMENT_BYTES
+        assert event.downlink.delivered_bytes <= event.downlink.capacity_bytes
+
+    def test_sheds_most_expensive_band_first(self):
+        cheap = make_band("B4", (50, 80))
+        costly = make_band("B11", (100, 400))
+        result = make_result([cheap, costly])
+        event = make_event(result, t_days=1.0)
+        # Offered: (80+8) + (400+8) = 496; budget 300 sheds B11 only.
+        phase(300).run(event)
+        by_name = {b.band: b for b in event.result.bands}
+        assert by_name["B4"].layers_shed == 0
+        assert by_name["B11"].layers_shed == 1
+        assert event.result.total_bytes == (80 + 8) + (100 + 8)
+
+    def test_unlayered_capture_dropped_when_over_budget(self):
+        band = make_band("B4", (300,))
+        band.layers = None  # n_quality_layers == 1: nothing to shed
+        result = make_result([band])
+        event = make_event(result, t_days=1.0)
+        phase(100).run(event)
+        assert event.result.dropped
+        assert event.result.bands == []
+        assert event.downlink.dropped
+        assert not event.downlink.deferred
+        assert event.downlink.delivered_bytes == 0
+
+    def test_guaranteed_capture_deferred_and_rearmed(self):
+        result = make_result([make_band("B4", (300, 600))], guaranteed=True)
+        event = make_event(result, t_days=1.0)
+        assert "A" in event.state.last_guaranteed
+        phase(100).run(event)  # even base layer (308 B) cannot fit
+        assert event.result.dropped
+        assert not event.result.guaranteed
+        assert event.downlink.deferred
+        assert not event.downlink.dropped
+        # The guarantee timer is re-armed: the promise retries next pass.
+        assert "A" not in event.state.last_guaranteed
+
+    def test_layer_views_materialize_only_under_pressure(self):
+        """Views cost extra codec work, so they are built lazily: an
+        unconstrained delivery must never invoke the factory; a
+        constrained one materializes exactly once."""
+        calls = []
+
+        def make_lazy_band():
+            template = make_band("B4", (100, 200, 300))
+            views = template.layers
+
+            def factory():
+                calls.append(1)
+                return views
+
+            template.layers = None
+            template.layers_factory = factory
+            return template
+
+        fits = make_event(make_result([make_lazy_band()]), t_days=1.0)
+        phase(10_000).run(fits)
+        assert calls == []
+
+        tight = make_event(make_result([make_lazy_band()]), t_days=1.0)
+        phase(250).run(tight)
+        assert calls == [1]
+        assert tight.result.bands[0].layers_shed == 1
+
+    def test_onboard_bytes_survive_shedding(self):
+        """Shedding happens at downlink; on-board storage held the full
+        encode."""
+        result = make_result([make_band("B4", (100, 200, 300))])
+        onboard = result.onboard_encoded_bytes
+        event = make_event(result, t_days=1.0)
+        phase(150).run(event)
+        assert event.result.onboard_encoded_bytes == onboard
+        assert event.result.layers_shed == 2

@@ -153,3 +153,129 @@ class TestUploadPlanning:
         segment.plan_uploads(cache, ["A"], capture.t_days + 1, 10**9)
         repeat = segment.plan_uploads(cache, ["A"], capture.t_days + 2, 10**9)
         assert repeat.bytes_used == 0
+
+
+class TestUplinkStatsCompleteness:
+    """as_run_stats carries the complete update-level accounting."""
+
+    def test_includes_bytes_sent_and_skips(self, segment, encoder,
+                                           tiny_sentinel_dataset):
+        capture = first_clear(tiny_sentinel_dataset)
+        segment.ingest(encoder.process_capture(capture), capture)
+        cache = OnboardReferenceCache(lr_tile=8)
+        # One generous plan (sends), one zero-budget plan (skips).
+        plan = segment.plan_uploads(cache, ["A"], capture.t_days + 1, 10**9)
+        fresh = OnboardReferenceCache(lr_tile=8)
+        segment.plan_uploads(fresh, ["A"], capture.t_days + 2, 0)
+        stats = segment.stats.as_run_stats()
+        assert stats["bytes_sent"] == plan.bytes_used
+        assert stats["updates_skipped"] == len(tiny_sentinel_dataset.bands)
+        assert stats["updates_sent"] == len(plan.updates)
+        # Every dataclass field is mirrored into the run-level dict.
+        import dataclasses
+
+        from repro.core.ground_segment import UplinkStats
+
+        assert set(stats) == {
+            f.name for f in dataclasses.fields(UplinkStats)
+        }
+
+
+class TestDegenerateScores:
+    """Fully-cloudy and band-less ingests score as finite sentinels."""
+
+    def test_bandless_result_scores_without_warnings(
+        self, segment, tiny_sentinel_dataset
+    ):
+        import warnings
+
+        from repro.core.encoder import CaptureEncodeResult
+
+        capture = first_clear(tiny_sentinel_dataset)
+        result = CaptureEncodeResult(
+            location="A",
+            satellite_id=0,
+            t_days=capture.t_days,
+            dropped=False,
+            guaranteed=False,
+            cloud_coverage_detected=0.4,
+            bands=[],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            score = segment.ingest(result, capture)
+        assert score is not None
+        assert score.psnr == 0.0
+        assert score.downloaded_tile_fraction == 0.0
+
+    def test_fully_cloudy_capture_scores_zero_sentinel(
+        self, segment, encoder, tiny_sentinel_dataset
+    ):
+        """Every tile cloudy -> no scoreable pixels -> psnr sentinel 0.0,
+        and aggregation stays warning-free."""
+        import warnings
+
+        import repro.core.accounting as accounting
+        from repro.core.encoder import BandEncodeResult, CaptureEncodeResult
+
+        shape = tiny_sentinel_dataset.image_shape
+        grid_shape = segment.grid.grid_shape
+        capture = first_clear(tiny_sentinel_dataset)
+        band = BandEncodeResult(
+            band=tiny_sentinel_dataset.bands[0].name,
+            downloaded_tiles=np.zeros(grid_shape, dtype=bool),
+            cloudy_tiles=np.ones(grid_shape, dtype=bool),
+            changed_fraction=0.0,
+            bytes_downlinked=8,
+            psnr_downloaded=float("inf"),
+            reconstruction=np.zeros(shape),
+            gain=1.0,
+            offset=0.0,
+            had_reference=False,
+            cloudy_pixels=np.ones(shape, dtype=bool),
+        )
+        result = CaptureEncodeResult(
+            location="A",
+            satellite_id=0,
+            t_days=capture.t_days,
+            dropped=False,
+            guaranteed=False,
+            cloud_coverage_detected=1.0,
+            bands=[band],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            score = segment.ingest(result, capture)
+        assert score is not None
+        assert score.psnr == 0.0
+        assert np.isfinite(score.psnr)
+        # The sentinel never enters the pooled PSNR.
+        from repro.core.accounting import CaptureRecord, RunResult
+
+        record = CaptureRecord(
+            location="A",
+            satellite_id=0,
+            t_days=capture.t_days,
+            dropped=False,
+            guaranteed=False,
+            cloud_coverage=1.0,
+            psnr=score.psnr,
+            downloaded_fraction=0.0,
+            bytes_downlinked=8,
+        )
+        run = RunResult(
+            policy="earthplus",
+            records=[record],
+            downlink_bytes=8,
+            uplink_bytes=0,
+            updates_skipped=0,
+            horizon_days=1.0,
+            contacts_per_day=7,
+            contact_duration_s=600.0,
+            reference_storage_bytes=0,
+            captured_storage_bytes=0,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert run.mean_psnr() == float("inf")
+            assert run.mean_downloaded_fraction() == 0.0

@@ -143,3 +143,46 @@ class TestPerLocationBytes:
             ]
         )
         assert result.per_location_bytes() == {"A": 110, "B": 40}
+
+
+class TestPsnrSentinel:
+    def test_zero_sentinel_excluded_from_pool(self):
+        """The 0.0 'nothing scoreable' sentinel never drags the pool down
+        (exactly as the old inf sentinel was excluded)."""
+        result = make_result(
+            [make_record(psnr=30.0), make_record(psnr=0.0)]
+        )
+        assert result.mean_psnr() == pytest.approx(30.0)
+
+    def test_all_sentinels_pool_to_infinity(self):
+        result = make_result([make_record(psnr=0.0)])
+        assert result.mean_psnr() == float("inf")
+
+    def test_sentinel_excluded_per_location(self):
+        result = make_result(
+            [
+                make_record(location="A", psnr=30.0),
+                make_record(location="A", psnr=0.0),
+                make_record(location="B", psnr=0.0),
+            ]
+        )
+        per_location = result.per_location_psnr()
+        assert per_location["A"] == pytest.approx(30.0)
+        assert "B" not in per_location
+
+
+class TestDownlinkAccounting:
+    def test_downlink_stats_default_empty(self):
+        assert make_result([]).downlink_stats == {}
+
+    def test_layers_shed_sums_records(self):
+        records = [make_record(), make_record(), make_record()]
+        records[0].layers_shed = 2
+        records[2].layers_shed = 1
+        assert make_result(records).layers_shed() == 3
+
+    def test_record_downlink_defaults(self):
+        record = make_record()
+        assert record.downlink_capacity_bytes == 0
+        assert record.layers_shed == 0
+        assert record.downlink_deferred is False

@@ -1,0 +1,184 @@
+"""End-to-end downlink-budget acceptance tests.
+
+Two contracts:
+
+1. **Differential**: at the Table-1 default capacity (200 Mbps x 600 s)
+   with severity 0, every result is byte-identical (pickle-level) to a
+   run with the downlink phase disabled — the constraint exists but
+   never binds at laptop scale, so pre-existing figure outputs cannot
+   move.
+2. **Enforcement**: under a constrained downlink every record's
+   delivered bytes stay within its offered contact capacity, layers are
+   shed before captures drop, and the run-level stats reconcile.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.scenarios import (
+    DatasetSpec,
+    ScenarioSpec,
+    run_scenario,
+    run_scenarios,
+)
+from repro.core.config import EarthPlusConfig
+
+DATASET = DatasetSpec.of(
+    "sentinel2",
+    locations=["A"],
+    bands=["B4"],
+    horizon_days=60.0,
+    image_shape=(128, 128),
+)
+
+LAYERED = EarthPlusConfig(gamma_bpp=0.3, n_quality_layers=3)
+
+
+def run(spec_kwargs):
+    return run_scenario(
+        ScenarioSpec(policy="earthplus", dataset=DATASET, **spec_kwargs)
+    )
+
+
+class TestDifferential:
+    def test_table1_default_matches_unconstrained_run_exactly(self):
+        """The acceptance criterion: at Table-1 capacity with severity 0
+        every pre-existing field of every record and result is exactly
+        equal to a run without the downlink phase (the pre-downlink
+        simulator).  The only permitted difference is the new downlink
+        accounting itself (downlink_stats, per-record capacity columns),
+        which is zero/empty respectively — so no figure output can move.
+        """
+        import dataclasses
+
+        import numpy as np
+
+        import repro.analysis.scenarios as scenarios_mod
+        from repro.core.accounting import CaptureRecord
+
+        constrained = run({"config": LAYERED})
+        # Disable the phase entirely by patching the resolved default to
+        # None (the simulator then never builds a DownlinkPhase) — this
+        # is exactly the pre-downlink simulator.
+        spec = ScenarioSpec(policy="earthplus", dataset=DATASET, config=LAYERED)
+        original = scenarios_mod.DEFAULT_DOWNLINK_BYTES_PER_CONTACT
+        try:
+            scenarios_mod.DEFAULT_DOWNLINK_BYTES_PER_CONTACT = None  # type: ignore
+            unconstrained = run_scenario(spec)
+        finally:
+            scenarios_mod.DEFAULT_DOWNLINK_BYTES_PER_CONTACT = original
+        new_record_fields = {
+            "downlink_capacity_bytes", "layers_shed", "downlink_deferred",
+        }
+        assert len(constrained.records) == len(unconstrained.records)
+        for rec_c, rec_u in zip(constrained.records, unconstrained.records):
+            for f in dataclasses.fields(CaptureRecord):
+                value_c = getattr(rec_c, f.name)
+                value_u = getattr(rec_u, f.name)
+                if f.name in new_record_fields:
+                    continue
+                assert value_c == value_u or (
+                    isinstance(value_c, float)
+                    and np.isnan(value_c)
+                    and np.isnan(value_u)
+                ), f"record field {f.name} moved under the default budget"
+            assert rec_c.layers_shed == 0
+            assert not rec_c.downlink_deferred
+        for name in (
+            "policy", "downlink_bytes", "uplink_bytes", "updates_skipped",
+            "horizon_days", "contacts_per_day", "contact_duration_s",
+            "reference_storage_bytes", "captured_storage_bytes",
+            "uplink_stats", "extra_metrics",
+        ):
+            assert getattr(constrained, name) == getattr(unconstrained, name)
+        assert constrained.mean_psnr() == unconstrained.mean_psnr()
+        assert (
+            constrained.mean_downloaded_fraction()
+            == unconstrained.mean_downloaded_fraction()
+        )
+        assert constrained.downlink_stats["layers_shed"] == 0
+        assert constrained.downlink_stats["captures_deferred"] == 0
+        assert constrained.downlink_stats["captures_dropped"] == 0
+        assert unconstrained.downlink_stats == {}
+
+    def test_default_run_pickle_stable_across_processes(self):
+        """Sequential in-process vs process-parallel runs of the same
+        constrained+fluctuating specs are pickle-byte-identical."""
+        specs = [
+            ScenarioSpec(
+                policy="earthplus",
+                dataset=DATASET,
+                config=LAYERED,
+                downlink_bytes_per_contact=40,
+                downlink_severity=0.5,
+                seed=seed,
+            )
+            for seed in (0, 1)
+        ]
+        sequential = [run_scenario(s) for s in specs]
+        parallel = run_scenarios(specs, max_workers=2)
+        for seq, par in zip(sequential, parallel):
+            assert pickle.dumps(seq) == pickle.dumps(par)
+
+
+class TestEnforcement:
+    @pytest.fixture(scope="class")
+    def constrained(self):
+        return run(
+            {"config": LAYERED, "downlink_bytes_per_contact": 25}
+        )
+
+    def test_layers_are_shed(self, constrained):
+        assert constrained.downlink_stats["layers_shed"] > 0
+        assert constrained.layers_shed() == (
+            constrained.downlink_stats["layers_shed"]
+        )
+
+    def test_every_record_within_capacity(self, constrained):
+        for record in constrained.records:
+            assert record.downlink_capacity_bytes > 0
+            if not record.dropped:
+                assert (
+                    record.bytes_downlinked <= record.downlink_capacity_bytes
+                )
+
+    def test_run_stats_reconcile(self, constrained):
+        stats = constrained.downlink_stats
+        assert stats["bytes_delivered"] <= stats["bytes_offered"]
+        assert stats["bytes_delivered"] <= stats["capacity_bytes"]
+        assert constrained.downlink_bytes == stats["bytes_delivered"]
+        dropped_at_downlink = (
+            stats["captures_deferred"] + stats["captures_dropped"]
+        )
+        assert dropped_at_downlink + len(constrained.delivered()) <= len(
+            constrained.records
+        )
+
+    def test_shedding_degrades_quality_not_delivery_first(self, constrained):
+        """A moderately constrained run keeps more captures than a
+        starved one, trading PSNR instead."""
+        starved = run({"config": LAYERED, "downlink_bytes_per_contact": 5})
+        assert len(starved.delivered()) <= len(constrained.delivered())
+        assert (
+            starved.downlink_stats["bytes_delivered"]
+            <= constrained.downlink_stats["bytes_delivered"]
+        )
+
+    def test_downlink_severity_leaves_uplink_stream_unchanged(self):
+        """Degrading only the downlink must not move a single uplink
+        byte: the two links draw from independent streams."""
+        base = run({"config": LAYERED, "downlink_bytes_per_contact": 200})
+        shaken = run(
+            {
+                "config": LAYERED,
+                "downlink_bytes_per_contact": 200,
+                "downlink_severity": 0.9,
+            }
+        )
+        assert shaken.uplink_bytes == base.uplink_bytes
+        assert shaken.uplink_stats == base.uplink_stats
+        # ... while the downlink capacities do differ.
+        assert [r.downlink_capacity_bytes for r in shaken.records] != [
+            r.downlink_capacity_bytes for r in base.records
+        ]

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import LinkBudgetError
-from repro.orbit.links import FluctuationModel, LinkBudget
+from repro.orbit.links import (
+    DOWNLINK_STREAM,
+    UPLINK_STREAM,
+    FluctuationModel,
+    LinkBudget,
+)
 
 
 class TestLinkBudget:
@@ -23,12 +28,14 @@ class TestLinkBudget:
         with pytest.raises(LinkBudgetError):
             LinkBudget().required_downlink_bps(-1)
 
-    def test_check_uplink_passes_within_capacity(self):
-        LinkBudget().check_uplink(1_000_000)
+    def test_dead_check_uplink_validator_removed(self):
+        """check_uplink was never called by any budget path; it is gone.
 
-    def test_check_uplink_rejects_over_capacity(self):
-        with pytest.raises(LinkBudgetError):
-            LinkBudget().check_uplink(20_000_000)
+        The simulator enforces budgets by *spending* them (UplinkPhase
+        plans within the accumulated budget, DownlinkPhase sheds layers),
+        never by rejecting a single payload outright — keep it that way.
+        """
+        assert not hasattr(LinkBudget, "check_uplink")
 
     def test_rejects_nonpositive_rates(self):
         with pytest.raises(LinkBudgetError):
@@ -63,3 +70,36 @@ class TestFluctuation:
             FluctuationModel(severity=-1.0)
         with pytest.raises(LinkBudgetError):
             FluctuationModel(floor=2.0, ceiling=1.0)
+
+
+class TestLinkStreams:
+    """One model, two links: the per-link streams are independent."""
+
+    def test_default_stream_is_the_uplink_stream(self):
+        """The historical draw (no stream argument) is the uplink's."""
+        model = FluctuationModel(seed=4, severity=0.5)
+        assert model.multiplier(1, 2) == model.multiplier(
+            1, 2, stream=UPLINK_STREAM
+        )
+
+    def test_uplink_and_downlink_streams_differ(self):
+        model = FluctuationModel(seed=4, severity=0.5)
+        uplink = [model.multiplier(0, k, stream=UPLINK_STREAM) for k in range(10)]
+        downlink = [
+            model.multiplier(0, k, stream=DOWNLINK_STREAM) for k in range(10)
+        ]
+        assert uplink != downlink
+
+    def test_streams_deterministic_across_instances(self):
+        """A rebuilt model (e.g. in a worker process) replays each stream."""
+        a = FluctuationModel(seed=9, severity=0.7)
+        b = FluctuationModel(seed=9, severity=0.7)
+        for stream in (UPLINK_STREAM, DOWNLINK_STREAM):
+            for contact in range(8):
+                assert a.multiplier(3, contact, stream=stream) == (
+                    b.multiplier(3, contact, stream=stream)
+                )
+
+    def test_zero_severity_constant_on_both_streams(self):
+        model = FluctuationModel(severity=0.0)
+        assert model.multiplier(0, 0, stream=DOWNLINK_STREAM) == 1.0

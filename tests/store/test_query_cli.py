@@ -106,6 +106,21 @@ class TestQuery:
         assert rows[0]["policy"] == "naive"
         assert rows[0]["seed"] == 1
 
+    def test_downlink_columns_exposed(self, warm_store, capsys):
+        """Query rows carry the downlink accounting summary columns."""
+        assert (
+            main(["query", "--store", str(warm_store), "--format", "json"])
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        for row in rows:
+            assert "layers_shed" in row
+            assert "updates_skipped" in row
+            assert "dl_dropped" in row
+            # The warm-store sweep is unconstrained: nothing shed.
+            assert row["layers_shed"] == 0
+            assert row["dl_dropped"] == 0
+
     def test_label_filter(self, warm_store, capsys):
         assert (
             main(

@@ -169,3 +169,33 @@ class TestKillAndResume:
         for a, b in zip(resumed.results, reference.results):
             assert pickle.dumps(a) == pickle.dumps(b)
         store.close()
+
+
+class TestConstrainedDownlinkRoundTrip:
+    def test_shed_run_warm_read_is_pickle_identical(self, store):
+        """Downlink stats and per-record shedding columns survive the
+        store round trip byte-identically."""
+        from repro.analysis.scenarios import ScenarioSpec, run_scenario
+
+        spec = ScenarioSpec(
+            policy="earthplus",
+            dataset=DatasetSpec.of(
+                "sentinel2",
+                locations=["A"],
+                bands=["B4"],
+                horizon_days=40.0,
+                image_shape=(128, 128),
+            ),
+            config=EarthPlusConfig(gamma_bpp=0.3, n_quality_layers=3),
+            downlink_bytes_per_contact=25,
+            downlink_severity=0.3,
+        )
+        cold = run_scenario(spec)
+        assert cold.downlink_stats["layers_shed"] > 0 or (
+            cold.downlink_stats["captures_deferred"]
+            + cold.downlink_stats["captures_dropped"]
+        ) > 0
+        store.put(spec, cold)
+        warm = store.get(spec)
+        assert warm is not None
+        assert pickle.dumps(warm) == pickle.dumps(cold)

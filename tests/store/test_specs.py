@@ -20,6 +20,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.scenarios import (
+    DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
     DEFAULT_UPLINK_BYTES_PER_CONTACT,
     DatasetSpec,
     ScenarioSpec,
@@ -40,12 +41,12 @@ BASE_DATASET = DatasetSpec.of(
 
 BASE_SPEC = ScenarioSpec(policy="earthplus", dataset=BASE_DATASET, seed=3)
 
-#: Key of BASE_SPEC under schema version 1, pinned so accidental
+#: Key of BASE_SPEC under schema version 2, pinned so accidental
 #: canonicalization changes (which would orphan every existing store
 #: entry) fail loudly.  A deliberate change must bump SCHEMA_VERSION —
 #: then regenerate with: python -c "from repro.store.specs import
 #: spec_key; ..." on the spec above.
-GOLDEN_KEY = "bf3ee5958692304d294a80414f1e2a01e3e6a1c696ebd2e5069322b9227ea85f"
+GOLDEN_KEY = "54b8489acef021c9cd5e8b3335896b35a921b191f336d9769cd564f273442490"
 
 _param_leaves = (
     st.integers(-1000, 1000)
@@ -106,12 +107,13 @@ class TestStability:
         assert out.stdout.strip() == spec_key(BASE_SPEC)
 
     def test_defaults_resolve_to_one_key(self):
-        """None config / explicit defaults / default uplink share a key."""
+        """None config / explicit defaults / default links share a key."""
         explicit = ScenarioSpec(
             policy="earthplus",
             dataset=BASE_DATASET,
             config=EarthPlusConfig(),
             uplink_bytes_per_contact=DEFAULT_UPLINK_BYTES_PER_CONTACT,
+            downlink_bytes_per_contact=DEFAULT_DOWNLINK_BYTES_PER_CONTACT,
             seed=3,
         )
         assert spec_key(explicit) == spec_key(BASE_SPEC)
@@ -163,6 +165,18 @@ class TestSensitivity:
                 seed=3,
                 fluctuation=FluctuationModel(seed=1, severity=0.2),
             ),
+            "downlink": ScenarioSpec(
+                policy="earthplus",
+                dataset=BASE_DATASET,
+                seed=3,
+                downlink_bytes_per_contact=4321,
+            ),
+            "downlink_severity": ScenarioSpec(
+                policy="earthplus",
+                dataset=BASE_DATASET,
+                seed=3,
+                downlink_severity=0.3,
+            ),
             "ground_detector": ScenarioSpec(
                 policy="earthplus",
                 dataset=BASE_DATASET,
@@ -213,6 +227,30 @@ class TestSensitivity:
             assert spec_key(variant) != base_key, (
                 f"varying config.{name} left the key unchanged"
             )
+
+    def test_fluctuation_severity_changes_key(self):
+        """Severity alone (same seed/floor/ceiling) is a distinct key."""
+
+        def spec_with(severity: float) -> ScenarioSpec:
+            return ScenarioSpec(
+                policy="earthplus",
+                dataset=BASE_DATASET,
+                seed=3,
+                fluctuation=FluctuationModel(seed=1, severity=severity),
+            )
+
+        assert spec_key(spec_with(0.2)) != spec_key(spec_with(0.4))
+
+    def test_downlink_severity_changes_key(self):
+        def spec_with(severity: float) -> ScenarioSpec:
+            return ScenarioSpec(
+                policy="earthplus",
+                dataset=BASE_DATASET,
+                seed=3,
+                downlink_severity=severity,
+            )
+
+        assert spec_key(spec_with(0.1)) != spec_key(spec_with(0.25))
 
     def test_dataset_param_value_changes_key(self):
         variant = ScenarioSpec(
