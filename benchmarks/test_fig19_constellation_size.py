@@ -20,7 +20,11 @@ def test_fig19_constellation_size(benchmark, emit, bench_scale):
     else:
         sizes = [1, 2, 4, 8, 16]
         shape = (128, 128)
-        horizon = 60.0
+        # The paper's 3-month window, not 60 days: under seed 19 the
+        # single-satellite constellation draws heavy cloud at all five of
+        # its 60-day visits and delivers nothing (an "n/a" ratio cell);
+        # days 60-90 contain its clear visits.
+        horizon = 90.0
     result = run_once(
         benchmark,
         lambda: F.fig19_constellation_size(
@@ -52,8 +56,11 @@ def test_fig19_constellation_size(benchmark, emit, bench_scale):
     ratios = {
         r["satellites"]: r["compression_ratio"]
         for r in result["rows"]
-        if r["satellites"] > 0 and np.isfinite(r["compression_ratio"])
+        if r["satellites"] > 0
     }
+    # Every Earth+ cell must deliver something — a non-finite ratio means
+    # a constellation size delivered zero captures over the horizon.
+    assert all(np.isfinite(ratio) for ratio in ratios.values()), ratios
     assert len(ratios) >= 3
     ordered = sorted(ratios)
     assert ratios[ordered[-1]] > ratios[ordered[0]]

@@ -28,10 +28,14 @@ they only remove redundant recomputation.
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro import perf
 from repro.baselines.kodan import KodanPolicy
 from repro.baselines.naive import NaivePolicy
 from repro.baselines.satroi import SatRoIPolicy
@@ -39,6 +43,11 @@ from repro.core.accounting import RunResult
 from repro.core.cloud import train_ground_detector, train_onboard_detector
 from repro.core.config import EarthPlusConfig
 from repro.core.ground_segment import GroundSegment
+from repro.core.sharding import (
+    canonical_ingests,
+    canonical_marks,
+    group_visits_by_epoch,
+)
 from repro.core.system import ConstellationSimulator, EarthPlusPolicy
 from repro.datasets.generator import SyntheticDataset
 from repro.datasets.planet import planet_dataset
@@ -223,14 +232,16 @@ def build_policy_factory(
     return factory
 
 
-def run_scenario(spec: ScenarioSpec) -> RunResult:
-    """Execute one scenario and return its aggregated result.
+def build_simulator(spec: ScenarioSpec) -> ConstellationSimulator:
+    """The fully-wired simulator one spec describes.
+
+    Shared by :func:`run_scenario` (which runs it whole) and the sharded
+    runner (where every worker builds the same simulator and runs only
+    its satellites), so both paths resolve datasets, detectors, budgets,
+    and fluctuation models through identical code.
 
     Args:
         spec: The scenario description.
-
-    Returns:
-        The run's :class:`RunResult`.
 
     Raises:
         ConfigError: For unknown policy or dataset names.
@@ -255,7 +266,7 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
         ),
         seed=spec.seed,
     )
-    simulator = ConstellationSimulator(
+    return ConstellationSimulator(
         sensors=dataset.sensors,
         bands=dataset.bands,
         schedule=dataset.schedule,
@@ -276,7 +287,213 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
         fluctuation=spec.fluctuation,
         downlink_fluctuation=spec.downlink_fluctuation(),
     )
-    return simulator.run()
+
+
+def run_scenario(spec: ScenarioSpec) -> RunResult:
+    """Execute one scenario and return its aggregated result.
+
+    Args:
+        spec: The scenario description.
+
+    Returns:
+        The run's :class:`RunResult`.
+
+    Raises:
+        ConfigError: For unknown policy or dataset names.
+    """
+    return build_simulator(spec).run()
+
+
+def _shard_worker(conn, spec: ScenarioSpec, satellite_ids, profile: bool) -> None:
+    """One shard process: simulate own satellites, exchange journals via pipe.
+
+    Protocol (worker side): per global epoch send
+    ``("epoch", index, ingests, marks)`` and block for the merged
+    ``(ingests, marks)`` reply; finish with ``("done", result, rows)``
+    or ``("error", traceback_text)``.
+    """
+    try:
+        if profile:
+            perf.enable_profiler()
+        simulator = build_simulator(spec)
+
+        def exchange(epoch: int, ingests, marks):
+            conn.send(("epoch", epoch, ingests, marks))
+            return conn.recv()
+
+        cpu_started = time.process_time()
+        result = simulator.run(
+            satellite_ids=satellite_ids, epoch_sync=exchange
+        )
+        cpu_seconds = time.process_time() - cpu_started
+        profiler = perf.active_profiler()
+        rows = None
+        if profiler is not None:
+            # The phase sections time wall clock, which on an
+            # oversubscribed host counts other shards' timeslices too;
+            # cpu_total is this process's own compute, the number
+            # scaling analyses should trust.
+            rows = list(profiler.rows())
+            rows.append(
+                {"section": "cpu_total", "seconds": cpu_seconds, "calls": 1}
+            )
+        conn.send(("done", result, rows))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _shard_failure(
+    spec: ScenarioSpec, shard_index: int, shard_count: int, detail: str
+) -> ScenarioError:
+    """Wrap a shard-worker failure naming the scenario and the shard."""
+    return ScenarioError(
+        f"scenario {spec.resolved_label()!r} failed in shard "
+        f"{shard_index} of {shard_count}: {detail}"
+    )
+
+
+def run_scenario_sharded(
+    spec: ScenarioSpec,
+    shards: int | None = None,
+    profile_sink: Callable[[int, tuple[int, ...], list], None] | None = None,
+) -> RunResult:
+    """Execute one scenario sharded across worker processes.
+
+    Satellites are partitioned into ``shards`` balanced buckets (see
+    :meth:`~repro.orbit.schedule.VisitSchedule.partition_satellites`);
+    each worker runs the full phase pipeline over its bucket against its
+    own ground segment, shards exchange ground-state journals at every
+    ``ground_sync_days`` epoch boundary, and the per-shard
+    :class:`RunResult` partials fold together with
+    :meth:`RunResult.merge`.  The merged result is pickle-byte-identical
+    to ``shards=1`` (differential-tested): the journal protocol makes
+    ground state a pure function of the epoch's merged writes, and the
+    merge re-sorts records into canonical visit order.
+
+    Args:
+        spec: The scenario description.  Its config must set
+            ``ground_sync_days > 0``; the legacy continuous ground model
+            has no consistent satellite partition.
+        shards: Worker count (None reads ``REPRO_SIM_SHARDS``, default
+            1).  ``1`` runs in-process via :func:`run_scenario`.
+        profile_sink: Optional callable receiving
+            ``(shard_index, satellite_ids, profile_rows)`` per shard;
+            when set, workers run with the phase profiler enabled.
+
+    Returns:
+        The merged :class:`RunResult`.
+
+    Raises:
+        ConfigError: For ``shards < 1`` or a spec without
+            ``ground_sync_days``.
+        ScenarioError: When a shard worker fails; the message names the
+            scenario label and the shard index, with the worker's
+            traceback inline.
+    """
+    if shards is None:
+        shards = perf.sim_shards()
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return run_scenario(spec)
+    config = spec.config if spec.config is not None else EarthPlusConfig()
+    if config.ground_sync_days <= 0:
+        raise ConfigError(
+            "sharded execution requires epoch-synchronized ground state: "
+            "set config.ground_sync_days > 0 (e.g. 1.0). The sync cadence "
+            "is part of the scenario's semantics; the shard count is not."
+        )
+    dataset = (
+        spec.dataset.build()
+        if isinstance(spec.dataset, DatasetSpec)
+        else spec.dataset
+    )
+    buckets = dataset.schedule.partition_satellites(shards)
+    if len(buckets) <= 1:
+        return run_scenario(spec)
+    epochs = group_visits_by_epoch(
+        dataset.schedule.all_visits_sorted(), config.ground_sync_days
+    )
+    context = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    workers = []
+    try:
+        for bucket in buckets:
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child, spec, bucket, profile_sink is not None),
+            )
+            process.start()
+            child.close()
+            workers.append((process, parent, bucket))
+
+        def recv(shard_index: int):
+            process, parent, _ = workers[shard_index]
+            try:
+                message = parent.recv()
+            except EOFError:
+                raise _shard_failure(
+                    spec,
+                    shard_index,
+                    len(workers),
+                    f"worker died without a result (exit code "
+                    f"{process.exitcode})",
+                ) from None
+            if message[0] == "error":
+                raise _shard_failure(
+                    spec, shard_index, len(workers), message[1]
+                )
+            return message
+
+        for epoch, _ in epochs:
+            ingests: list = []
+            marks: list = []
+            for shard_index in range(len(workers)):
+                message = recv(shard_index)
+                if message[0] != "epoch" or message[1] != epoch:
+                    raise _shard_failure(
+                        spec,
+                        shard_index,
+                        len(workers),
+                        f"journal protocol desync: expected epoch {epoch}, "
+                        f"got {message[:2]!r}",
+                    )
+                ingests.extend(message[2])
+                marks.extend(message[3])
+            merged = (canonical_ingests(ingests), canonical_marks(marks))
+            for _, parent, _ in workers:
+                parent.send(merged)
+        result = RunResult.identity()
+        for shard_index in range(len(workers)):
+            message = recv(shard_index)
+            if message[0] != "done":
+                raise _shard_failure(
+                    spec,
+                    shard_index,
+                    len(workers),
+                    f"journal protocol desync: expected done, "
+                    f"got {message[0]!r}",
+                )
+            result = result.merge(message[1])
+            if profile_sink is not None and message[2] is not None:
+                profile_sink(
+                    shard_index, tuple(workers[shard_index][2]), message[2]
+                )
+        return result
+    finally:
+        for process, parent, _ in workers:
+            parent.close()
+        for process, _, _ in workers:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
 
 
 def _batch_error(spec: ScenarioSpec, index: int, exc: Exception) -> ScenarioError:
@@ -291,6 +508,7 @@ def run_scenarios(
     specs: Sequence[ScenarioSpec],
     max_workers: int | None = None,
     on_result: Callable[[int, ScenarioSpec, RunResult], None] | None = None,
+    shards: int | None = None,
 ) -> list[RunResult]:
     """Execute a batch of scenarios, optionally process-parallel.
 
@@ -313,6 +531,11 @@ def run_scenarios(
             order) with ``(spec_index, spec, result)``.  The experiment
             store persists results through this hook, so everything that
             finished before a failure survives the batch.
+        shards: When > 1, shard each scenario across this many worker
+            processes (see :func:`run_scenario_sharded`) instead of
+            fanning specs out — the right axis when the batch is small
+            but each scenario is large.  Mutually exclusive with
+            ``max_workers >= 2``; results are byte-identical either way.
 
     Returns:
         One :class:`RunResult` per spec, in order.
@@ -320,14 +543,37 @@ def run_scenarios(
     Raises:
         ScenarioError: When any scenario fails.  The message names the
             failing spec's ``resolved_label()`` and the original exception
-            rides along as ``__cause__``.  Scenarios that completed before
-            the failure was observed have already been delivered to
+            rides along as ``__cause__``; a shard failure additionally
+            names the shard index.  Scenarios that completed before the
+            failure was observed have already been delivered to
             ``on_result``; remaining queued work is cancelled.
     """
     specs = list(specs)
     if max_workers is not None and max_workers < 1:
         raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    if shards is None:
+        shards = perf.sim_shards()
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards > 1 and max_workers is not None and max_workers > 1:
+        raise ConfigError(
+            "choose one parallelism axis: shards > 1 (within a scenario) "
+            "or max_workers > 1 (across scenarios), not both"
+        )
     results: list[RunResult] = [None] * len(specs)  # type: ignore[list-item]
+    if shards > 1:
+        for index, spec in enumerate(specs):
+            try:
+                result = run_scenario_sharded(spec, shards=shards)
+            except ScenarioError:
+                # Already labelled with scenario + shard; don't re-wrap.
+                raise
+            except Exception as exc:
+                raise _batch_error(spec, index, exc) from exc
+            results[index] = result
+            if on_result is not None:
+                on_result(index, spec, result)
+        return results
     if max_workers is None or max_workers == 1 or len(specs) <= 1:
         for index, spec in enumerate(specs):
             try:

@@ -37,6 +37,7 @@ from repro.analysis.scenarios import (
     DatasetSpec,
     ScenarioSpec,
     run_scenario,
+    run_scenario_sharded,
     sweep_specs,
 )
 from repro.analysis.tables import format_rows, format_table
@@ -103,6 +104,35 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="quality layers per encoded image (>1 lets a constrained "
         "downlink shed trailing layers instead of dropping captures)",
     )
+
+
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard each scenario's satellites across N worker processes "
+        "(default: REPRO_SIM_SHARDS or 1). Requires --sync-days > 0; "
+        "results are byte-identical to a sequential run",
+    )
+    parser.add_argument(
+        "--sync-days", type=float, default=0.0,
+        help="ground-state synchronization cadence in days (sets "
+        "config ground_sync_days; 0 = legacy continuous ground state). "
+        "This changes scenario semantics, so it enters the store key — "
+        "the shard count does not",
+    )
+
+
+def _resolve_shards(args: argparse.Namespace) -> int:
+    """The effective shard count, validated against the sync cadence."""
+    shards = args.shards if args.shards is not None else perf.sim_shards()
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    if shards > 1 and args.sync_days <= 0:
+        raise SystemExit(
+            "--shards needs epoch-synchronized ground state; add "
+            "--sync-days (e.g. --sync-days 1)"
+        )
+    return shards
 
 
 def _add_store_args(
@@ -224,25 +254,36 @@ def _scenario_dict(spec: ScenarioSpec, result) -> dict:
 def _profile_rows(profiler) -> list[dict]:
     """Phase + kernel timing rows for ``simulate --profile``.
 
-    Phases (``uplink``/``capture``/``downlink``/``ingest``) tile the
-    simulation loop; kernels (``imagery``/``codec``/``dwt``/``scoring``)
-    run inside phases and break down where phase time goes.
+    Phases (``uplink``/``capture``/``downlink``/``ingest``, plus
+    ``sync`` under epoch synchronization) tile the simulation loop;
+    kernels (``imagery``/``codec``/``dwt``/``scoring``) run inside
+    phases and break down where phase time goes.
     """
-    phase_names = ("uplink", "capture", "downlink", "ingest")
+    return _classify_profile_rows(profiler.rows())
+
+
+def _classify_profile_rows(raw_rows: list[dict]) -> list[dict]:
+    phase_names = ("uplink", "capture", "downlink", "ingest", "sync")
     rows = []
-    for entry in profiler.rows():
+    for entry in raw_rows:
         entry = dict(entry)
-        entry["kind"] = (
-            "phase" if entry["section"] in phase_names else "kernel"
-        )
+        if entry["section"] == "cpu_total":
+            entry["kind"] = "total"  # shard-worker CPU time (sharded runs)
+        elif entry["section"] in phase_names:
+            entry["kind"] = "phase"
+        else:
+            entry["kind"] = "kernel"
         rows.append(entry)
-    # Phases first (loop tiling), kernels after (breakdown), each group
-    # longest-running first — profiler.rows() is already time-sorted.
-    return sorted(rows, key=lambda r: r["kind"] != "phase")
+    # Phases first (loop tiling), kernels after (breakdown), totals last;
+    # within each group longest-running first — profiler rows are
+    # already time-sorted.
+    order = {"phase": 0, "kernel": 1, "total": 2}
+    return sorted(rows, key=lambda r: order[r["kind"]])
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one declarative scenario and print it in the chosen format."""
+    shards = _resolve_shards(args)
     spec = ScenarioSpec(
         policy=args.policy,
         dataset=_build_dataset_spec(args),
@@ -250,25 +291,39 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             gamma_bpp=args.gamma,
             codec_backend=args.codec,
             n_quality_layers=args.layers,
+            ground_sync_days=args.sync_days,
         ),
         uplink_bytes_per_contact=args.uplink_bytes,
         downlink_bytes_per_contact=args.downlink_bytes,
         downlink_severity=args.downlink_severity,
         seed=args.seed,
     )
-    profiler = perf.enable_profiler() if args.profile else None
-    try:
-        if profiler is not None:
-            # Serving a profile run from the store would time nothing;
-            # profiling always simulates (and does not persist).
-            result = run_scenario(spec)
-        else:
-            result = run_scenario_cached(
-                spec, store=_resolve_store(args), refresh=args.refresh
+    shard_profiles: list[tuple[int, tuple[int, ...], list]] = []
+    profiler = None
+    if args.profile:
+        # Serving a profile run from the store would time nothing;
+        # profiling always simulates (and does not persist).
+        if shards > 1:
+            result = run_scenario_sharded(
+                spec,
+                shards=shards,
+                profile_sink=lambda index, sats, rows: shard_profiles.append(
+                    (index, sats, rows)
+                ),
             )
-    finally:
-        if profiler is not None:
-            perf.disable_profiler()
+        else:
+            profiler = perf.enable_profiler()
+            try:
+                result = run_scenario(spec)
+            finally:
+                perf.disable_profiler()
+    else:
+        result = run_scenario_cached(
+            spec,
+            store=_resolve_store(args),
+            refresh=args.refresh,
+            shards=shards,
+        )
     print(
         format_rows(
             _SCENARIO_COLUMNS,
@@ -288,6 +343,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 "(kernels run inside phases)",
             )
         )
+    for index, satellites, rows in sorted(shard_profiles):
+        print()
+        print(
+            format_rows(
+                ["kind", "section", "seconds", "calls"],
+                _classify_profile_rows(rows),
+                fmt=args.format,
+                title=(
+                    f"shard {index} timing breakdown (satellites "
+                    f"{','.join(str(s) for s in satellites)})"
+                ),
+            )
+        )
     return 0
 
 
@@ -301,6 +369,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
     if args.workers is not None and args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    shards = _resolve_shards(args)
+    if shards > 1 and args.workers is not None and args.workers > 1:
+        raise SystemExit(
+            "choose one parallelism axis: --shards (within a scenario) "
+            "or --workers (across scenarios), not both"
+        )
     try:
         seeds = [int(s) for s in args.seeds.split(",")]
     except ValueError:
@@ -320,7 +394,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=seeds,
         gammas=gammas,
         base_config=EarthPlusConfig(
-            codec_backend=args.codec, n_quality_layers=args.layers
+            codec_backend=args.codec,
+            n_quality_layers=args.layers,
+            ground_sync_days=args.sync_days,
         ),
         uplink_bytes_per_contact=args.uplink_bytes,
         downlink_bytes_per_contact=args.downlink_bytes,
@@ -328,7 +404,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     store = _resolve_store(args)
     sweep = run_scenarios_cached(
-        specs, max_workers=args.workers, store=store, refresh=args.refresh
+        specs,
+        max_workers=args.workers,
+        store=store,
+        refresh=args.refresh,
+        shards=shards,
     )
     print(
         format_rows(
@@ -550,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plus imagery/codec/dwt/scoring kernels) after the results; "
         "always simulates (never served from the store)",
     )
+    _add_shard_args(simulate_parser)
     _add_store_args(simulate_parser)
     simulate_parser.set_defaults(func=cmd_simulate)
 
@@ -588,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "csv", "json"), default="table",
         help="output format",
     )
+    _add_shard_args(sweep_parser)
     _add_store_args(sweep_parser, resumable=True)
     sweep_parser.set_defaults(func=cmd_sweep)
 

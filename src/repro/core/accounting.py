@@ -13,7 +13,7 @@ can ride along in the same pass over events, and its value lands in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
@@ -76,6 +76,25 @@ class DownlinkStats:
     captures_shed: int = 0
     captures_deferred: int = 0
     captures_dropped: int = 0
+
+    @classmethod
+    def identity(cls) -> "DownlinkStats":
+        """The merge identity: the stats of a run that moved nothing."""
+        return cls()
+
+    @classmethod
+    def from_run_stats(cls, stats: dict[str, int]) -> "DownlinkStats":
+        """Rebuild from the ``RunResult.downlink_stats`` dict."""
+        return cls(**stats)
+
+    def merge(self, other: "DownlinkStats") -> "DownlinkStats":
+        """Field-wise sum (associative, commutative, identity-respecting)."""
+        return DownlinkStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
 
     def observe(self, report: "DownlinkReport") -> None:
         """Fold one visit's downlink report into the totals."""
@@ -146,6 +165,51 @@ class CaptureRecord(_TupleState):
     downlink_deferred: bool = False
 
 
+def record_order_key(record: CaptureRecord) -> tuple[float, str, int]:
+    """The canonical visit order on records.
+
+    Mirrors :func:`repro.orbit.schedule.visit_order_key` — one visit, one
+    record, one position — so per-shard record lists merge-sort back into
+    exactly the sequence a sequential run emits.
+    """
+    return (record.t_days, record.location, record.satellite_id)
+
+
+def _share_record_strings(records: list[CaptureRecord]) -> list[CaptureRecord]:
+    """Records rebuilt so equal strings share one instance.
+
+    In a sequential run every record's ``location`` (and every band-dict
+    key) references the dataset's single string instance, so pickling the
+    record list writes each string once and memo-references it after.
+    Records that crossed a process boundary arrive with per-shard string
+    copies; merging them verbatim would pickle the same text repeatedly
+    and break "sharded == sequential" at the byte level even though every
+    record compares equal.  Pooling restores the sequential sharing
+    structure (first occurrence in canonical order introduces the
+    instance, exactly like the sequential stream).
+    """
+    pool: dict[str, str] = {}
+
+    def shared(text: str) -> str:
+        return pool.setdefault(text, text)
+
+    return [
+        replace(
+            record,
+            location=shared(record.location),
+            band_bytes={
+                shared(band): count
+                for band, count in record.band_bytes.items()
+            },
+            band_psnr={
+                shared(band): psnr
+                for band, psnr in record.band_psnr.items()
+            },
+        )
+        for record in records
+    ]
+
+
 @dataclass
 class RunResult(_TupleState):
     """Aggregate outcome of one simulation run.
@@ -183,6 +247,120 @@ class RunResult(_TupleState):
     uplink_stats: dict[str, int] = field(default_factory=dict)
     downlink_stats: dict[str, int] = field(default_factory=dict)
     extra_metrics: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def identity(cls) -> "RunResult":
+        """The merge identity: the result of simulating nothing.
+
+        Configuration-like fields (policy, horizon, contact geometry) are
+        zero-valued sentinels; :meth:`merge` adopts the other operand's
+        values for them, so folding a shard list from ``identity()``
+        yields exactly the pairwise merge of the shards.
+        """
+        return cls(
+            policy="",
+            records=[],
+            downlink_bytes=0,
+            uplink_bytes=0,
+            updates_skipped=0,
+            horizon_days=0.0,
+            contacts_per_day=0,
+            contact_duration_s=0.0,
+            reference_storage_bytes=0,
+            captured_storage_bytes=0,
+        )
+
+    def _is_identity(self) -> bool:
+        return (
+            not self.policy
+            and not self.records
+            and self.horizon_days == 0.0
+            and self.contacts_per_day == 0
+            and not self.uplink_stats
+            and not self.downlink_stats
+            and not self.extra_metrics
+        )
+
+    def merge(self, other: "RunResult") -> "RunResult":
+        """Combine two disjoint partial results (associative, with identity).
+
+        The monoid the sharded runner folds over: per-visit records
+        concatenate and re-sort into canonical visit order
+        (:func:`record_order_key`), byte/count totals add, storage peaks
+        take the max, and the stats dicts merge through their
+        :class:`UplinkStats`/:class:`DownlinkStats` round-trip.  Merging
+        the per-shard partials of one scenario reproduces the sequential
+        :class:`RunResult` field-for-field (differential-tested to
+        pickle-byte identity).
+
+        Raises:
+            ValueError: When the operands disagree on configuration
+                (policy, horizon, contact geometry) or carry
+                ``extra_metrics`` — collector values are arbitrary
+                objects with no general merge.
+        """
+        if self._is_identity():
+            return other
+        if other._is_identity():
+            return self
+        if self.extra_metrics or other.extra_metrics:
+            raise ValueError(
+                "RunResult.merge cannot combine extra_metrics; run "
+                "collectors on the merged result instead"
+            )
+        for name in ("horizon_days", "contacts_per_day", "contact_duration_s"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine != theirs:
+                raise ValueError(
+                    f"cannot merge results with different {name}: "
+                    f"{mine!r} != {theirs!r}"
+                )
+        # An empty shard (no visits observed) never learns the policy
+        # name; any named operand supplies it.
+        if self.policy and other.policy and self.policy != other.policy:
+            raise ValueError(
+                f"cannot merge results of different policies: "
+                f"{self.policy!r} != {other.policy!r}"
+            )
+
+        def merge_stats(cls, mine: dict, theirs: dict) -> dict:
+            if not mine:
+                return theirs
+            if not theirs:
+                return mine
+            return (
+                cls.from_run_stats(mine)
+                .merge(cls.from_run_stats(theirs))
+                .as_run_stats()
+            )
+
+        from repro.core.ground_segment import UplinkStats
+
+        return RunResult(
+            policy=self.policy or other.policy,
+            records=_share_record_strings(
+                sorted(self.records + other.records, key=record_order_key)
+            ),
+            downlink_bytes=self.downlink_bytes + other.downlink_bytes,
+            uplink_bytes=self.uplink_bytes + other.uplink_bytes,
+            updates_skipped=self.updates_skipped + other.updates_skipped,
+            horizon_days=self.horizon_days,
+            contacts_per_day=self.contacts_per_day,
+            contact_duration_s=self.contact_duration_s,
+            reference_storage_bytes=max(
+                self.reference_storage_bytes, other.reference_storage_bytes
+            ),
+            captured_storage_bytes=max(
+                self.captured_storage_bytes, other.captured_storage_bytes
+            ),
+            uplink_stats=merge_stats(
+                UplinkStats, self.uplink_stats, other.uplink_stats
+            ),
+            downlink_stats=merge_stats(
+                DownlinkStats, self.downlink_stats, other.downlink_stats
+            ),
+            extra_metrics={},
+        )
 
     def delivered(self) -> list[CaptureRecord]:
         """Records of captures that were actually downlinked."""
@@ -298,6 +476,53 @@ class MetricsAccumulator:
         self.policy_name = ""
         self.downlink = DownlinkStats()
         self._saw_downlink = False
+
+    def merge(self, other: "MetricsAccumulator") -> "MetricsAccumulator":
+        """Combine two partial accumulators over disjoint visit sets.
+
+        The pre-``finalize`` twin of :meth:`RunResult.merge`, for callers
+        that accumulate per shard and finalize once: records re-sort into
+        canonical visit order, totals add, peaks take the max.
+        Accumulators carrying pluggable collectors refuse to merge —
+        collector state is opaque.
+        """
+        if self.collectors or other.collectors:
+            raise ValueError(
+                "MetricsAccumulator.merge cannot combine collectors; "
+                "observe collectors on one accumulator only"
+            )
+        for name in ("contacts_per_day", "contact_duration_s"):
+            if getattr(self, name) != getattr(other, name):
+                raise ValueError(
+                    f"cannot merge accumulators with different {name}"
+                )
+        if (
+            self.policy_name
+            and other.policy_name
+            and self.policy_name != other.policy_name
+        ):
+            raise ValueError(
+                f"cannot merge accumulators of different policies: "
+                f"{self.policy_name!r} != {other.policy_name!r}"
+            )
+        merged = MetricsAccumulator(
+            contacts_per_day=self.contacts_per_day,
+            contact_duration_s=self.contact_duration_s,
+        )
+        merged.records = sorted(
+            self.records + other.records, key=record_order_key
+        )
+        merged.downlink_bytes = self.downlink_bytes + other.downlink_bytes
+        merged.peak_reference_bytes = max(
+            self.peak_reference_bytes, other.peak_reference_bytes
+        )
+        merged.peak_captured_bytes = max(
+            self.peak_captured_bytes, other.peak_captured_bytes
+        )
+        merged.policy_name = self.policy_name or other.policy_name
+        merged.downlink = self.downlink.merge(other.downlink)
+        merged._saw_downlink = self._saw_downlink or other._saw_downlink
+        return merged
 
     def observe(self, event: "VisitEvent") -> None:
         """Fold one completed visit event into the running totals."""

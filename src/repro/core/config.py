@@ -100,6 +100,18 @@ class EarthPlusConfig:
             reference (requires the on-board cache).
         n_quality_layers: Quality layers per encoded image, for downlink
             adaptation (§5).
+        ground_sync_days: Cadence (days) at which the ground segment
+            synchronizes constellation-shared state — the shared reference
+            mosaic and the guaranteed-download ledger.  0 (the default)
+            models an always-synchronized ground segment: every ingest is
+            visible to the next visit immediately, the legacy semantics.
+            A positive cadence journals ground-state writes within each
+            epoch and applies them at epoch boundaries in canonical visit
+            order, which makes the simulation shard-count-invariant (the
+            basis of ``--shards``); satellites then plan against state
+            that is at most one epoch stale, mirroring a ground segment
+            whose stations reconcile on a schedule rather than
+            instantaneously.
         reference_bytes_per_pixel: Storage bytes per low-res reference pixel
             (uint8 storage = 1).
         raw_bytes_per_pixel: Bytes per full-res raw pixel (12-bit sensor
@@ -126,6 +138,7 @@ class EarthPlusConfig:
     cache_references_onboard: bool = True
     delta_reference_updates: bool = True
     n_quality_layers: int = 1
+    ground_sync_days: float = 0.0
     reference_bytes_per_pixel: int = 1
     raw_bytes_per_pixel: int = 2
     codec_backend: str = "model"
@@ -158,6 +171,10 @@ class EarthPlusConfig:
         if self.n_quality_layers < 1:
             raise ConfigError(
                 f"n_quality_layers must be >= 1, got {self.n_quality_layers}"
+            )
+        if self.ground_sync_days < 0:
+            raise ConfigError(
+                f"ground_sync_days must be >= 0, got {self.ground_sync_days}"
             )
         if self.delta_reference_updates and not self.cache_references_onboard:
             raise ConfigError(

@@ -17,6 +17,7 @@ what makes a single (gain, offset) pair per capture sufficient on board.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 
 import numpy as np
 
@@ -77,6 +78,13 @@ class UplinkPlan:
 class UplinkStats:
     """Running update-level uplink accounting across a whole run.
 
+    Every field is a plain count, so the class is a commutative monoid
+    under field-wise addition: :meth:`identity` is the empty run,
+    :meth:`merge` combines per-shard partials, and
+    :meth:`from_run_stats`/:meth:`as_run_stats` round-trip losslessly
+    through the dict carried on ``RunResult.uplink_stats`` — workers can
+    finalize independently and the driver merges the dicts exactly.
+
     Attributes:
         bytes_sent: Total reference-update bytes moved up.
         updates_sent: Updates applied to satellite caches.
@@ -94,6 +102,25 @@ class UplinkStats:
     full_update_count: int = 0
     delta_update_bytes: int = 0
     delta_update_count: int = 0
+
+    @classmethod
+    def identity(cls) -> "UplinkStats":
+        """The merge identity: the stats of a run that moved nothing."""
+        return cls()
+
+    @classmethod
+    def from_run_stats(cls, stats: dict[str, int]) -> "UplinkStats":
+        """Rebuild from the ``RunResult.uplink_stats`` dict."""
+        return cls(**stats)
+
+    def merge(self, other: "UplinkStats") -> "UplinkStats":
+        """Field-wise sum (associative, commutative, identity-respecting)."""
+        return UplinkStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclass_fields(self)
+            }
+        )
 
     def record_sent(self, update: ReferenceUpdate, cost: int) -> None:
         """Account one applied update."""
@@ -156,7 +183,37 @@ class GroundSegment:
         #: The absolute gain the mosaic basis is expressed in.
         self.basis_gain = basis_gain
         self._plan_counter = 0
+        self._plan_counters: dict[int, int] = {}
+        self._journal = None
         self.stats = UplinkStats()
+
+    def enable_sync_journal(self, journal) -> None:
+        """Switch to epoch-synchronized mode (see :mod:`repro.core.sharding`).
+
+        Mosaic writes are journaled into ``journal`` instead of applied,
+        reads keep seeing the mosaic as of the last synchronization, and
+        the uplink-skip RNG switches from the global plan counter to
+        per-satellite streams (a global counter would depend on the
+        interleaving of satellites across shards).
+        """
+        self._journal = journal
+
+    def apply_ingests(self, entries) -> None:
+        """Apply merged journal entries to the mosaic, in the given order.
+
+        Called at epoch boundaries with the canonically-sorted union of
+        every shard's journal; every shard applies the same sequence, so
+        all mosaic replicas stay identical.
+        """
+        for entry in entries:
+            self.mosaic.ingest_tiles(
+                entry.location,
+                entry.band,
+                entry.t_days,
+                entry.image,
+                entry.tile_mask,
+                pixel_valid=entry.pixel_valid,
+            )
 
     @property
     def uplink_bytes_total(self) -> int:
@@ -227,14 +284,29 @@ class GroundSegment:
                 normalized = self._normalize_to_mosaic_basis(
                     band_result.reconstruction, result.t_days
                 )
-                self.mosaic.ingest_tiles(
-                    capture.location,
-                    band,
-                    result.t_days,
-                    normalized,
-                    downloaded,
-                    pixel_valid=pixel_valid,
-                )
+                if self._journal is not None:
+                    from repro.core.sharding import MosaicIngest
+
+                    self._journal.add_ingest(
+                        MosaicIngest(
+                            t_days=result.t_days,
+                            location=capture.location,
+                            satellite_id=capture.satellite_id,
+                            band=band,
+                            image=normalized,
+                            tile_mask=downloaded,
+                            pixel_valid=pixel_valid,
+                        )
+                    )
+                else:
+                    self.mosaic.ingest_tiles(
+                        capture.location,
+                        band,
+                        result.t_days,
+                        normalized,
+                        downloaded,
+                        pixel_valid=pixel_valid,
+                    )
         # Degenerate captures score as finite sentinels, never inf/NaN: a
         # fully-cloudy capture has no scoreable pixels (psnr 0.0) and a
         # band-less result would otherwise hit np.mean([]) (NaN plus a
@@ -301,6 +373,7 @@ class GroundSegment:
         locations: list[str],
         now_days: float,
         uplink_budget_bytes: int,
+        satellite_id: int | None = None,
     ) -> UplinkPlan:
         """Build and apply reference updates for one satellite's contact.
 
@@ -316,6 +389,12 @@ class GroundSegment:
                 contact.
             now_days: Contact time.
             uplink_budget_bytes: Bytes available on this contact's uplink.
+            satellite_id: The planning satellite.  In epoch-synchronized
+                mode the random-skip stream is keyed per satellite (a
+                global counter would observe the cross-satellite
+                interleaving, which sharding changes); the legacy mode
+                keeps the historical global-counter stream so
+                ``ground_sync_days = 0`` results are byte-unchanged.
 
         Returns:
             The applied plan with byte accounting.
@@ -346,10 +425,24 @@ class GroundSegment:
                 if update is not None:
                     candidates.append(update)
         # Randomized skipping under budget pressure (deterministic stream).
-        rng = np.random.default_rng(
-            stable_hash(self.seed, "uplink-skip", self._plan_counter)
-        )
-        self._plan_counter += 1
+        if self._journal is not None:
+            if satellite_id is None:
+                raise PipelineError(
+                    "plan_uploads requires satellite_id in "
+                    "epoch-synchronized mode"
+                )
+            counter = self._plan_counters.get(satellite_id, 0)
+            self._plan_counters[satellite_id] = counter + 1
+            rng = np.random.default_rng(
+                stable_hash(
+                    self.seed, "uplink-skip-sat", satellite_id, counter
+                )
+            )
+        else:
+            rng = np.random.default_rng(
+                stable_hash(self.seed, "uplink-skip", self._plan_counter)
+            )
+            self._plan_counter += 1
         order = rng.permutation(len(candidates))
         plan = UplinkPlan()
         for idx in order:

@@ -103,10 +103,22 @@ class SatelliteState:
 
 
 class ConstellationState:
-    """Lazily-built states of every satellite in the constellation."""
+    """Lazily-built states of every satellite in the constellation.
 
-    def __init__(self, policy_factory) -> None:
+    Args:
+        policy_factory: Called once per satellite id to build its policy.
+        guarantee_journal: When given (epoch-synchronized mode), each
+            satellite's ``last_guaranteed`` becomes a
+            :class:`~repro.core.sharding.GuaranteeView` over the shared
+            ledger — reads see the last synchronized state, writes are
+            journaled with the satellite's identity.  Without it every
+            satellite shares the plain ledger dict directly (the legacy
+            always-synchronized semantics).
+    """
+
+    def __init__(self, policy_factory, guarantee_journal=None) -> None:
         self._factory = policy_factory
+        self._journal = guarantee_journal
         self._last_guaranteed: dict[str, float] = {}
         self.satellites: dict[int, SatelliteState] = {}
 
@@ -114,10 +126,18 @@ class ConstellationState:
         """This satellite's state, building its policy on first visit."""
         state = self.satellites.get(satellite_id)
         if state is None:
+            if self._journal is not None:
+                from repro.core.sharding import GuaranteeView
+
+                guaranteed = GuaranteeView(
+                    self._last_guaranteed, self._journal, satellite_id
+                )
+            else:
+                guaranteed = self._last_guaranteed
             state = SatelliteState(
                 satellite_id=satellite_id,
                 policy=self._factory(satellite_id),
-                last_guaranteed=self._last_guaranteed,
+                last_guaranteed=guaranteed,
             )
             self.satellites[satellite_id] = state
         return state
@@ -249,6 +269,7 @@ class UplinkPhase:
                 [event.visit.location],
                 event.visit.t_days,
                 budget,
+                satellite_id=state.satellite_id,
             )
         state.last_visit_days = event.visit.t_days
 

@@ -1,0 +1,258 @@
+"""Epoch-synchronized ground state: the journal that makes sharding exact.
+
+The simulation's only cross-satellite coupling is ground-segment state:
+the shared :class:`~repro.core.reference.GroundMosaic` (every satellite's
+downloads feed every other satellite's references) and the
+constellation-wide guaranteed-download ledger.  A naive satellite
+partition breaks both — shard A's ingests would be invisible to shard B —
+so sharded execution runs the ground segment in *epoch-synchronized*
+mode (``EarthPlusConfig.ground_sync_days > 0``):
+
+* within an epoch, ground-state **writes** (mosaic ingests, guarantee
+  marks) are journaled instead of applied, and **reads** see the state as
+  of the last synchronization;
+* at each epoch boundary, every shard's journal is merged, sorted into
+  the canonical visit order (:func:`repro.orbit.schedule.visit_order_key`
+  extended per entry), and applied identically by every shard.
+
+Because reads never observe un-synchronized writes and the boundary
+application order is a pure function of the journal contents, the final
+state — and therefore every downstream byte — is invariant to how
+satellites are partitioned.  A sequential run with the same
+``ground_sync_days`` journals and applies through this very module, so
+``shards=N`` is pickle-byte-identical to ``shards=1`` by construction
+(differential-tested in ``tests/integration/test_sharded_sim.py``).
+
+The sync cadence is *semantics* (it changes which references a satellite
+plans against, so it is part of the spec's content key); the shard count
+is *engine configuration* (it never changes results, so the store
+excludes it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.orbit.schedule import Visit
+
+__all__ = [
+    "MosaicIngest",
+    "GuaranteeMark",
+    "GroundJournal",
+    "GuaranteeView",
+    "apply_marks",
+    "canonical_ingests",
+    "canonical_marks",
+    "epoch_index",
+    "group_visits_by_epoch",
+]
+
+
+@dataclass
+class MosaicIngest:
+    """One journaled mosaic write (a deferred ``ingest_tiles`` call).
+
+    Attributes:
+        t_days: Capture time (leads the canonical ordering).
+        location: Target location.
+        satellite_id: Satellite whose download produced the content.
+        band: Target band name.
+        image: Full-resolution normalized content to write.
+        tile_mask: Boolean tile grid of tiles to take.
+        pixel_valid: Optional pixel mask (cloudy pixels keep old content).
+    """
+
+    t_days: float
+    location: str
+    satellite_id: int
+    band: str
+    image: np.ndarray
+    tile_mask: np.ndarray
+    pixel_valid: np.ndarray | None
+
+
+@dataclass
+class GuaranteeMark:
+    """One journaled guarantee-ledger write.
+
+    ``armed=True`` records a guaranteed download at ``t_days`` (the ledger
+    maps the location to that time); ``armed=False`` re-arms the promise
+    (the downlink deferred the guaranteed capture, so the mark is cleared
+    and the guarantee fires again on the next eligible capture).
+    """
+
+    t_days: float
+    location: str
+    satellite_id: int
+    armed: bool
+
+
+def canonical_ingests(entries: list[MosaicIngest]) -> list[MosaicIngest]:
+    """Mosaic writes in canonical apply order.
+
+    The visit order key ``(t, location, satellite)`` extended by band:
+    entries from one visit touch distinct (location, band) mosaic keys,
+    so the band tiebreak only pins a deterministic order, it never
+    changes the outcome.
+    """
+    return sorted(
+        entries,
+        key=lambda e: (e.t_days, e.location, e.satellite_id, e.band),
+    )
+
+
+def canonical_marks(entries: list[GuaranteeMark]) -> list[GuaranteeMark]:
+    """Guarantee writes in canonical apply order.
+
+    One visit nets at most one mark per location (:class:`GroundJournal`
+    collapses a set-then-clear pair at the source), so the visit key is a
+    total order here.
+    """
+    return sorted(
+        entries, key=lambda e: (e.t_days, e.location, e.satellite_id)
+    )
+
+
+def apply_marks(ledger: dict[str, float], marks: list[GuaranteeMark]) -> None:
+    """Apply merged guarantee marks to the base ledger, in the given order."""
+    for mark in marks:
+        if mark.armed:
+            ledger[mark.location] = mark.t_days
+        else:
+            ledger.pop(mark.location, None)
+
+
+class GroundJournal:
+    """Per-shard buffer of un-synchronized ground-state writes.
+
+    One journal serves one shard (one process): the ground segment routes
+    mosaic writes into :meth:`add_ingest` and every satellite's
+    :class:`GuaranteeView` routes ledger writes into
+    :meth:`mark_set`/:meth:`mark_clear`.  :meth:`drain` hands the epoch's
+    writes to the synchronizer and resets the buffer.
+    """
+
+    def __init__(self) -> None:
+        self.ingests: list[MosaicIngest] = []
+        self.marks: list[GuaranteeMark] = []
+
+    def add_ingest(self, entry: MosaicIngest) -> None:
+        """Journal one mosaic write."""
+        self.ingests.append(entry)
+
+    def mark_set(self, t_days: float, location: str, satellite_id: int) -> None:
+        """Journal a guaranteed download at ``t_days``."""
+        self.marks.append(
+            GuaranteeMark(
+                t_days=t_days,
+                location=location,
+                satellite_id=satellite_id,
+                armed=True,
+            )
+        )
+
+    def mark_clear(self, location: str, satellite_id: int) -> None:
+        """Journal a guarantee re-arm (deferred guaranteed download).
+
+        The clear always follows this visit's own set (the downlink phase
+        defers the capture whose guarantee the capture phase just marked),
+        so the pending set is collapsed into a single clear entry at the
+        same time — one net mark per visit keeps the canonical order
+        total.
+        """
+        for index in range(len(self.marks) - 1, -1, -1):
+            pending = self.marks[index]
+            if (
+                pending.location == location
+                and pending.satellite_id == satellite_id
+                and pending.armed
+            ):
+                self.marks[index] = GuaranteeMark(
+                    t_days=pending.t_days,
+                    location=location,
+                    satellite_id=satellite_id,
+                    armed=False,
+                )
+                return
+        raise PipelineError(
+            f"guarantee re-arm for {location!r} without a pending mark "
+            f"from satellite {satellite_id} in this epoch"
+        )
+
+    def drain(self) -> tuple[list[MosaicIngest], list[GuaranteeMark]]:
+        """This epoch's writes; the journal is reset for the next epoch."""
+        ingests, marks = self.ingests, self.marks
+        self.ingests = []
+        self.marks = []
+        return ingests, marks
+
+
+class GuaranteeView:
+    """One satellite's dict-like window onto the guarantee ledger.
+
+    Reads (:meth:`get`) see the epoch-base ledger — the state as of the
+    last synchronization — while writes are journaled with this
+    satellite's identity for canonical merging.  The phase kernel uses
+    only ``get``/``__setitem__``/``pop``, exactly the dict operations the
+    plain (always-synchronized) ledger sees, so phases are agnostic to
+    which mode they run in.
+    """
+
+    def __init__(
+        self, base: dict[str, float], journal: GroundJournal, satellite_id: int
+    ) -> None:
+        self._base = base
+        self._journal = journal
+        self._satellite_id = satellite_id
+
+    def get(self, location: str, default: float | None = None):
+        """The epoch-base mark for ``location`` (pending writes unseen)."""
+        return self._base.get(location, default)
+
+    def __setitem__(self, location: str, t_days: float) -> None:
+        self._journal.mark_set(t_days, location, self._satellite_id)
+
+    def pop(self, location: str, default: float | None = None):
+        self._journal.mark_clear(location, self._satellite_id)
+        return default
+
+
+def epoch_index(t_days: float, sync_days: float) -> int:
+    """Which synchronization epoch a time falls into."""
+    return int(math.floor(t_days / sync_days))
+
+
+def group_visits_by_epoch(
+    visits: list[Visit], sync_days: float
+) -> list[tuple[int, list[Visit]]]:
+    """Canonically-ordered visits grouped into synchronization epochs.
+
+    Computed from the *full* schedule so every shard derives the same
+    epoch sequence and exchanges journals the same number of times;
+    globally-empty epochs are skipped (no visit anywhere means no state
+    to reconcile).
+
+    Args:
+        visits: The full schedule in canonical order
+            (``VisitSchedule.all_visits_sorted()``).
+        sync_days: Synchronization cadence (> 0).
+
+    Returns:
+        ``(epoch_index, visits)`` pairs, epoch-ascending.
+    """
+    if sync_days <= 0:
+        raise PipelineError(
+            f"sync_days must be > 0 for epoch grouping, got {sync_days}"
+        )
+    groups: list[tuple[int, list[Visit]]] = []
+    for visit in visits:
+        index = epoch_index(visit.t_days, sync_days)
+        if groups and groups[-1][0] == index:
+            groups[-1][1].append(visit)
+        else:
+            groups.append((index, [visit]))
+    return groups

@@ -195,30 +195,114 @@ class ConstellationSimulator:
         phases.append(IngestPhase(ground=self.ground))
         return phases
 
-    def run(self) -> RunResult:
-        """Simulate the full schedule and return aggregated results.
+    def run(
+        self,
+        satellite_ids: Sequence[int] | None = None,
+        epoch_sync: Callable | None = None,
+    ) -> RunResult:
+        """Simulate the schedule (or one shard of it) and aggregate results.
 
         The global visit ordering is memoized on the schedule, so repeated
         runs over one dataset (policy comparisons, seed sweeps) sort it
         once instead of once per run.  When a profiler is installed (see
         :mod:`repro.perf`) each phase's wall time is recorded under the
         phase's name.
+
+        With ``config.ground_sync_days > 0`` the run is
+        epoch-synchronized (see :mod:`repro.core.sharding`): ground-state
+        writes journal within each epoch and apply at epoch boundaries in
+        canonical visit order.  That mode accepts two sharding hooks:
+
+        Args:
+            satellite_ids: Simulate only these satellites' visits (one
+                shard of a partitioned run).  The epoch sequence still
+                follows the full schedule, so every shard synchronizes
+                the same number of times.  None simulates everything.
+            epoch_sync: Called at every epoch boundary with
+                ``(epoch_index, ingests, marks)`` — this shard's drained
+                journal — and returns the merged ``(ingests, marks)`` to
+                apply (the sharded runner's all-to-all exchange).  None
+                applies the local journal directly; both paths sort
+                canonically before applying, which is why a sequential
+                synced run equals any sharded one byte-for-byte.
+
+        Raises:
+            ConfigError: When sharding hooks are passed without
+                ``ground_sync_days`` (the legacy continuous mode has no
+                consistent way to partition satellites).
         """
+        if self.config.ground_sync_days > 0:
+            return self._run_synced(satellite_ids, epoch_sync)
+        if satellite_ids is not None or epoch_sync is not None:
+            raise ConfigError(
+                "sharded execution requires epoch-synchronized ground "
+                "state; set config.ground_sync_days > 0 (e.g. 1.0)"
+            )
         state = ConstellationState(self.policy_factory)
         phases = self.build_phases()
-        metrics = MetricsAccumulator(
+        metrics = self._build_metrics()
+        for visit in self.schedule.all_visits_sorted():
+            self._simulate_visit(visit, state, phases, metrics)
+        return self._finalize(metrics)
+
+    def _run_synced(
+        self,
+        satellite_ids: Sequence[int] | None,
+        epoch_sync: Callable | None,
+    ) -> RunResult:
+        """The epoch-synchronized loop: simulate, drain, sync, apply."""
+        from repro.core.sharding import (
+            GroundJournal,
+            apply_marks,
+            canonical_ingests,
+            canonical_marks,
+            group_visits_by_epoch,
+        )
+
+        journal = GroundJournal()
+        self.ground.enable_sync_journal(journal)
+        state = ConstellationState(
+            self.policy_factory, guarantee_journal=journal
+        )
+        phases = self.build_phases()
+        metrics = self._build_metrics()
+        own = None if satellite_ids is None else frozenset(satellite_ids)
+        epochs = group_visits_by_epoch(
+            self.schedule.all_visits_sorted(), self.config.ground_sync_days
+        )
+        for epoch, visits in epochs:
+            for visit in visits:
+                if own is not None and visit.satellite_id not in own:
+                    continue
+                self._simulate_visit(visit, state, phases, metrics)
+            ingests, marks = journal.drain()
+            if epoch_sync is not None:
+                ingests, marks = epoch_sync(epoch, ingests, marks)
+            else:
+                ingests = canonical_ingests(ingests)
+                marks = canonical_marks(marks)
+            with perf.profiled("sync"):
+                self.ground.apply_ingests(ingests)
+                apply_marks(state._last_guaranteed, marks)
+        return self._finalize(metrics)
+
+    def _simulate_visit(self, visit, state, phases, metrics) -> None:
+        event = VisitEvent(
+            visit=visit, state=state.for_satellite(visit.satellite_id)
+        )
+        for phase in phases:
+            with perf.profiled(phase.name):
+                phase.run(event)
+        metrics.observe(event)
+
+    def _build_metrics(self) -> MetricsAccumulator:
+        return MetricsAccumulator(
             contacts_per_day=self.contacts_per_day,
             contact_duration_s=self.contact_duration_s,
             collectors=self.collectors,
         )
-        for visit in self.schedule.all_visits_sorted():
-            event = VisitEvent(
-                visit=visit, state=state.for_satellite(visit.satellite_id)
-            )
-            for phase in phases:
-                with perf.profiled(phase.name):
-                    phase.run(event)
-            metrics.observe(event)
+
+    def _finalize(self, metrics: MetricsAccumulator) -> RunResult:
         return metrics.finalize(
             horizon_days=self.schedule.horizon_days,
             uplink_bytes=self.ground.stats.bytes_sent,

@@ -31,6 +31,20 @@ class Visit:
     location: str
 
 
+def visit_order_key(visit: Visit) -> tuple[float, str, int]:
+    """The canonical total order on visits: ``(time, location, satellite)``.
+
+    Every consumer that needs a reproducible global ordering — the
+    simulator's event loop, sharded-run record merging, epoch journal
+    replay — sorts by this one key, so a merged multi-shard run interleaves
+    events exactly as the sequential kernel does.  Time leads (the
+    simulation is causal); location and satellite id break the
+    measure-zero ties between distinct passes that share a float
+    timestamp.
+    """
+    return (visit.t_days, visit.location, visit.satellite_id)
+
+
 @dataclass
 class VisitSchedule:
     """All visits for all locations within a horizon.
@@ -141,10 +155,57 @@ class VisitSchedule:
             merged: list[Visit] = []
             for entries in self.visits.values():
                 merged.extend(entries)
-            merged.sort(key=lambda v: v.t_days)
+            merged.sort(key=visit_order_key)
             self._sorted_cache = merged
         return self._sorted_cache
 
     def invalidate_order(self) -> None:
         """Drop the memoized global ordering (after mutating ``visits``)."""
         self._sorted_cache = None
+
+    def satellite_ids(self) -> list[int]:
+        """Every satellite id appearing in the schedule, ascending."""
+        ids = {
+            v.satellite_id
+            for entries in self.visits.values()
+            for v in entries
+        }
+        return sorted(ids)
+
+    def visit_counts(self) -> dict[int, int]:
+        """Number of scheduled visits per satellite id."""
+        counts: dict[int, int] = {}
+        for entries in self.visits.values():
+            for v in entries:
+                counts[v.satellite_id] = counts.get(v.satellite_id, 0) + 1
+        return counts
+
+    def partition_satellites(self, shards: int) -> list[list[int]]:
+        """Deterministic satellite-to-shard assignment for sharded runs.
+
+        Longest-processing-time greedy: satellites are placed heaviest
+        visit-count first onto the currently-lightest shard, with all ties
+        broken by index, so every process computes the identical
+        partition from the same schedule.  The assignment only affects
+        load balance, never results — an epoch-synchronized run is
+        shard-count-invariant by construction.
+
+        Empty shards are dropped (``shards`` above the satellite count
+        degrades gracefully), so the returned list may be shorter than
+        requested.  Shard order follows each shard's smallest satellite
+        id for a stable, readable numbering.
+        """
+        if shards < 1:
+            raise ScheduleError(f"shards must be >= 1, got {shards}")
+        counts = self.visit_counts()
+        # Heaviest first; ties by ascending id for determinism.
+        order = sorted(counts, key=lambda sid: (-counts[sid], sid))
+        loads = [0] * shards
+        buckets: list[list[int]] = [[] for _ in range(shards)]
+        for sid in order:
+            target = min(range(shards), key=lambda i: (loads[i], i))
+            buckets[target].append(sid)
+            loads[target] += counts[sid]
+        filled = [sorted(bucket) for bucket in buckets if bucket]
+        filled.sort(key=lambda bucket: bucket[0])
+        return filled

@@ -96,6 +96,34 @@ def _env_flag_lenient(name: str, default: bool) -> bool:
 _FASTPATH = _env_flag_lenient("REPRO_SIM_FASTPATH", True)
 
 
+def sim_shards() -> int:
+    """Default shard count for single-scenario sharding (``REPRO_SIM_SHARDS``).
+
+    Read at call time (not import time) so tests and notebooks can flip
+    the variable per run.  The shard count is engine configuration — it
+    never changes results (see :mod:`repro.core.sharding`) — so callers
+    that omit an explicit ``shards=`` pick this up transparently.
+
+    Returns:
+        The configured shard count (>= 1); 1 (sequential) when unset.
+
+    Raises:
+        ValueError: For a set value that is not a positive integer.
+    """
+    raw = os.environ.get("REPRO_SIM_SHARDS")
+    if raw is None or raw.strip() == "":
+        return 1
+    try:
+        shards = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SIM_SHARDS={raw!r} is not an integer shard count"
+        ) from None
+    if shards < 1:
+        raise ValueError(f"REPRO_SIM_SHARDS must be >= 1, got {shards}")
+    return shards
+
+
 def simulation_fastpath() -> bool:
     """Whether the vectorized/batched/cached simulation paths are active."""
     return _FASTPATH

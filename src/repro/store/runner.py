@@ -84,6 +84,7 @@ def run_scenarios_cached(
     max_workers: int | None = None,
     store: ExperimentStore | None = ENV_DEFAULT,  # type: ignore[assignment]
     refresh: bool = False,
+    shards: int | None = None,
 ) -> CachedSweep:
     """Execute a batch through the experiment store.
 
@@ -99,6 +100,11 @@ def run_scenarios_cached(
             :data:`ENV_DEFAULT` to resolve from ``REPRO_STORE``.
         refresh: Ignore existing entries and re-simulate everything
             (results still persist, overwriting).
+        shards: When > 1, shard each simulated scenario across worker
+            processes (see
+            :func:`~repro.analysis.scenarios.run_scenario_sharded`).
+            The shard count never enters content keys — a sharded run
+            hits, and is hit by, sequential entries.
 
     Returns:
         The :class:`CachedSweep` (``.results`` is the per-spec list).
@@ -162,6 +168,7 @@ def run_scenarios_cached(
         [specs[index] for index in pending],
         max_workers=max_workers,
         on_result=persist,
+        shards=shards,
     )
     # Fan shared-key results out to duplicate specs.
     by_key = {
@@ -188,13 +195,17 @@ def run_scenario_cached(
     spec: ScenarioSpec,
     store: ExperimentStore | None = ENV_DEFAULT,  # type: ignore[assignment]
     refresh: bool = False,
+    shards: int | None = None,
 ) -> RunResult:
     """The cached analog of :func:`~repro.analysis.scenarios.run_scenario`.
 
     Unlike the batch runner, failures propagate unwrapped — exactly as
     ``run_scenario`` raises them — so single-run callers
     (:func:`~repro.analysis.experiments.run_policy`, ``repro simulate``)
-    keep their original exception contracts.
+    keep their original exception contracts.  ``shards > 1`` simulates
+    through :func:`~repro.analysis.scenarios.run_scenario_sharded`;
+    because sharding never changes bytes, the persisted entry is
+    indistinguishable from a sequential run's.
     """
     store = _resolve(store)
     key = None
@@ -207,7 +218,10 @@ def run_scenario_cached(
         hit = store.get(key)
         if hit is not None:
             return hit
-    result = scenarios.run_scenario(spec)
+    if shards is not None and shards > 1:
+        result = scenarios.run_scenario_sharded(spec, shards=shards)
+    else:
+        result = scenarios.run_scenario(spec)
     if key is not None:
         try:
             store.put(spec, result, key=key)

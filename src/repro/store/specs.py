@@ -44,7 +44,11 @@ from repro.orbit.links import FluctuationModel
 #: Old entries stop matching; the store never migrates payloads.
 #: 2: the downlink budget is enforced (DownlinkPhase; RunResult gained
 #: downlink_stats and per-record downlink columns).
-SCHEMA_VERSION = 2
+#: 3: EarthPlusConfig gained ground_sync_days (epoch-synchronized ground
+#: state — semantics, so it keys) and the canonical visit ordering
+#: tie-breaks by (location, satellite), not time alone.  The shard count
+#: deliberately does NOT enter the key: sharding never changes results.
+SCHEMA_VERSION = 3
 
 
 def _leaf(value):

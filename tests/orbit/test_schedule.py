@@ -72,6 +72,40 @@ class TestRevisitGaps:
         assert gaps.size == 0
 
 
+class TestPartitioning:
+    def test_buckets_cover_every_satellite_once(self, schedule):
+        buckets = schedule.partition_satellites(2)
+        flat = [sat for bucket in buckets for sat in bucket]
+        assert sorted(flat) == sorted(schedule.satellite_ids())
+        assert len(flat) == len(set(flat))
+
+    def test_deterministic(self, schedule):
+        assert schedule.partition_satellites(2) == (
+            schedule.partition_satellites(2)
+        )
+
+    def test_single_bucket_is_everything(self, schedule):
+        assert schedule.partition_satellites(1) == [
+            list(schedule.satellite_ids())
+        ]
+
+    def test_more_shards_than_satellites_drops_empties(self, schedule):
+        buckets = schedule.partition_satellites(50)
+        assert len(buckets) == len(schedule.satellite_ids())
+        assert all(len(bucket) == 1 for bucket in buckets)
+
+    def test_balanced_by_visit_count(self, schedule):
+        counts = schedule.visit_counts()
+        buckets = schedule.partition_satellites(3)
+        loads = [sum(counts[sat] for sat in bucket) for bucket in buckets]
+        # Greedy LPT keeps the spread within the heaviest single item.
+        assert max(loads) - min(loads) <= max(counts.values())
+
+    def test_rejects_nonpositive_shards(self, schedule):
+        with pytest.raises(ScheduleError):
+            schedule.partition_satellites(0)
+
+
 def test_manual_schedule_construction():
     visits = {
         "p": [

@@ -41,12 +41,12 @@ BASE_DATASET = DatasetSpec.of(
 
 BASE_SPEC = ScenarioSpec(policy="earthplus", dataset=BASE_DATASET, seed=3)
 
-#: Key of BASE_SPEC under schema version 2, pinned so accidental
+#: Key of BASE_SPEC under schema version 3, pinned so accidental
 #: canonicalization changes (which would orphan every existing store
 #: entry) fail loudly.  A deliberate change must bump SCHEMA_VERSION —
 #: then regenerate with: python -c "from repro.store.specs import
 #: spec_key; ..." on the spec above.
-GOLDEN_KEY = "54b8489acef021c9cd5e8b3335896b35a921b191f336d9769cd564f273442490"
+GOLDEN_KEY = "715ad9c3606af2e85c55c374549853e5295c4719afd213610f66b1a48c1dd29d"
 
 _param_leaves = (
     st.integers(-1000, 1000)
@@ -203,6 +203,7 @@ class TestSensitivity:
             "cache_references_onboard": False,
             "delta_reference_updates": False,
             "n_quality_layers": 2,
+            "ground_sync_days": 1.0,
             "reference_bytes_per_pixel": 2,
             "raw_bytes_per_pixel": 1,
             "codec_backend": "vectorized",
