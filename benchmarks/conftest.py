@@ -48,6 +48,23 @@ def emit(results_dir):
     return _emit
 
 
+@pytest.fixture()
+def emit_json(results_dir):
+    """Persist machine-readable benchmark numbers (CI artifacts).
+
+    Written as ``BENCH_<name>.json`` next to the human-readable tables so
+    CI can upload them and downstream tooling can diff runs without
+    parsing the text reports.
+    """
+    import json
+
+    def _emit(name: str, payload: dict) -> None:
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    return _emit
+
+
 def run_once(benchmark, fn):
     """Run an experiment exactly once under the benchmark fixture."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

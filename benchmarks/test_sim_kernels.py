@@ -145,7 +145,7 @@ def _ratemodel_timings(rng) -> dict[str, float]:
     return {"ratemodel_reference": reference, "ratemodel_fast": fast}
 
 
-def test_sim_fastpath_end_to_end(benchmark, emit, bench_scale):
+def test_sim_fastpath_end_to_end(benchmark, emit, emit_json, bench_scale):
     # The full Figure-13 horizon at both scales: the reference path's
     # per-capture change-patch recomposition grows with horizon (the fast
     # path caches it), so a shorter horizon would understate the scenario
@@ -229,6 +229,20 @@ def test_sim_fastpath_end_to_end(benchmark, emit, bench_scale):
         + f"\nend_to_end_speedup: {speedup:.2f}"
         + f"\nratemodel_speedup: {rm_speedup:.2f}"
         + f"\ndwt_batched_speedup: {dwt_speedup:.2f}",
+    )
+    emit_json(
+        "fig13",
+        {
+            "horizon_days": horizon,
+            "policies": list(_POLICIES),
+            "reference_seconds": ref_s,
+            "fast_seconds": fast_s,
+            "end_to_end_speedup": speedup,
+            "kernel_seconds": kernels,
+            "ratemodel_speedup": rm_speedup,
+            "dwt_batched_speedup": dwt_speedup,
+            "committed_baseline_speedup": committed,
+        },
     )
     # The fast path is a pure performance change: byte-identical metrics.
     assert _identical(ref_results, fast_results), (

@@ -95,9 +95,13 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="bits per downloaded pixel (the paper's gamma)",
     )
     parser.add_argument(
-        "--codec", choices=("model", "real", "vectorized"), default="model",
-        help="fast rate model, full arithmetic-coded codec, or its "
-        "bit-exact vectorized fast path",
+        "--codec",
+        choices=("model", "real", "reference", "vectorized", "compiled"),
+        default="model",
+        help="fast rate model ('model') or the full arithmetic-coded codec "
+        "on a registered engine: 'reference' (per-bit), 'vectorized' "
+        "(batched numpy), 'compiled' (native kernels), or 'real' (best "
+        "engine available) — all engines are bit-exact",
     )
     parser.add_argument(
         "--layers", type=int, default=1,

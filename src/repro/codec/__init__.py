@@ -13,7 +13,9 @@ package implements the codec for real, in numpy:
 * embedded bit-plane coding with previous-plane significance contexts,
   driving an adaptive binary arithmetic (range) coder
   (:mod:`repro.codec.bitplane`, :mod:`repro.codec.arith`), plus a
-  byte-identical vectorized fast path (:mod:`repro.codec.fastpath`);
+  byte-identical vectorized fast path (:mod:`repro.codec.fastpath`) and a
+  native compiled engine (:mod:`repro.codec.compiled`), all registered
+  behind one backend registry (:mod:`repro.codec.registry`);
 * a tile/image codec with region-of-interest tile selection, post-compression
   rate-distortion truncation, and quality layers
   (:mod:`repro.codec.jpeg2000`);
@@ -24,6 +26,7 @@ Encode→decode round-trips are exact within the quantizer bound, and the 5/3
 path is bit-exact lossless — both are property-tested.
 """
 
+from repro.codec import registry
 from repro.codec.metrics import psnr, mse, compression_ratio
 from repro.codec.dwt import (
     forward_dwt2d,
@@ -45,6 +48,7 @@ from repro.codec.jpeg2000 import (
 from repro.codec.ratemodel import RateModel, RateModelResult
 
 __all__ = [
+    "registry",
     "psnr",
     "mse",
     "compression_ratio",

@@ -435,9 +435,68 @@ def _synthesis_97_vectorized(
     return signal
 
 
+def _native_analysis(
+    signal: np.ndarray, dtype: type, kernel_name: str
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Run one analysis pass on the compiled kernels, or None to fall back.
+
+    The kernels work on a contiguous ``(length, m)`` layout; any trailing
+    axes are flattened in and restored on the way out.  They are exact
+    ports of the vectorized lifting (compiled without FP contraction), so
+    results are bit-identical — the differential tests enforce it.
+    """
+    from repro.codec import registry
+
+    kernels = registry.kernels()
+    if (
+        kernels is None
+        or signal.ndim < 1
+        or signal.shape[0] < 2
+        or signal.dtype != dtype
+    ):
+        return None
+    length = signal.shape[0]
+    rest = signal.shape[1:]
+    flat = np.ascontiguousarray(signal.reshape(length, -1))
+    even, odd = getattr(kernels, kernel_name)(flat)
+    return (
+        even.reshape(((length + 1) // 2,) + rest),
+        odd.reshape((length // 2,) + rest),
+    )
+
+
+def _native_synthesis(
+    approx: np.ndarray,
+    detail: np.ndarray,
+    length: int,
+    dtype: type,
+    kernel_name: str,
+) -> "np.ndarray | None":
+    """Synthesis counterpart of :func:`_native_analysis`."""
+    from repro.codec import registry
+
+    kernels = registry.kernels()
+    if (
+        kernels is None
+        or length < 2
+        or approx.ndim < 1
+        or approx.dtype != dtype
+        or detail.dtype != dtype
+    ):
+        return None
+    rest = approx.shape[1:]
+    approx_flat = np.ascontiguousarray(approx.reshape(approx.shape[0], -1))
+    detail_flat = np.ascontiguousarray(detail.reshape(detail.shape[0], -1))
+    merged = getattr(kernels, kernel_name)(approx_flat, detail_flat, length)
+    return merged.reshape((length,) + rest)
+
+
 def _analysis_53(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """5/3 analysis, dispatched on the simulation fast-path switch."""
     if perf.simulation_fastpath():
+        native = _native_analysis(signal, np.int64, "dwt53_analysis")
+        if native is not None:
+            return native
         return _analysis_53_vectorized(signal)
     return _analysis_53_reference(signal)
 
@@ -447,6 +506,11 @@ def _synthesis_53(
 ) -> np.ndarray:
     """5/3 synthesis, dispatched on the simulation fast-path switch."""
     if perf.simulation_fastpath():
+        native = _native_synthesis(
+            approx, detail, length, np.int64, "dwt53_synthesis"
+        )
+        if native is not None:
+            return native
         return _synthesis_53_vectorized(approx, detail, length)
     return _synthesis_53_reference(approx, detail, length)
 
@@ -454,6 +518,9 @@ def _synthesis_53(
 def _analysis_97(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """9/7 analysis, dispatched on the simulation fast-path switch."""
     if perf.simulation_fastpath():
+        native = _native_analysis(signal, np.float64, "dwt97_analysis")
+        if native is not None:
+            return native
         return _analysis_97_vectorized(signal)
     return _analysis_97_reference(signal)
 
@@ -463,6 +530,11 @@ def _synthesis_97(
 ) -> np.ndarray:
     """9/7 synthesis, dispatched on the simulation fast-path switch."""
     if perf.simulation_fastpath():
+        native = _native_synthesis(
+            approx, detail, length, np.float64, "dwt97_synthesis"
+        )
+        if native is not None:
+            return native
         return _synthesis_97_vectorized(approx, detail, length)
     return _synthesis_97_reference(approx, detail, length)
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.codec import registry
 from repro.codec.bitplane import PlaneSegment, SubbandPlaneCoder
 from repro.codec.bitstream import BitReader, BitWriter
 from repro.codec.fastpath import VectorizedPlaneCoder
@@ -39,12 +40,23 @@ from repro.errors import BitstreamError, CodecError, RateControlError
 
 _MAGIC = b"EPJ2"
 
-#: Entropy-coding backends: both produce byte-identical bitstreams (enforced
-#: by the differential test harness); "vectorized" is the fast path.
-PLANE_CODER_BACKENDS = {
-    "reference": SubbandPlaneCoder,
-    "vectorized": VectorizedPlaneCoder,
-}
+
+def _plane_coder_backends() -> dict:
+    """Backwards-compatible view of the registry (name -> coder factory).
+
+    The registry (:mod:`repro.codec.registry`) is the source of truth;
+    this module-level mapping survives for callers that used to import
+    ``PLANE_CODER_BACKENDS`` directly.
+    """
+    return {
+        name: registry.get(name).coder_factory for name in registry.names()
+    }
+
+
+#: Entropy-coding backends: all produce byte-identical bitstreams (enforced
+#: by the differential test harness).  Deprecated alias — use
+#: ``repro.codec.registry`` instead.
+PLANE_CODER_BACKENDS = _plane_coder_backends()
 
 
 def subband_shapes(
@@ -308,9 +320,13 @@ class ImageCodec:
     Args:
         config: Codec parameters; defaults match the paper's setup
             (64x64 tiles, 3-level 9/7).
-        backend: Entropy-coding backend, ``"reference"`` (per-bit adaptive
-            coder) or ``"vectorized"`` (batched fast path).  The two are
-            bit-exact: identical bitstreams, identical reconstructions.
+        backend: Entropy-coding engine name from the backend registry
+            (``"reference"``, ``"vectorized"``, ``"compiled"``, or the
+            ``"real"`` best-available alias).  ``None`` (default) resolves
+            through the registry precedence chain — explicit argument,
+            then ``$REPRO_CODEC_BACKEND``, then ``"reference"``.  All
+            engines are bit-exact: identical bitstreams, identical
+            reconstructions.
         parallel_tiles: Worker processes for the tile-level parallel
             encode/decode driver; ``1`` (default) runs in-process.  Tiles
             are independent, so parallel results are byte-identical to
@@ -320,22 +336,18 @@ class ImageCodec:
     def __init__(
         self,
         config: CodecConfig | None = None,
-        backend: str = "reference",
+        backend: str | None = None,
         parallel_tiles: int = 1,
     ) -> None:
         self.config = config if config is not None else CodecConfig()
-        if backend not in PLANE_CODER_BACKENDS:
-            raise CodecError(
-                f"backend must be one of {sorted(PLANE_CODER_BACKENDS)}, "
-                f"got {backend!r}"
-            )
+        resolved = registry.resolve(explicit=backend)
         if parallel_tiles < 1:
             raise CodecError(
                 f"parallel_tiles must be >= 1, got {parallel_tiles}"
             )
-        self.backend = backend
+        self.backend = resolved.name
         self.parallel_tiles = parallel_tiles
-        self._coder_cls = PLANE_CODER_BACKENDS[backend]
+        self._coder_cls = resolved.coder_factory
         self._pool = None
 
     # ------------------------------------------------------------------
@@ -627,13 +639,33 @@ class ImageCodec:
         to a serial run — the differential tests assert byte equality.  The
         pool is created lazily and reused across calls: a simulation encodes
         one image per capture, and paying worker spawn per image would undo
-        the parallel win.  (The interpreter reaps it at exit.)
+        the parallel win.  Call :meth:`close` (or use the codec as a
+        context manager) to shut the workers down deterministically.
         """
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
             self._pool = ProcessPoolExecutor(max_workers=self.parallel_tiles)
         return list(self._pool.map(job, args_list))
+
+    def close(self) -> None:
+        """Shut down the tile-worker pool (idempotent; no-op when serial).
+
+        The pool used to be left for interpreter exit to reap, which
+        leaked worker processes for every codec instance with
+        ``parallel_tiles > 1``; owners now close codecs deterministically.
+        The codec remains usable — the next parallel call re-creates the
+        pool lazily.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ImageCodec":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __getstate__(self) -> dict:
         # Executors are process-local; a codec shipped to a worker (e.g. by

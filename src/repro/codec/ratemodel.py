@@ -30,6 +30,7 @@ from typing import Callable
 import numpy as np
 
 from repro import perf
+from repro.codec import registry
 from repro.codec.dwt import (
     Wavelet,
     WaveletCoeffs,
@@ -135,6 +136,18 @@ def _magnitude_histogram(
     — replicate the wrap exactly by deferring to the signed path.
     """
     n_tiles = band_stack.shape[0]
+    kernels = registry.kernels()
+    if kernels is not None and band_stack.dtype == np.float64 and n_tiles:
+        # Fused native path: floor/abs/divide/top-bit/bincount in one pass
+        # (same float ops, exact for the integer-valued magnitudes).
+        flat = np.ascontiguousarray(band_stack.reshape(n_tiles, -1))
+        counts_raw, tops = kernels.magnitude_histogram(flat, step)
+        size = flat.shape[1]
+        max_top = int(tops.max())
+        if size and max_top >= 31:
+            return _topbit_histogram(_quantize_stack(band_stack, step))
+        n_bins = max(max_top, 0) + 1
+        return np.ascontiguousarray(counts_raw[:, :n_bins]), tops, size
     magnitude = np.floor(np.abs(band_stack) / step).reshape(n_tiles, -1)
     counts, tops, size = _histogram_from_magnitudes(magnitude)
     if size and int(tops.max()) >= 31:
@@ -195,6 +208,18 @@ def _plane_walk_bits(
     n_insig_mat = sizes_f[:, None] - n_sig_mat
     safe_insig = np.where(n_insig_mat > 0, n_insig_mat, 1.0)
     entropy_mat = _binary_entropy(k_mat / safe_insig)
+    kernels = registry.kernels()
+    if kernels is not None:
+        # Native walk over the same precomputed entropy matrix (np.log2
+        # stays in numpy so transcendental rounding cannot drift); the
+        # per-plane integer statistics and the three accumulator
+        # additions replay in the exact numpy order.
+        return kernels.plane_walk_bits(
+            np.ascontiguousarray(counts, dtype=np.int64),
+            np.ascontiguousarray(tops, dtype=np.int64),
+            np.ascontiguousarray(sizes, dtype=np.int64),
+            np.ascontiguousarray(entropy_mat),
+        )
     zero = np.zeros(n_rows, dtype=np.float64)
     for plane in range(n_planes - 1, -1, -1):
         # Rows whose top plane is below `plane` must contribute nothing —
@@ -301,8 +326,14 @@ def _plan_from_entries(entries) -> list[tuple]:
     for indices in groups.values():
         subband_lists = [entries[i][5].subbands() for i in indices]
         meta = [(n, l) for n, l, _ in subband_lists[0]]
+        # np.stack preserves the F-ish order of dwt_many's subband views;
+        # force C order so every downstream consumer (histogram kernels,
+        # quantize, per-tile slicing) gets contiguous rows.  A pure copy:
+        # same logical values, so every elementwise op stays bit-exact.
         stacks = [
-            np.stack([bands[b][2] for bands in subband_lists])
+            np.ascontiguousarray(
+                np.stack([bands[b][2] for bands in subband_lists])
+            )
             for b in range(len(meta))
         ]
         plan.append((indices, meta, stacks))
@@ -323,12 +354,144 @@ def _dequantize_stack(
     band_q_stack: np.ndarray, step: float, reconstruction_offset: float = 0.5
 ) -> np.ndarray:
     """Elementwise twin of :func:`~repro.codec.quantize.dequantize_coeffs`."""
+    kernels = registry.kernels()
+    if kernels is not None and band_q_stack.dtype == np.int32:
+        flat = np.ascontiguousarray(band_q_stack)
+        return kernels.dequantize(flat, step, reconstruction_offset)
     magnitudes = np.abs(band_q_stack).astype(np.float64)
     return np.where(
         band_q_stack != 0,
         np.sign(band_q_stack) * (magnitudes + reconstruction_offset) * step,
         0.0,
     )
+
+
+def _dequantize_blocks(
+    blocks: "list[np.ndarray]",
+    steps: "list[float]",
+    reconstruction_offset: float = 0.5,
+) -> "list[np.ndarray]":
+    """Dequantize one tile's subband list in a single native call.
+
+    Elementwise-identical to mapping :func:`_dequantize_stack` over the
+    blocks; the fused call only amortizes per-call overhead across the
+    ~10 tiny subband arrays of a tile.
+    """
+    kernels = registry.kernels()
+    if (
+        kernels is not None
+        and blocks
+        and all(
+            b.dtype == np.int32 and b.flags.c_contiguous for b in blocks
+        )
+    ):
+        return kernels.dequantize_multi(blocks, steps, reconstruction_offset)
+    return [
+        _dequantize_stack(block, step, reconstruction_offset)
+        for block, step in zip(blocks, steps)
+    ]
+
+
+def _payload_rows_per_block(plan, spec):
+    """Per-(group, subband) histogram + one shared plane walk.
+
+    Returns ``(pending, row_bits)`` where pending holds ``(tile, row,
+    planes)`` per (tile, subband) — ``row`` indexes ``row_bits``, None for
+    empty subbands — in plan order.
+    """
+    count_blocks: list[np.ndarray] = []
+    top_blocks: list[np.ndarray] = []
+    size_blocks: list[np.ndarray] = []
+    pending: list[tuple[int, int | None, int]] = []
+    n_rows = 0
+    for indices, subband_meta, stacks in plan:
+        for band_idx, (name, level) in enumerate(subband_meta):
+            band_step = spec.step_for(name, level)
+            if stacks[band_idx][0].size == 0:
+                pending.extend((tile_idx, None, 0) for tile_idx in indices)
+                continue
+            counts, tops, size = _magnitude_histogram(
+                stacks[band_idx], band_step
+            )
+            count_blocks.append(counts)
+            top_blocks.append(tops)
+            size_blocks.append(np.full(len(indices), size, dtype=np.int64))
+            for pos, tile_idx in enumerate(indices):
+                planes = int(tops[pos]) + 1 if tops[pos] >= 0 else 0
+                pending.append((tile_idx, n_rows + pos, planes))
+            n_rows += len(indices)
+    if count_blocks:
+        max_planes = max(block.shape[1] for block in count_blocks)
+        counts_mat = np.zeros((n_rows, max_planes), dtype=np.int64)
+        row = 0
+        for block in count_blocks:
+            counts_mat[row : row + block.shape[0], : block.shape[1]] = block
+            row += block.shape[0]
+        row_bits = _plane_walk_bits(
+            counts_mat,
+            np.concatenate(top_blocks),
+            np.concatenate(size_blocks),
+        )
+    else:
+        row_bits = np.zeros(0)
+    return pending, row_bits
+
+
+def _fused_payload_rows(plan, spec):
+    """All of a plan's histograms in one native call, then the plane walk.
+
+    Row-for-row identical to :func:`_payload_rows_per_block` — same float
+    ops per block, same row order, same trimmed counts matrix — it only
+    amortizes the per-subband call overhead.  Returns None (caller takes
+    the per-block path) when the kernels are off, a stack isn't float64,
+    or a block hits the int32 wrap regime (top bit >= 31), whose exact
+    semantics live in :func:`_magnitude_histogram`.
+    """
+    kernels = registry.kernels()
+    if kernels is None:
+        return None
+    flats: list[np.ndarray] = []
+    steps: list[float] = []
+    layout: list[tuple[list[int], int | None]] = []  # (tiles, block index)
+    for indices, subband_meta, stacks in plan:
+        for band_idx, (name, level) in enumerate(subband_meta):
+            stack = stacks[band_idx]
+            if stack[0].size == 0:
+                layout.append((indices, None))
+                continue
+            if stack.dtype != np.float64:
+                return None
+            if not stack.flags.c_contiguous:
+                stack = np.ascontiguousarray(stack)
+            flats.append(stack.reshape(len(indices), -1))
+            steps.append(spec.step_for(name, level))
+            layout.append((indices, len(flats) - 1))
+    if not flats:
+        pending = [
+            (tile_idx, None, 0) for indices, _ in layout for tile_idx in indices
+        ]
+        return pending, np.zeros(0)
+    counts, tops = kernels.magnitude_histogram_multi(flats, steps)
+    max_top = int(tops.max())
+    if max_top >= 31:
+        return None
+    counts_mat = np.ascontiguousarray(counts[:, : max(max_top, 0) + 1])
+    sizes = np.repeat(
+        np.fromiter((f.shape[1] for f in flats), dtype=np.int64),
+        np.fromiter((f.shape[0] for f in flats), dtype=np.int64),
+    )
+    row_bits = _plane_walk_bits(counts_mat, tops, sizes)
+    offsets = np.cumsum([0] + [f.shape[0] for f in flats])
+    pending: list[tuple[int, int | None, int]] = []
+    for indices, block in layout:
+        if block is None:
+            pending.extend((tile_idx, None, 0) for tile_idx in indices)
+            continue
+        row0 = int(offsets[block])
+        for pos, tile_idx in enumerate(indices):
+            top = int(tops[row0 + pos])
+            pending.append((tile_idx, row0 + pos, top + 1 if top >= 0 else 0))
+    return pending, row_bits
 
 
 class RateModel:
@@ -379,13 +542,15 @@ class RateModel:
             coeffs_by_idx: dict[int, tuple[int, object]] = {}
             for shape, indices in groups.items():
                 levels = effective_levels(shape, self.config.levels)
-                blocks = [
-                    image[bounds[i][0] : bounds[i][1],
-                          bounds[i][2] : bounds[i][3]].astype(np.float64)
-                    for i in indices
-                ]
+                # Fill the (N, h, w) batch directly: the slice assignment
+                # performs the same float64 cast as astype-then-stack,
+                # without the per-block intermediates.
+                batch = np.empty((len(indices),) + shape, dtype=np.float64)
+                for k, i in enumerate(indices):
+                    y0, y1, x0, x1 = bounds[i]
+                    batch[k] = image[y0:y1, x0:x1]
                 for i, coeffs in zip(
-                    indices, dwt_many(blocks, levels, Wavelet.CDF97)
+                    indices, dwt_many(batch, levels, Wavelet.CDF97)
                 ):
                     coeffs_by_idx[i] = (levels, coeffs)
             entries = [
@@ -444,43 +609,11 @@ class RateModel:
         # run ONE plane walk over all (tile, subband) rows at once.  The
         # bisection search never needs signed coefficients, so those are
         # only materialized for the final encode (want_quantized).
-        count_blocks: list[np.ndarray] = []
-        top_blocks: list[np.ndarray] = []
-        size_blocks: list[np.ndarray] = []
-        pending: list[tuple[int, int | None, int]] = []  # (tile, row, planes)
-        n_rows = 0
-        for indices, subband_meta, stacks in plan:
-            for band_idx, (name, level) in enumerate(subband_meta):
-                band_step = spec.step_for(name, level)
-                if stacks[band_idx][0].size == 0:
-                    pending.extend((tile_idx, None, 0) for tile_idx in indices)
-                    continue
-                counts, tops, size = _magnitude_histogram(
-                    stacks[band_idx], band_step
-                )
-                count_blocks.append(counts)
-                top_blocks.append(tops)
-                size_blocks.append(
-                    np.full(len(indices), size, dtype=np.int64)
-                )
-                for pos, tile_idx in enumerate(indices):
-                    planes = int(tops[pos]) + 1 if tops[pos] >= 0 else 0
-                    pending.append((tile_idx, n_rows + pos, planes))
-                n_rows += len(indices)
-        if count_blocks:
-            max_planes = max(block.shape[1] for block in count_blocks)
-            counts_mat = np.zeros((n_rows, max_planes), dtype=np.int64)
-            row = 0
-            for block in count_blocks:
-                counts_mat[row : row + block.shape[0], : block.shape[1]] = block
-                row += block.shape[0]
-            row_bits = _plane_walk_bits(
-                counts_mat,
-                np.concatenate(top_blocks),
-                np.concatenate(size_blocks),
-            )
+        fused = _fused_payload_rows(plan, spec)
+        if fused is not None:
+            pending, row_bits = fused
         else:
-            row_bits = np.zeros(0)
+            pending, row_bits = _payload_rows_per_block(plan, spec)
         bits_by_tile: dict[int, list[float]] = {
             i: [] for i in range(len(decomps))
         }
@@ -723,13 +856,10 @@ class RateModel:
             for tile_idx in indices:
                 coeffs = decomps[tile_idx][5]
                 meta = [(n, l) for n, l, _ in coeffs.subbands()]
-                dequantized = [
-                    _dequantize_stack(
-                        quantized_by_tile[tile_idx][band_idx],
-                        spec.step_for(name, level),
-                    )
-                    for band_idx, (name, level) in enumerate(meta)
-                ]
+                dequantized = _dequantize_blocks(
+                    quantized_by_tile[tile_idx],
+                    [spec.step_for(name, level) for name, level in meta],
+                )
                 rebuilt.append(
                     WaveletCoeffs(
                         approx=dequantized[0],

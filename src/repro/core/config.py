@@ -117,12 +117,18 @@ class EarthPlusConfig:
         raw_bytes_per_pixel: Bytes per full-res raw pixel (12-bit sensor
             packed in 2 bytes).
         codec_backend: ``"model"`` uses the calibrated fast rate model for
-            ROI encoding (default; right for parameter sweeps);
-            ``"reference"`` (alias ``"real"``) runs the full bit-exact
-            arithmetic-coded codec so every downlinked byte is a real
-            bitstream byte; ``"vectorized"`` runs the same codec through
-            the batched fast path, which is proven byte-identical to the
-            reference coder by the differential test harness.
+            ROI encoding (default; right for parameter sweeps); any other
+            value selects the full bit-exact arithmetic-coded codec so
+            every downlinked byte is a real bitstream byte, with the
+            entropy-coding engine resolved through the codec backend
+            registry (``repro.codec.registry``): ``"reference"`` is the
+            per-bit coder, ``"vectorized"`` the batched numpy fast path,
+            ``"compiled"`` the native-kernel engine (falls back to
+            vectorized when no C toolchain is present), and ``"real"``
+            picks the best engine available on this machine.  All engines
+            are proven byte-identical by the differential test harness,
+            so the choice never affects results — only wall time — and
+            never enters the experiment-store key.
         codec_parallel_tiles: Worker processes for the codec's tile-level
             parallel encode/decode driver (1 = in-process; only meaningful
             for the real-codec backends).
@@ -180,10 +186,16 @@ class EarthPlusConfig:
             raise ConfigError(
                 "delta_reference_updates requires cache_references_onboard"
             )
-        if self.codec_backend not in ("model", "real", "reference", "vectorized"):
+        if self.codec_backend not in (
+            "model",
+            "real",
+            "reference",
+            "vectorized",
+            "compiled",
+        ):
             raise ConfigError(
-                f"codec_backend must be 'model', 'real'/'reference', or "
-                f"'vectorized', got {self.codec_backend!r}"
+                f"codec_backend must be 'model', 'real', 'reference', "
+                f"'vectorized', or 'compiled', got {self.codec_backend!r}"
             )
         if self.codec_parallel_tiles < 1:
             raise ConfigError(

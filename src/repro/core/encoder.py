@@ -61,25 +61,28 @@ def build_rate_model(
 ):
     """The configured rate backend: fast model or real arithmetic codec.
 
-    ``codec_backend`` selects ``"model"`` (calibrated rate model),
-    ``"reference"``/``"real"`` (bit-exact arithmetic codec), or
-    ``"vectorized"`` (same codec via the byte-identical batched fast path).
+    ``codec_backend`` selects ``"model"`` (calibrated rate model) or one
+    of the registered entropy-coding engines (``"reference"``,
+    ``"vectorized"``, ``"compiled"``, or the ``"real"`` best-available
+    alias) — engine names resolve through ``repro.codec.registry`` with
+    its one precedence chain, so ``$REPRO_CODEC_BACKEND`` applies when
+    the config leaves the engine unpinned.
     """
     resolved = (
         codec_config
         if codec_config is not None
         else CodecConfig(tile_size=config.tile_size)
     )
-    if config.codec_backend in ("real", "reference", "vectorized"):
+    if config.codec_backend != "model":
+        from repro.codec import registry
         from repro.codec.adapter import RealCodecAdapter
 
-        entropy_backend = (
-            "vectorized" if config.codec_backend == "vectorized" else "reference"
-        )
         return RealCodecAdapter(
             resolved,
             n_layers=config.n_quality_layers,
-            backend=entropy_backend,
+            backend=registry.resolve_name(
+                config_backend=config.codec_backend
+            ),
             parallel_tiles=config.codec_parallel_tiles,
         )
     return RateModel(resolved)
@@ -106,6 +109,23 @@ class RoiRateController:
         self.rate_model = build_rate_model(config, codec_config)
         self.n_layers = config.n_quality_layers
         self._last_step: dict[tuple[str, str], float] = {}
+
+    def close(self) -> None:
+        """Release backend resources (the real codec's tile-worker pool).
+
+        Idempotent; a no-op for the rate model.  Simulation owners call
+        this when a run finishes so parallel-tile workers never outlive
+        the run that spawned them.
+        """
+        close = getattr(self.rate_model, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "RoiRateController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def encode_roi(
         self,
@@ -337,6 +357,10 @@ class EarthPlusEncoder:
         # Warm-started per-(location, band) rate search shared with the
         # baselines, to speed the bpp-target search across a timeline.
         self.rate = RoiRateController(config, codec_config)
+
+    def close(self) -> None:
+        """Release the rate controller's codec resources (idempotent)."""
+        self.rate.close()
 
     # ------------------------------------------------------------------
     def process_capture(

@@ -80,6 +80,10 @@ class EarthPlusPolicy:
             cache=self.cache,
         )
 
+    def close(self) -> None:
+        """Release the encoder's codec resources (worker pools)."""
+        self.encoder.close()
+
     def process(
         self, capture: Capture, guaranteed_due: bool
     ) -> CaptureEncodeResult:
@@ -241,8 +245,11 @@ class ConstellationSimulator:
         state = ConstellationState(self.policy_factory)
         phases = self.build_phases()
         metrics = self._build_metrics()
-        for visit in self.schedule.all_visits_sorted():
-            self._simulate_visit(visit, state, phases, metrics)
+        try:
+            for visit in self.schedule.all_visits_sorted():
+                self._simulate_visit(visit, state, phases, metrics)
+        finally:
+            state.close()
         return self._finalize(metrics)
 
     def _run_synced(
@@ -270,20 +277,23 @@ class ConstellationSimulator:
         epochs = group_visits_by_epoch(
             self.schedule.all_visits_sorted(), self.config.ground_sync_days
         )
-        for epoch, visits in epochs:
-            for visit in visits:
-                if own is not None and visit.satellite_id not in own:
-                    continue
-                self._simulate_visit(visit, state, phases, metrics)
-            ingests, marks = journal.drain()
-            if epoch_sync is not None:
-                ingests, marks = epoch_sync(epoch, ingests, marks)
-            else:
-                ingests = canonical_ingests(ingests)
-                marks = canonical_marks(marks)
-            with perf.profiled("sync"):
-                self.ground.apply_ingests(ingests)
-                apply_marks(state._last_guaranteed, marks)
+        try:
+            for epoch, visits in epochs:
+                for visit in visits:
+                    if own is not None and visit.satellite_id not in own:
+                        continue
+                    self._simulate_visit(visit, state, phases, metrics)
+                ingests, marks = journal.drain()
+                if epoch_sync is not None:
+                    ingests, marks = epoch_sync(epoch, ingests, marks)
+                else:
+                    ingests = canonical_ingests(ingests)
+                    marks = canonical_marks(marks)
+                with perf.profiled("sync"):
+                    self.ground.apply_ingests(ingests)
+                    apply_marks(state._last_guaranteed, marks)
+        finally:
+            state.close()
         return self._finalize(metrics)
 
     def _simulate_visit(self, visit, state, phases, metrics) -> None:

@@ -14,6 +14,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro import perf
+from repro.codec import registry
 
 
 def smoothstep(t: np.ndarray) -> np.ndarray:
@@ -88,6 +89,13 @@ def value_noise(shape: tuple[int, int], cells: int, seed: int) -> np.ndarray:
         # the reference np.ix_ path selects, without rebuilding the open
         # mesh per call.
         corners, ty, tx = _interp_geometry(height, width, cells_y, cells_x)
+        kernels = registry.kernels()
+        if kernels is not None:
+            # One native pass: gather + Hermite blend, term-for-term the
+            # numpy expression below (bit-identical output).
+            return kernels.noise_bilerp(
+                lattice, cells_x + 1, corners[0], ty.ravel(), tx.ravel()
+            )
         flat = lattice.ravel()
         v00, v01, v10, v11 = (flat[c] for c in corners)
     else:

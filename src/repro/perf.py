@@ -93,7 +93,16 @@ def _env_flag_lenient(name: str, default: bool) -> bool:
         return default
 
 
-_FASTPATH = _env_flag_lenient("REPRO_SIM_FASTPATH", True)
+# Explicit programmatic override for the fast-path switch.  None means "no
+# override": simulation_fastpath() follows $REPRO_SIM_FASTPATH at call time
+# (like sim_shards), so exporting the variable after import works.  The
+# switch used to be read once at import, which silently ignored later
+# exports — the opposite of the sharding switch's documented behavior.
+_FASTPATH_OVERRIDE: "bool | None" = None
+
+# (raw env string, parsed value): re-parse only when the variable changes,
+# keeping the per-call cost of the hot dispatchers at one dict lookup.
+_FASTPATH_ENV_CACHE: "tuple[str | None, bool] | None" = None
 
 
 def sim_shards() -> int:
@@ -125,36 +134,64 @@ def sim_shards() -> int:
 
 
 def simulation_fastpath() -> bool:
-    """Whether the vectorized/batched/cached simulation paths are active."""
-    return _FASTPATH
+    """Whether the vectorized/batched/cached simulation paths are active.
+
+    Honors ``REPRO_SIM_FASTPATH`` at call time — exporting it after
+    import works, matching :func:`sim_shards` — unless
+    :func:`set_simulation_fastpath` (or the ``fastpath_*`` context
+    managers) has installed an explicit override, which wins until
+    cleared with :func:`clear_simulation_fastpath`.
+    """
+    if _FASTPATH_OVERRIDE is not None:
+        return _FASTPATH_OVERRIDE
+    global _FASTPATH_ENV_CACHE
+    raw = os.environ.get("REPRO_SIM_FASTPATH")
+    cache = _FASTPATH_ENV_CACHE
+    if cache is not None and cache[0] == raw:
+        return cache[1]
+    value = _env_flag_lenient("REPRO_SIM_FASTPATH", True)
+    _FASTPATH_ENV_CACHE = (raw, value)
+    return value
 
 
 def set_simulation_fastpath(enabled: bool) -> None:
-    """Globally enable or disable the simulation fast path."""
-    global _FASTPATH
-    _FASTPATH = bool(enabled)
+    """Globally override the simulation fast-path switch.
+
+    The override beats the environment until
+    :func:`clear_simulation_fastpath` removes it.
+    """
+    global _FASTPATH_OVERRIDE
+    _FASTPATH_OVERRIDE = bool(enabled)
+
+
+def clear_simulation_fastpath() -> None:
+    """Drop any explicit override; follow the environment again."""
+    global _FASTPATH_OVERRIDE
+    _FASTPATH_OVERRIDE = None
 
 
 @contextmanager
 def fastpath_disabled():
     """Run a block on the reference (pre-fast-path) implementations."""
-    previous = _FASTPATH
-    set_simulation_fastpath(False)
+    global _FASTPATH_OVERRIDE
+    previous = _FASTPATH_OVERRIDE
+    _FASTPATH_OVERRIDE = False
     try:
         yield
     finally:
-        set_simulation_fastpath(previous)
+        _FASTPATH_OVERRIDE = previous
 
 
 @contextmanager
 def fastpath_enabled():
     """Run a block with the fast path forced on (symmetry for tests)."""
-    previous = _FASTPATH
-    set_simulation_fastpath(True)
+    global _FASTPATH_OVERRIDE
+    previous = _FASTPATH_OVERRIDE
+    _FASTPATH_OVERRIDE = True
     try:
         yield
     finally:
-        set_simulation_fastpath(previous)
+        _FASTPATH_OVERRIDE = previous
 
 
 class SimProfiler:

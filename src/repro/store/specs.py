@@ -92,7 +92,19 @@ def _config_document(config: EarthPlusConfig | None) -> dict:
             f"config of type {type(resolved).__name__} is not a plain "
             "EarthPlusConfig; unknown subclass state cannot be hashed"
         )
-    return _jsonable(asdict(resolved))
+    document = _jsonable(asdict(resolved))
+    # Engine-only settings never change results, so they must never enter
+    # the key (mirroring the shard-count exclusion): every real-codec
+    # entropy engine (reference/vectorized/compiled/real) produces byte-
+    # identical bitstreams — differential-tested — so they all collapse to
+    # the canonical "real", and the tile-pool width is erased entirely.  A
+    # compiled run therefore warms the cache for a vectorized run and vice
+    # versa; only the model-vs-real-codec choice keys (it changes byte
+    # accounting).
+    if document["codec_backend"] != "model":
+        document["codec_backend"] = "real"
+    document["codec_parallel_tiles"] = 1
+    return document
 
 
 def _fluctuation_document(fluctuation) -> dict | None:

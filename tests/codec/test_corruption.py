@@ -10,12 +10,20 @@ other non-repro exception, and never hang or allocate absurdly.
 import numpy as np
 import pytest
 
+from repro.codec import registry
 from repro.codec.arith import ArithmeticDecoder, ContextSet
 from repro.codec.bitstream import BitReader, BitWriter
 from repro.codec.fastpath import BatchContextTable, BatchRangeDecoder
 from repro.codec.jpeg2000 import CodecConfig, EncodedImage, ImageCodec
 from repro.errors import BitstreamError, ReproError
 from repro.imagery.noise import fractal_noise
+
+#: Every registered entropy engine available on this machine — the
+#: corruption contract is engine-independent, so each engine takes the
+#: same battery (``compiled`` drops out only without a C toolchain).
+BACKENDS = tuple(
+    name for name in registry.names() if registry.get(name).available()
+)
 
 
 class TestArithDecoderEntryPoint:
@@ -180,7 +188,7 @@ class TestContainerEntryPoint:
                 segment.data = bytes(
                     rng.integers(0, 256, len(segment.data), dtype=np.uint8)
                 )
-        for backend in ("reference", "vectorized"):
+        for backend in BACKENDS:
             codec = ImageCodec(
                 CodecConfig(tile_size=32, base_step=1 / 128), backend=backend
             )
@@ -189,3 +197,70 @@ class TestContainerEntryPoint:
                 assert np.all(np.isfinite(out))
             except BitstreamError:
                 pass
+
+
+class TestTruncationOverrunParity:
+    """Every engine shares one overrun contract, byte for byte.
+
+    The embedded streams legitimately decode from prefixes, but a decoder
+    that reads 64 bytes past the end of a segment must raise
+    :class:`BitstreamError` — and since all engines are bit-exact, a given
+    truncated container must produce the *same* outcome (identical
+    reconstruction, or the same error) under every registered engine.
+    """
+
+    def _truncate_segments(self, container: bytes, keep) -> EncodedImage:
+        parsed = EncodedImage.from_bytes(container)
+        for tile in parsed.tiles:
+            for segment in tile.segments:
+                segment.data = segment.data[: keep(len(segment.data))]
+        return parsed
+
+    def _outcome(self, parsed: EncodedImage, backend: str):
+        codec = ImageCodec(
+            CodecConfig(tile_size=32, base_step=1 / 128), backend=backend
+        )
+        try:
+            return ("ok", codec.decode(parsed))
+        except BitstreamError as exc:
+            return ("error", str(exc))
+
+    @pytest.mark.parametrize(
+        "backend", [b for b in BACKENDS if b != "reference"]
+    )
+    @pytest.mark.parametrize(
+        "keep",
+        [
+            pytest.param(lambda n: 0, id="empty"),
+            pytest.param(lambda n: 1, id="one-byte"),
+            pytest.param(lambda n: n // 2, id="half"),
+            pytest.param(lambda n: max(n - 1, 0), id="all-but-one"),
+        ],
+    )
+    def test_truncated_segments_match_reference(
+        self, valid_container, backend, keep
+    ):
+        parsed = self._truncate_segments(valid_container, keep)
+        kind_ref, value_ref = self._outcome(parsed, "reference")
+        kind, value = self._outcome(parsed, backend)
+        assert kind == kind_ref
+        if kind == "ok":
+            assert np.array_equal(value, value_ref)
+        else:
+            assert value == value_ref
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_far_past_end_raises_bitstream_error(self, backend):
+        """Zero-extension stops 64 bytes past the end, never runs away."""
+        image = fractal_noise((64, 64), seed=5, octaves=3, base_cells=4)
+        codec = ImageCodec(
+            CodecConfig(tile_size=32, base_step=1 / 64), backend=backend
+        )
+        parsed = EncodedImage.from_bytes(codec.encode(image).to_bytes())
+        for tile in parsed.tiles:
+            for segment in tile.segments:
+                segment.data = b""
+        try:
+            codec.decode(parsed)
+        except BitstreamError as exc:
+            assert "past end" in str(exc)

@@ -26,9 +26,24 @@ from repro.errors import BitstreamError
 from repro.imagery.noise import fractal_noise
 
 
+from repro.codec import registry
+
+#: Every available engine joins the differential harness (``compiled``
+#: drops out only on machines without a C toolchain).
+BACKENDS = tuple(
+    name for name in registry.names() if registry.get(name).available()
+)
+
+
 def coder_pair(shapes):
     spec = [(f"b{i}", 1, shape) for i, shape in enumerate(shapes)]
     return SubbandPlaneCoder(spec), VectorizedPlaneCoder(spec)
+
+
+def all_coders(shapes):
+    """One plane coder per available backend, reference first."""
+    spec = [(f"b{i}", 1, shape) for i, shape in enumerate(shapes)]
+    return {name: registry.get(name).coder_factory(spec) for name in BACKENDS}
 
 
 def top_plane(bands):
@@ -37,22 +52,29 @@ def top_plane(bands):
 
 
 def assert_bitstreams_identical(bands, max_plane=None):
-    """Assert byte-identical segments + identical decodes at every prefix."""
-    ref, fast = coder_pair([b.shape for b in bands])
+    """Assert byte-identical segments + identical decodes at every prefix,
+    for every registered backend against the reference coder."""
+    coders = all_coders([b.shape for b in bands])
     top = top_plane(bands) if max_plane is None else max_plane
+    ref = coders["reference"]
     seg_ref = ref.encode(bands, top)
-    seg_fast = fast.encode(bands, top)
-    assert len(seg_ref) == len(seg_fast)
-    for a, b in zip(seg_ref, seg_fast):
-        assert a.plane == b.plane
-        assert a.data == b.data, f"plane {a.plane} codeword differs"
-    for keep in range(len(seg_ref) + 1):
-        dec_ref = ref.decode(seg_ref[:keep], top)
-        dec_fast = fast.decode(seg_fast[:keep], top)
-        dec_cross = fast.decode(seg_ref[:keep], top)
-        for r, f, x in zip(dec_ref, dec_fast, dec_cross):
-            assert np.array_equal(r, f)
-            assert np.array_equal(r, x)
+    for name, fast in coders.items():
+        if name == "reference":
+            continue
+        seg_fast = fast.encode(bands, top)
+        assert len(seg_ref) == len(seg_fast)
+        for a, b in zip(seg_ref, seg_fast):
+            assert a.plane == b.plane
+            assert a.data == b.data, (
+                f"{name}: plane {a.plane} codeword differs"
+            )
+        for keep in range(len(seg_ref) + 1):
+            dec_ref = ref.decode(seg_ref[:keep], top)
+            dec_fast = fast.decode(seg_fast[:keep], top)
+            dec_cross = fast.decode(seg_ref[:keep], top)
+            for r, f, x in zip(dec_ref, dec_fast, dec_cross):
+                assert np.array_equal(r, f), name
+                assert np.array_equal(r, x), name
     return seg_ref
 
 
@@ -199,30 +221,40 @@ def textured_image():
     return fractal_noise((128, 128), seed=4242, octaves=5, base_cells=4)
 
 
+FAST_BACKENDS = [b for b in BACKENDS if b != "reference"]
+
+
 class TestImageCodecDifferential:
-    def codecs(self, **kwargs):
+    def codecs(self, backend="vectorized", **kwargs):
         cfg = CodecConfig(tile_size=64, **kwargs)
         return (
             ImageCodec(cfg, backend="reference"),
-            ImageCodec(cfg, backend="vectorized"),
+            ImageCodec(cfg, backend=backend),
         )
 
-    def test_lossy_container_byte_identical(self, textured_image):
-        ref, fast = self.codecs(base_step=1 / 256)
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_lossy_container_byte_identical(self, textured_image, backend):
+        ref, fast = self.codecs(backend, base_step=1 / 256)
         enc_ref = ref.encode(textured_image)
         enc_fast = fast.encode(textured_image)
         assert enc_ref.to_bytes() == enc_fast.to_bytes()
         assert np.array_equal(ref.decode(enc_ref), fast.decode(enc_fast))
 
-    def test_lossless_container_byte_identical(self, textured_image):
-        ref, fast = self.codecs(wavelet=Wavelet.LEGALL53, bit_depth=8)
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_lossless_container_byte_identical(self, textured_image, backend):
+        ref, fast = self.codecs(
+            backend, wavelet=Wavelet.LEGALL53, bit_depth=8
+        )
         enc_ref = ref.encode(textured_image)
         enc_fast = fast.encode(textured_image)
         assert enc_ref.to_bytes() == enc_fast.to_bytes()
         assert np.array_equal(ref.decode(enc_ref), fast.decode(enc_fast))
 
-    def test_rate_targeted_roi_layers_byte_identical(self, textured_image):
-        ref, fast = self.codecs(base_step=1 / 512)
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_rate_targeted_roi_layers_byte_identical(
+        self, textured_image, backend
+    ):
+        ref, fast = self.codecs(backend, base_step=1 / 512)
         roi = np.array([[True, False], [True, True]])
         enc_ref = ref.encode(
             textured_image, target_bytes=2000, roi=roi, n_layers=3
@@ -237,23 +269,28 @@ class TestImageCodecDifferential:
                 fast.decode(enc_fast, layers=layers),
             )
 
-    def test_parallel_driver_byte_identical(self, textured_image):
-        serial = ImageCodec(CodecConfig(tile_size=64), backend="vectorized")
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_parallel_driver_byte_identical(self, textured_image, backend):
+        serial = ImageCodec(CodecConfig(tile_size=64), backend=backend)
         parallel = ImageCodec(
-            CodecConfig(tile_size=64), backend="vectorized", parallel_tiles=2
+            CodecConfig(tile_size=64), backend=backend, parallel_tiles=2
         )
-        enc_serial = serial.encode(textured_image)
-        enc_parallel = parallel.encode(textured_image)
+        try:
+            enc_serial = serial.encode(textured_image)
+            enc_parallel = parallel.encode(textured_image)
+        finally:
+            parallel.close()
         assert enc_serial.to_bytes() == enc_parallel.to_bytes()
         assert np.array_equal(
             serial.decode(enc_serial), parallel.decode(enc_parallel)
         )
 
-    def test_cross_backend_decode(self, textured_image):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_cross_backend_decode(self, textured_image, backend):
         """Either backend decodes the other's serialized container."""
         from repro.codec.jpeg2000 import EncodedImage
 
-        ref, fast = self.codecs(base_step=1 / 256)
+        ref, fast = self.codecs(backend, base_step=1 / 256)
         data = ref.encode(textured_image).to_bytes()
         parsed = EncodedImage.from_bytes(data)
         assert np.array_equal(ref.decode(parsed), fast.decode(parsed))

@@ -20,12 +20,18 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.codec import registry
 from repro.codec.bitplane import SubbandPlaneCoder
-from repro.codec.fastpath import VectorizedPlaneCoder
 from repro.codec.jpeg2000 import CodecConfig, ImageCodec
 from repro.codec.dwt import Wavelet
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Every available engine decodes/encodes against the same golden bytes —
+#: the fixtures double as a frozen differential baseline for all of them.
+BACKENDS = tuple(
+    name for name in registry.names() if registry.get(name).available()
+)
 
 
 def _tile_cases() -> dict[str, tuple[list, list[np.ndarray], int]]:
@@ -112,7 +118,7 @@ def _load(name: str) -> dict:
 
 
 @pytest.mark.parametrize("case_name", sorted(_tile_cases()))
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_tile_bitstreams_match_golden(case_name, backend):
     shapes, bands, max_plane = _tile_cases()[case_name]
     fixture = _load(case_name)
@@ -121,10 +127,7 @@ def test_tile_bitstreams_match_golden(case_name, backend):
     assert fixture["max_plane"] == max_plane
     for stored, band in zip(fixture["bands"], bands):
         assert np.array_equal(np.asarray(stored), band)
-    coder_cls = (
-        SubbandPlaneCoder if backend == "reference" else VectorizedPlaneCoder
-    )
-    coder = coder_cls(shapes)
+    coder = registry.get(backend).coder_factory(shapes)
     segments = coder.encode(bands, max_plane)
     assert len(segments) == len(fixture["segments"])
     for seg, want in zip(segments, fixture["segments"]):
@@ -139,7 +142,7 @@ def test_tile_bitstreams_match_golden(case_name, backend):
         assert np.array_equal(got, band)
 
 
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_image_container_matches_golden(backend):
     config, image = _image_case()
     fixture = _load("image_container")

@@ -1,0 +1,100 @@
+"""Regression tests: the tile-pool must be closed, not leaked.
+
+``ImageCodec`` lazily spawns a ``ProcessPoolExecutor`` when
+``parallel_tiles > 1``.  The pool used to have no owner: nothing ever
+shut it down, so every codec constructed over a process's lifetime left
+``parallel_tiles`` worker processes behind until interpreter exit.  These
+tests pin the fix — one pool per codec reused across encodes, an
+idempotent ``close()``, context-manager support, and the same lifecycle
+surfaced through ``RealCodecAdapter`` and the encoder stack.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.codec.adapter import RealCodecAdapter
+from repro.codec.jpeg2000 import CodecConfig, ImageCodec
+
+
+@pytest.fixture(scope="module")
+def image():
+    rng = np.random.default_rng(7)
+    base = rng.random((128, 128))
+    yy, xx = np.mgrid[0:128, 0:128]
+    return np.clip(0.6 * base + 0.4 * np.sin(yy * 0.2) * np.cos(xx * 0.13), 0, 1)
+
+
+def _worker_count() -> int:
+    return len(mp.active_children())
+
+
+class TestImageCodecPool:
+    def test_repeated_encodes_do_not_accumulate_workers(self, image):
+        """The original leak: every encode must reuse one bounded pool."""
+        baseline = _worker_count()
+        codec = ImageCodec(CodecConfig(tile_size=64), parallel_tiles=2)
+        try:
+            for _ in range(4):
+                codec.encode(image)
+                assert _worker_count() - baseline <= 2
+        finally:
+            codec.close()
+
+    def test_close_terminates_workers(self, image):
+        baseline = _worker_count()
+        codec = ImageCodec(CodecConfig(tile_size=64), parallel_tiles=2)
+        codec.encode(image)
+        assert _worker_count() > baseline
+        codec.close()
+        assert _worker_count() == baseline
+
+    def test_close_is_idempotent_and_codec_stays_usable(self, image):
+        codec = ImageCodec(CodecConfig(tile_size=64), parallel_tiles=2)
+        first = codec.encode(image).to_bytes()
+        codec.close()
+        codec.close()  # second close is a no-op, not an error
+        # The pool is rebuilt lazily; results are unchanged.
+        try:
+            assert codec.encode(image).to_bytes() == first
+        finally:
+            codec.close()
+
+    def test_context_manager_closes_pool(self, image):
+        baseline = _worker_count()
+        with ImageCodec(CodecConfig(tile_size=64), parallel_tiles=2) as codec:
+            codec.encode(image)
+            assert _worker_count() > baseline
+        assert _worker_count() == baseline
+
+    def test_serial_codec_close_is_harmless(self, image):
+        with ImageCodec(CodecConfig(tile_size=64)) as codec:
+            codec.encode(image)
+
+
+class TestAdapterAndEncoderClose:
+    def test_adapter_delegates_close(self, image):
+        baseline = _worker_count()
+        with RealCodecAdapter(
+            CodecConfig(tile_size=64), parallel_tiles=2
+        ) as adapter:
+            adapter.encode(image)
+            assert _worker_count() > baseline
+        assert _worker_count() == baseline
+
+    def test_encoder_stack_closes_pool(self, image):
+        from repro.core.config import EarthPlusConfig
+        from repro.core.encoder import build_rate_model
+
+        baseline = _worker_count()
+        config = EarthPlusConfig().with_overrides(
+            codec_backend="vectorized", codec_parallel_tiles=2
+        )
+        model = build_rate_model(config)
+        model.encode(image)
+        assert _worker_count() > baseline
+        model.close()
+        assert _worker_count() == baseline

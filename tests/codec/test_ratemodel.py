@@ -182,3 +182,31 @@ class TestBatchedEstimate:
                 fast = model.encode(image, 1e-9)
         assert ref.coded_bytes == fast.coded_bytes
         assert ref.payload_bytes == fast.payload_bytes
+        # Reconstructions too: the native dequantize must replicate even
+        # numpy's int32 wrap quirk (np.abs leaves INT32_MIN negative).
+        assert np.array_equal(ref.reconstruction, fast.reconstruction)
+
+    def test_fused_payload_rows_match_per_block(self, rng):
+        """The one-call fused histogram path is row-identical to the
+        per-(group, subband) path (same bits, same reconstruction)."""
+        import os
+
+        from repro.codec import registry
+
+        if registry.kernels() is None:
+            pytest.skip("compiled kernels unavailable")
+        model = RateModel(CodecConfig(tile_size=64))
+        image = rng.random((160, 96))
+        fused = model.find_step_for_bytes(image, 3000)
+        saved = os.environ.get(registry.ENV_BACKEND)
+        os.environ[registry.ENV_BACKEND] = "vectorized"  # kernels off
+        try:
+            plain = model.find_step_for_bytes(image, 3000)
+        finally:
+            if saved is None:
+                os.environ.pop(registry.ENV_BACKEND, None)
+            else:
+                os.environ[registry.ENV_BACKEND] = saved
+        assert fused.coded_bytes == plain.coded_bytes
+        assert fused.base_step == plain.base_step
+        assert np.array_equal(fused.reconstruction, plain.reconstruction)

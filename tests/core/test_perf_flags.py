@@ -58,6 +58,50 @@ class TestEnvFlag:
             assert perf._env_flag_lenient("REPRO_TEST_FLAG", False) is False
 
 
+class TestFastpathCallTimeEnv:
+    """REPRO_SIM_FASTPATH is honored at call time, not import time.
+
+    The switch used to be read once at module import, so the order of
+    "import repro.perf" vs "export REPRO_SIM_FASTPATH=0" silently decided
+    whether it worked.  Both orders must behave identically now.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _no_override(self):
+        perf.clear_simulation_fastpath()
+        yield
+        perf.clear_simulation_fastpath()
+
+    def test_env_set_after_first_call_still_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_FASTPATH", raising=False)
+        assert perf.simulation_fastpath() is True  # default, already read
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        assert perf.simulation_fastpath() is False  # export after import/call
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "on")
+        assert perf.simulation_fastpath() is True
+
+    def test_env_set_before_first_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "off")
+        assert perf.simulation_fastpath() is False
+        monkeypatch.delenv("REPRO_SIM_FASTPATH")
+        assert perf.simulation_fastpath() is True
+
+    def test_explicit_override_beats_env_until_cleared(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        perf.set_simulation_fastpath(True)
+        assert perf.simulation_fastpath() is True
+        perf.clear_simulation_fastpath()
+        assert perf.simulation_fastpath() is False
+
+    def test_context_managers_restore_env_following(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+        with perf.fastpath_disabled():
+            assert perf.simulation_fastpath() is False
+            monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+            assert perf.simulation_fastpath() is False  # override still wins
+        assert perf.simulation_fastpath() is False  # now the env decides
+
+
 class TestStorePathResolution:
     """REPRO_STORE is path-or-flag, parsed through the same words."""
 

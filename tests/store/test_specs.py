@@ -191,8 +191,15 @@ class TestSensitivity:
         assert len(set(keys.values())) == len(keys)
 
     def test_every_config_field(self):
-        """Each EarthPlusConfig field participates in the content key."""
-        alternates = {
+        """Each EarthPlusConfig field is either keyed or engine-only.
+
+        Semantic fields must change the key; engine-only fields (which
+        entropy engine runs the real codec, how many pool workers) are
+        differential-tested to never change results, so they must NOT.
+        Every field appears in exactly one of the two tables, enforced
+        below, so a new field must take a side here.
+        """
+        semantic_alternates = {
             "tile_size": 32,
             "theta": 0.02,
             "gamma_bpp": 0.5,
@@ -206,16 +213,22 @@ class TestSensitivity:
             "ground_sync_days": 1.0,
             "reference_bytes_per_pixel": 2,
             "raw_bytes_per_pixel": 1,
-            "codec_backend": "vectorized",
-            "codec_parallel_tiles": 2,
+            # model vs real codec changes byte accounting, so it keys —
+            # see test_engine_only_fields for the engine names.
+            "codec_backend": "real",
         }
+        engine_only_alternates = {"codec_parallel_tiles": 2}
         config_fields = {f.name for f in dataclasses.fields(EarthPlusConfig)}
-        assert set(alternates) == config_fields, (
+        assert (
+            set(semantic_alternates) | set(engine_only_alternates)
+        ) == config_fields, (
             "a new EarthPlusConfig field needs an alternate here (and a "
             "SCHEMA_VERSION bump if it changes results)"
         )
+        assert not set(semantic_alternates) & set(engine_only_alternates)
         base_key = spec_key(BASE_SPEC)
-        for name, value in alternates.items():
+
+        def variant_key(name: str, value) -> str:
             overrides = {name: value}
             if name == "cache_references_onboard":
                 overrides["delta_reference_updates"] = False
@@ -225,9 +238,65 @@ class TestSensitivity:
                 config=EarthPlusConfig().with_overrides(**overrides),
                 seed=3,
             )
-            assert spec_key(variant) != base_key, (
+            return spec_key(variant)
+
+        for name, value in semantic_alternates.items():
+            assert variant_key(name, value) != base_key, (
                 f"varying config.{name} left the key unchanged"
             )
+        for name, value in engine_only_alternates.items():
+            assert variant_key(name, value) == base_key, (
+                f"engine-only config.{name} leaked into the key"
+            )
+
+    def test_backend_engine_never_keys(self):
+        """Every entropy-engine choice hashes like every other.
+
+        The engines are differential-tested byte-identical, so a compiled
+        run must warm the cache for a vectorized run (and vice versa) —
+        only the model-vs-real-codec choice may key.
+        """
+
+        def key_for(backend: str) -> str:
+            return spec_key(
+                ScenarioSpec(
+                    policy="earthplus",
+                    dataset=BASE_DATASET,
+                    config=EarthPlusConfig().with_overrides(
+                        codec_backend=backend
+                    ),
+                    seed=3,
+                )
+            )
+
+        real_keys = {
+            backend: key_for(backend)
+            for backend in ("real", "reference", "vectorized", "compiled")
+        }
+        assert len(set(real_keys.values())) == 1, real_keys
+        engine_key = next(iter(real_keys.values()))
+        assert engine_key != spec_key(BASE_SPEC)  # real codec != model
+        assert key_for("model") == spec_key(BASE_SPEC)
+
+    def test_parallel_tiles_never_keys(self):
+        """Pool width composes with engine choice without touching the key."""
+        one = ScenarioSpec(
+            policy="earthplus",
+            dataset=BASE_DATASET,
+            config=EarthPlusConfig().with_overrides(
+                codec_backend="compiled", codec_parallel_tiles=1
+            ),
+            seed=3,
+        )
+        four = ScenarioSpec(
+            policy="earthplus",
+            dataset=BASE_DATASET,
+            config=EarthPlusConfig().with_overrides(
+                codec_backend="vectorized", codec_parallel_tiles=4
+            ),
+            seed=3,
+        )
+        assert spec_key(one) == spec_key(four)
 
     def test_fluctuation_severity_changes_key(self):
         """Severity alone (same seed/floor/ceiling) is a distinct key."""
