@@ -729,6 +729,7 @@ def fig19_scaling(
     ground_sync_days: float = 3.0,
     config: EarthPlusConfig | None = None,
     seed: int = 19,
+    repeats: int = 2,
 ) -> dict:
     """Wall-clock scaling of one scenario sharded across worker processes.
 
@@ -758,6 +759,13 @@ def fig19_scaling(
     copy-on-write, so timing a cold sequential run against warm shards
     would overstate the speedup.  After the warmup every timed run —
     sequential and sharded alike — measures warm-cache simulation.
+
+    Both CPU estimators are max-statistics over timeslice-noisy samples
+    (noise only ever inflates them, and one lucky side makes the ratio
+    swing), so each timed configuration runs ``repeats`` times and every
+    per-run CPU takes the minimum — the least-thrashed execution,
+    closest to the task's cost with a core to itself.  Wall times are
+    first-run; byte identity is asserted on every run.
     """
     import pickle
     import time
@@ -790,12 +798,18 @@ def fig19_scaling(
             extras={"satellites": size},
         )
         run_scenario(spec)  # warmup: see docstring
-        started = time.perf_counter()
-        cpu_started = time.process_time()
-        sequential = run_scenario(spec)
-        sequential_cpu = time.process_time() - cpu_started
-        sequential_wall = time.perf_counter() - started
-        sequential_pickle = pickle.dumps(sequential)
+        sequential_cpu = float("inf")
+        sequential_wall = 0.0
+        for repeat in range(max(1, repeats)):
+            started = time.perf_counter()
+            cpu_started = time.process_time()
+            sequential = run_scenario(spec)
+            sequential_cpu = min(
+                sequential_cpu, time.process_time() - cpu_started
+            )
+            if repeat == 0:
+                sequential_wall = time.perf_counter() - started
+                sequential_pickle = pickle.dumps(sequential)
         rows.append(
             {
                 "satellites": size,
@@ -812,17 +826,27 @@ def fig19_scaling(
             shard_cpu: dict[int, float] = {}
 
             def record_cpu(index: int, _satellites, profile_rows) -> None:
-                shard_cpu[index] = sum(
+                run_cpu = sum(
                     row["seconds"]
                     for row in profile_rows
                     if row["section"] == "cpu_total"
                 )
+                best = shard_cpu.get(index)
+                if best is None or run_cpu < best:
+                    shard_cpu[index] = run_cpu
 
-            started = time.perf_counter()
-            sharded = run_scenario_sharded(
-                spec, shards=shards, profile_sink=record_cpu
-            )
-            wall = time.perf_counter() - started
+            wall = 0.0
+            identical = True
+            for repeat in range(max(1, repeats)):
+                started = time.perf_counter()
+                sharded = run_scenario_sharded(
+                    spec, shards=shards, profile_sink=record_cpu
+                )
+                if repeat == 0:
+                    wall = time.perf_counter() - started
+                identical = identical and (
+                    pickle.dumps(sharded) == sequential_pickle
+                )
             critical_path = max(shard_cpu.values()) if shard_cpu else wall
             rows.append(
                 {
@@ -836,7 +860,7 @@ def fig19_scaling(
                         if critical_path > 0
                         else float("nan")
                     ),
-                    "identical": pickle.dumps(sharded) == sequential_pickle,
+                    "identical": identical,
                     "host_cores": host_cores,
                 }
             )
@@ -989,6 +1013,181 @@ def downlink_layer_adaptation(
             }
         )
     return {"rows": rows, "n_captures": n_captures}
+
+
+# ----------------------------------------------------------------------
+# Figure 21 — unified sweep scheduler throughput (specs x shards)
+# ----------------------------------------------------------------------
+def fig21_sweep_throughput(
+    sizes: list[int] | None = None,
+    gammas: list[float] | None = None,
+    seeds: list[int] | None = None,
+    shards: int = 4,
+    workers: int = 4,
+    image_shape: tuple[int, int] = (96, 96),
+    horizon_days: float = 45.0,
+    ground_sync_days: float = 3.0,
+    dataset_seed: int = 19,
+) -> dict:
+    """Joint specs-x-shards scheduling vs the two exclusive legacy modes.
+
+    Runs one fig19-style sweep (planet constellations, sizes x gammas x
+    seeds) three ways: through the unified
+    :class:`~repro.analysis.scheduler.SweepScheduler` (``workers``-sized
+    pool, every scenario split ``shards`` ways), through per-scenario
+    gang runs (`run_scenario_sharded`, the legacy ``shards``-only mode),
+    and sequentially in this process, asserting pickle-byte identity
+    per spec.  As in :func:`fig19_scaling`, each dataset is warmed once
+    untimed first: worker processes fork from this driver and inherit
+    its memoized dataset and capture caches copy-on-write, so every
+    timed number measures warm-cache simulation, not first-touch imagery
+    synthesis.
+
+    Because the build host may have a single core, the headline numbers
+    are **critical-path projections** — the wall-clock floor each
+    scheduling mode approaches with enough cores, set by the mode's
+    inherent serialization (CPU seconds, so host timeslicing cancels
+    out):
+
+    * ``cp_specs_s`` — the ``max_workers``-only mode cannot split a
+      scenario, so its floor is the largest single-spec CPU;
+    * ``cp_shards_s`` — the ``shards``-only mode runs scenarios
+      serially, so its floor is the *sum* of per-scenario slowest-shard
+      CPUs;
+    * ``cp_joint_s`` — the unified scheduler has neither serialization:
+      its floor is the slowest single shard task.
+
+    ``projection_over_best_exclusive`` is
+    ``min(cp_specs_s, cp_shards_s) / cp_joint_s`` — how much faster the
+    joint schedule's critical path is than the better exclusive mode's.
+    Worker-spawn counts ride along: the pool spawns ``workers``
+    processes once per sweep where the legacy sharded path forked
+    ``n_specs x shards``.
+
+    All three projections are computed from ONE set of task-cost
+    measurements: per-spec sequential CPU from the sequential pass and
+    per-shard CPU from the per-scenario gang runs.  The scheduler runs
+    identical shard tasks (differential-tested byte identity), but under
+    work stealing *which* tasks co-run — and so how much an oversubscribed
+    host's timeslicing thrashes each one — varies run to run, whereas a
+    gang's co-runners are always its own members.  Measuring task costs
+    under the deterministic schedule keeps the ratio repeatable and
+    compares scheduling structure, not cache-pollution luck.
+
+    Always simulates (never touches the store): timings are the payload.
+    """
+    import pickle
+    import time
+
+    from repro.analysis.scenarios import run_scenario, run_scenario_sharded
+    from repro.analysis.scheduler import SweepScheduler
+
+    if sizes is None:
+        sizes = [4, 32]
+    if gammas is None:
+        gammas = [0.2, 0.3]
+    if seeds is None:
+        seeds = [19, 23, 27]
+    specs = [
+        ScenarioSpec(
+            policy="earthplus",
+            dataset=DatasetSpec.of(
+                "planet",
+                n_satellites=size,
+                image_shape=image_shape,
+                horizon_days=horizon_days,
+                seed=dataset_seed,
+            ),
+            config=EarthPlusConfig(
+                gamma_bpp=gamma, ground_sync_days=ground_sync_days
+            ),
+            seed=seed,
+            label=f"n{size}/g{gamma:g}/s{seed}",
+            extras={"satellites": size, "gamma": gamma, "seed": seed},
+        )
+        for size in sizes
+        for gamma in gammas
+        for seed in seeds
+    ]
+    host_cores = os.cpu_count() or 1
+
+    # Warm each dataset once (see docstring); one spec per size suffices
+    # because capture caches are keyed by dataset, not gamma/seed.
+    for warm_spec in {spec.dataset: spec for spec in specs}.values():
+        run_scenario(warm_spec)
+
+    # Joint mode: one persistent pool, every scenario sharded — the
+    # spawn-count/identity/wall-time measurement.
+    scheduler = SweepScheduler(workers=workers, shards_per_scenario=shards)
+    joint_started = time.perf_counter()
+    joint_results, stats = scheduler.run(specs)
+    joint_wall = time.perf_counter() - joint_started
+
+    # Task costs (see docstring): per-shard CPU under the deterministic
+    # per-scenario gang schedule, per-spec CPU from the sequential pass
+    # (also the byte-identity oracle).
+    shard_cpu: dict[int, dict[int, float]] = {}
+    rows = []
+    sequential_wall = 0.0
+    cp_specs = 0.0
+    cp_shards = 0.0
+    cp_joint = 0.0
+    for index, spec in enumerate(specs):
+        per_shard = shard_cpu.setdefault(index, {})
+
+        def record_cpu(shard_index: int, _satellites, profile_rows) -> None:
+            per_shard[shard_index] = sum(
+                row["seconds"]
+                for row in profile_rows
+                if row["section"] == "cpu_total"
+            )
+
+        run_scenario_sharded(spec, shards=shards, profile_sink=record_cpu)
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        sequential = run_scenario(spec)
+        spec_cpu = time.process_time() - cpu_started
+        sequential_wall += time.perf_counter() - started
+        slowest_shard = max(per_shard.values()) if per_shard else spec_cpu
+        cp_specs = max(cp_specs, spec_cpu)
+        cp_shards += slowest_shard
+        cp_joint = max(cp_joint, slowest_shard)
+        rows.append(
+            {
+                "scenario": spec.resolved_label(),
+                "satellites": spec.extras["satellites"],
+                "sequential_cpu_s": spec_cpu,
+                "shard_tasks": len(per_shard),
+                "max_shard_cpu_s": slowest_shard,
+                "identical": (
+                    pickle.dumps(joint_results[index])
+                    == pickle.dumps(sequential)
+                ),
+            }
+        )
+    best_exclusive = min(cp_specs, cp_shards)
+    summary = {
+        "n_specs": len(specs),
+        "shards_per_scenario": shards,
+        "workers": workers,
+        "host_cores": host_cores,
+        "joint_wall_s": joint_wall,
+        "sequential_wall_s": sequential_wall,
+        "cp_specs_s": cp_specs,
+        "cp_shards_s": cp_shards,
+        "cp_joint_s": cp_joint,
+        "projection_over_best_exclusive": (
+            best_exclusive / cp_joint if cp_joint > 0 else float("nan")
+        ),
+        "spawns_joint": stats.spawns,
+        "spawns_legacy_sharded": len(specs) * shards,
+        "tasks_run": stats.tasks_run,
+        "tasks_stolen": stats.tasks_stolen,
+        "barrier_idle_s": stats.barrier_idle_s,
+        "worker_cpu_s": stats.worker_cpu_s,
+        "all_identical": all(row["identical"] for row in rows),
+    }
+    return {"rows": rows, "summary": summary}
 
 
 # ----------------------------------------------------------------------

@@ -4,7 +4,9 @@ A :class:`ScenarioSpec` names everything one simulation run needs — dataset,
 policy, config, uplink budget, fluctuation, seed — as plain picklable data.
 :func:`run_scenario` turns one spec into a
 :class:`~repro.core.accounting.RunResult`; :func:`run_scenarios` executes a
-batch, optionally across worker processes.  Every experiment driver (the
+batch, optionally over the persistent worker pool of
+:class:`~repro.analysis.scheduler.SweepScheduler` (whole scenarios and
+scenario shards share one pool).  Every experiment driver (the
 figure sweeps, the CLI, ad-hoc notebooks) goes through this one path, so
 all comparisons share detectors, codec, and scoring.
 
@@ -28,10 +30,6 @@ they only remove redundant recomputation.
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-import traceback
-from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -43,11 +41,6 @@ from repro.core.accounting import RunResult
 from repro.core.cloud import train_ground_detector, train_onboard_detector
 from repro.core.config import EarthPlusConfig
 from repro.core.ground_segment import GroundSegment
-from repro.core.sharding import (
-    canonical_ingests,
-    canonical_marks,
-    group_visits_by_epoch,
-)
 from repro.core.system import ConstellationSimulator, EarthPlusPolicy
 from repro.datasets.generator import SyntheticDataset
 from repro.datasets.planet import planet_dataset
@@ -232,25 +225,32 @@ def build_policy_factory(
     return factory
 
 
-def build_simulator(spec: ScenarioSpec) -> ConstellationSimulator:
+def build_simulator(
+    spec: ScenarioSpec, dataset: SyntheticDataset | None = None
+) -> ConstellationSimulator:
     """The fully-wired simulator one spec describes.
 
-    Shared by :func:`run_scenario` (which runs it whole) and the sharded
-    runner (where every worker builds the same simulator and runs only
-    its satellites), so both paths resolve datasets, detectors, budgets,
-    and fluctuation models through identical code.
+    Shared by :func:`run_scenario` (which runs it whole) and the sweep
+    scheduler's shard tasks (where every worker builds the same
+    simulator and runs only its satellites), so both paths resolve
+    datasets, detectors, budgets, and fluctuation models through
+    identical code.
 
     Args:
         spec: The scenario description.
+        dataset: The spec's already-built dataset, when the caller has
+            one (e.g. it partitioned satellites from it); None builds
+            (or cache-hits) from the spec.
 
     Raises:
         ConfigError: For unknown policy or dataset names.
     """
-    dataset = (
-        spec.dataset.build()
-        if isinstance(spec.dataset, DatasetSpec)
-        else spec.dataset
-    )
+    if dataset is None:
+        dataset = (
+            spec.dataset.build()
+            if isinstance(spec.dataset, DatasetSpec)
+            else spec.dataset
+        )
     config = spec.config if spec.config is not None else EarthPlusConfig()
     factory = build_policy_factory(
         spec.policy, config, dataset.bands, dataset.image_shape
@@ -289,11 +289,17 @@ def build_simulator(spec: ScenarioSpec) -> ConstellationSimulator:
     )
 
 
-def run_scenario(spec: ScenarioSpec) -> RunResult:
+def run_scenario(
+    spec: ScenarioSpec, dataset: SyntheticDataset | None = None
+) -> RunResult:
     """Execute one scenario and return its aggregated result.
 
     Args:
         spec: The scenario description.
+        dataset: The spec's already-built dataset, if the caller holds
+            one — avoids a redundant build when e.g. the sharded runner
+            built it to partition satellites and then fell back to a
+            whole-scenario run.
 
     Returns:
         The run's :class:`RunResult`.
@@ -301,47 +307,7 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
     Raises:
         ConfigError: For unknown policy or dataset names.
     """
-    return build_simulator(spec).run()
-
-
-def _shard_worker(conn, spec: ScenarioSpec, satellite_ids, profile: bool) -> None:
-    """One shard process: simulate own satellites, exchange journals via pipe.
-
-    Protocol (worker side): per global epoch send
-    ``("epoch", index, ingests, marks)`` and block for the merged
-    ``(ingests, marks)`` reply; finish with ``("done", result, rows)``
-    or ``("error", traceback_text)``.
-    """
-    try:
-        if profile:
-            perf.enable_profiler()
-        simulator = build_simulator(spec)
-
-        def exchange(epoch: int, ingests, marks):
-            conn.send(("epoch", epoch, ingests, marks))
-            return conn.recv()
-
-        cpu_started = time.process_time()
-        result = simulator.run(
-            satellite_ids=satellite_ids, epoch_sync=exchange
-        )
-        cpu_seconds = time.process_time() - cpu_started
-        profiler = perf.active_profiler()
-        rows = None
-        if profiler is not None:
-            # The phase sections time wall clock, which on an
-            # oversubscribed host counts other shards' timeslices too;
-            # cpu_total is this process's own compute, the number
-            # scaling analyses should trust.
-            rows = list(profiler.rows())
-            rows.append(
-                {"section": "cpu_total", "seconds": cpu_seconds, "calls": 1}
-            )
-        conn.send(("done", result, rows))
-    except Exception:
-        conn.send(("error", traceback.format_exc()))
-    finally:
-        conn.close()
+    return build_simulator(spec, dataset=dataset).run()
 
 
 def _shard_failure(
@@ -352,6 +318,46 @@ def _shard_failure(
         f"scenario {spec.resolved_label()!r} failed in shard "
         f"{shard_index} of {shard_count}: {detail}"
     )
+
+
+def _shardable_buckets(
+    spec: ScenarioSpec, shards: int
+) -> tuple[SyntheticDataset | None, list[list[int]] | None]:
+    """Partition a spec's satellites for sharding.
+
+    The gatekeeper both sharded entry points (:func:`run_scenario_sharded`
+    and the sweep scheduler's planner) share: it validates that the spec
+    is epoch-synchronized, builds (or cache-hits) the dataset, and
+    partitions its satellites.
+
+    Returns:
+        ``(dataset, buckets)``.  ``buckets`` is None when the scenario
+        should run whole — one shard was requested or the partition
+        collapsed to a single bucket; the built dataset rides along so
+        that fallback needn't build it again.
+
+    Raises:
+        ConfigError: ``shards > 1`` against a spec whose config has no
+            ``ground_sync_days`` cadence.
+    """
+    if shards <= 1:
+        return None, None
+    config = spec.config if spec.config is not None else EarthPlusConfig()
+    if config.ground_sync_days <= 0:
+        raise ConfigError(
+            "sharded execution requires epoch-synchronized ground state: "
+            "set config.ground_sync_days > 0 (e.g. 1.0). The sync cadence "
+            "is part of the scenario's semantics; the shard count is not."
+        )
+    dataset = (
+        spec.dataset.build()
+        if isinstance(spec.dataset, DatasetSpec)
+        else spec.dataset
+    )
+    buckets = dataset.schedule.partition_satellites(shards)
+    if len(buckets) <= 1:
+        return dataset, None
+    return dataset, buckets
 
 
 def run_scenario_sharded(
@@ -392,108 +398,33 @@ def run_scenario_sharded(
             scenario label and the shard index, with the worker's
             traceback inline.
     """
+    from repro.analysis.scheduler import SweepScheduler
+
     if shards is None:
         shards = perf.sim_shards()
     if shards < 1:
         raise ConfigError(f"shards must be >= 1, got {shards}")
     if shards == 1:
         return run_scenario(spec)
-    config = spec.config if spec.config is not None else EarthPlusConfig()
-    if config.ground_sync_days <= 0:
-        raise ConfigError(
-            "sharded execution requires epoch-synchronized ground state: "
-            "set config.ground_sync_days > 0 (e.g. 1.0). The sync cadence "
-            "is part of the scenario's semantics; the shard count is not."
-        )
-    dataset = (
-        spec.dataset.build()
-        if isinstance(spec.dataset, DatasetSpec)
-        else spec.dataset
-    )
-    buckets = dataset.schedule.partition_satellites(shards)
-    if len(buckets) <= 1:
-        return run_scenario(spec)
-    epochs = group_visits_by_epoch(
-        dataset.schedule.all_visits_sorted(), config.ground_sync_days
-    )
-    context = multiprocessing.get_context(
-        "fork"
-        if "fork" in multiprocessing.get_all_start_methods()
-        else None
-    )
-    workers = []
-    try:
-        for bucket in buckets:
-            parent, child = context.Pipe()
-            process = context.Process(
-                target=_shard_worker,
-                args=(child, spec, bucket, profile_sink is not None),
-            )
-            process.start()
-            child.close()
-            workers.append((process, parent, bucket))
+    dataset, buckets = _shardable_buckets(spec, shards)
+    if buckets is None:
+        # One bucket: run whole, reusing the dataset the partition
+        # attempt just built instead of building it again.
+        return run_scenario(spec, dataset=dataset)
+    task_sink = None
+    if profile_sink is not None:
 
-        def recv(shard_index: int):
-            process, parent, _ = workers[shard_index]
-            try:
-                message = parent.recv()
-            except EOFError:
-                raise _shard_failure(
-                    spec,
-                    shard_index,
-                    len(workers),
-                    f"worker died without a result (exit code "
-                    f"{process.exitcode})",
-                ) from None
-            if message[0] == "error":
-                raise _shard_failure(
-                    spec, shard_index, len(workers), message[1]
-                )
-            return message
+        def task_sink(task, rows, cpu_seconds):
+            if rows is not None:
+                profile_sink(task.shard_index, task.satellite_ids, rows)
 
-        for epoch, _ in epochs:
-            ingests: list = []
-            marks: list = []
-            for shard_index in range(len(workers)):
-                message = recv(shard_index)
-                if message[0] != "epoch" or message[1] != epoch:
-                    raise _shard_failure(
-                        spec,
-                        shard_index,
-                        len(workers),
-                        f"journal protocol desync: expected epoch {epoch}, "
-                        f"got {message[:2]!r}",
-                    )
-                ingests.extend(message[2])
-                marks.extend(message[3])
-            merged = (canonical_ingests(ingests), canonical_marks(marks))
-            for _, parent, _ in workers:
-                parent.send(merged)
-        result = RunResult.identity()
-        for shard_index in range(len(workers)):
-            message = recv(shard_index)
-            if message[0] != "done":
-                raise _shard_failure(
-                    spec,
-                    shard_index,
-                    len(workers),
-                    f"journal protocol desync: expected done, "
-                    f"got {message[0]!r}",
-                )
-            result = result.merge(message[1])
-            if profile_sink is not None and message[2] is not None:
-                profile_sink(
-                    shard_index, tuple(workers[shard_index][2]), message[2]
-                )
-        return result
-    finally:
-        for process, parent, _ in workers:
-            parent.close()
-        for process, _, _ in workers:
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join()
+    scheduler = SweepScheduler(
+        workers=len(buckets),
+        shards_per_scenario=len(buckets),
+        profile=profile_sink is not None,
+    )
+    results, _ = scheduler.run([spec], task_sink=task_sink)
+    return results[0]
 
 
 def _batch_error(spec: ScenarioSpec, index: int, exc: Exception) -> ScenarioError:
@@ -509,12 +440,23 @@ def run_scenarios(
     max_workers: int | None = None,
     on_result: Callable[[int, ScenarioSpec, RunResult], None] | None = None,
     shards: int | None = None,
+    stats_sink: Callable[..., None] | None = None,
 ) -> list[RunResult]:
     """Execute a batch of scenarios, optionally process-parallel.
 
     Results are returned in spec order and are byte-identical to running
     :func:`run_scenario` on each spec sequentially — workers rebuild
-    datasets and detectors deterministically from the specs.
+    datasets and detectors deterministically from the specs, and the
+    sweep scheduler only decides when work runs, never what merges.
+
+    The two parallelism axes compose: ``max_workers`` sizes one
+    persistent worker pool (see
+    :class:`~repro.analysis.scheduler.SweepScheduler`) and ``shards``
+    splits each epoch-synchronized scenario into that many shard tasks
+    over the *same* pool, so a 12-spec x 4-shard sweep keeps every
+    worker busy — while one scenario's shards wait at an epoch barrier,
+    other scenarios' tasks fill the idle workers.  When only sharding is
+    requested the pool is sized to the shard count.
 
     Prefer :class:`DatasetSpec` over a prebuilt dataset for batches: specs
     hit the per-process dataset cache, so every scenario a worker runs
@@ -524,57 +466,46 @@ def run_scenarios(
 
     Args:
         specs: The scenarios to run.
-        max_workers: None or 1 runs in-process; >= 2 fans the batch out
-            over that many worker processes.
+        max_workers: Worker-pool size.  None reads ``REPRO_SIM_WORKERS``
+            (default 1); a resolved size of 1 with ``shards <= 1`` runs
+            in-process.
         on_result: Optional streaming hook called as each scenario lands
             (in completion order, which under parallel workers is not spec
             order) with ``(spec_index, spec, result)``.  The experiment
             store persists results through this hook, so everything that
             finished before a failure survives the batch.
-        shards: When > 1, shard each scenario across this many worker
-            processes (see :func:`run_scenario_sharded`) instead of
-            fanning specs out — the right axis when the batch is small
-            but each scenario is large.  Mutually exclusive with
-            ``max_workers >= 2``; results are byte-identical either way.
+        shards: When > 1, additionally split each scenario into this
+            many shard tasks (requires ``config.ground_sync_days > 0``;
+            see :func:`run_scenario_sharded` for the single-scenario
+            entry point).  None reads ``REPRO_SIM_SHARDS`` (default 1).
+        stats_sink: Optional hook receiving the pool's
+            :class:`~repro.analysis.scheduler.SchedulerStats` after a
+            pooled sweep (never called for in-process runs).
 
     Returns:
         One :class:`RunResult` per spec, in order.
 
     Raises:
+        ConfigError: For invalid ``max_workers``/``shards``, or
+            ``shards > 1`` against a spec without epoch-synchronized
+            ground state.
         ScenarioError: When any scenario fails.  The message names the
-            failing spec's ``resolved_label()`` and the original exception
-            rides along as ``__cause__``; a shard failure additionally
-            names the shard index.  Scenarios that completed before the
-            failure was observed have already been delivered to
-            ``on_result``; remaining queued work is cancelled.
+            failing spec's ``resolved_label()`` (plus the shard index
+            for shard-task failures) with the worker's traceback
+            inline.  Scenarios that completed before the failure was
+            observed have already been delivered to ``on_result``.
     """
     specs = list(specs)
     if max_workers is not None and max_workers < 1:
         raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    workers = max_workers if max_workers is not None else perf.sim_workers()
     if shards is None:
         shards = perf.sim_shards()
     if shards < 1:
         raise ConfigError(f"shards must be >= 1, got {shards}")
-    if shards > 1 and max_workers is not None and max_workers > 1:
-        raise ConfigError(
-            "choose one parallelism axis: shards > 1 (within a scenario) "
-            "or max_workers > 1 (across scenarios), not both"
-        )
     results: list[RunResult] = [None] * len(specs)  # type: ignore[list-item]
-    if shards > 1:
-        for index, spec in enumerate(specs):
-            try:
-                result = run_scenario_sharded(spec, shards=shards)
-            except ScenarioError:
-                # Already labelled with scenario + shard; don't re-wrap.
-                raise
-            except Exception as exc:
-                raise _batch_error(spec, index, exc) from exc
-            results[index] = result
-            if on_result is not None:
-                on_result(index, spec, result)
-        return results
-    if max_workers is None or max_workers == 1 or len(specs) <= 1:
+    pool_size = max(workers, shards)
+    if pool_size <= 1 or (shards <= 1 and len(specs) <= 1) or not specs:
         for index, spec in enumerate(specs):
             try:
                 result = run_scenario(spec)
@@ -584,33 +515,12 @@ def run_scenarios(
             if on_result is not None:
                 on_result(index, spec, result)
         return results
-    failure: tuple[int, Exception] | None = None
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        index_of = {
-            pool.submit(run_scenario, spec): index
-            for index, spec in enumerate(specs)
-        }
-        # Drain in completion order so every scenario that finishes —
-        # even after another already failed — still reaches on_result;
-        # only not-yet-started work is cancelled.
-        for future in as_completed(index_of):
-            index = index_of[future]
-            try:
-                result = future.result()
-            except CancelledError:
-                continue
-            except Exception as exc:
-                if failure is None:
-                    failure = (index, exc)
-                    for pending in index_of:
-                        pending.cancel()
-                continue
-            results[index] = result
-            if on_result is not None:
-                on_result(index, specs[index], result)
-    if failure is not None:
-        index, exc = failure
-        raise _batch_error(specs[index], index, exc) from exc
+    from repro.analysis.scheduler import SweepScheduler
+
+    scheduler = SweepScheduler(workers=pool_size, shards_per_scenario=shards)
+    results, stats = scheduler.run(specs, on_result=on_result)
+    if stats_sink is not None:
+        stats_sink(stats)
     return results
 
 

@@ -1,0 +1,650 @@
+"""Unified sweep scheduler: one persistent warm worker pool for specs x shards.
+
+Before this module, a sweep had two mutually-exclusive parallelism axes:
+``max_workers`` fanned whole scenarios over a ``ProcessPoolExecutor``,
+and ``shards`` forked a fresh set of shard processes *per scenario*
+(paying worker spawn and cold per-process caches ``n_specs`` times, and
+idling every other core while one scenario's shards waited at its
+``ground_sync_days`` epoch barriers).
+
+:class:`SweepScheduler` replaces both with one substrate: a sweep
+becomes a DAG of **spec-tasks** (run a whole scenario) and **shard-tasks**
+(run one satellite bucket of a scenario, exchanging epoch journals
+through the scheduler), executed by a single set of long-lived forked
+workers spawned once per sweep.  Workers pull tasks from a shared queue,
+so scheduling is work-stealing by construction — any idle worker takes
+the next ready task, and while one scenario's shards sit at an epoch
+barrier, tasks from *other* scenarios fill the remaining workers.  Each
+worker keeps its warm per-process state (dataset cache, capture/surface
+caches, memoized visit ordering — see :mod:`repro.perf`) across every
+task it runs, so only the first task over a dataset pays synthesis.
+
+Scheduling topology never changes bytes.  The scheduler only decides
+*when* work runs, never *what* merges: shard partials fold with the
+monoid :meth:`~repro.core.accounting.RunResult.merge` in ascending shard
+order, epoch journals are concatenated in ascending shard order and
+canonically sorted (:func:`~repro.core.sharding.canonical_ingests` /
+:func:`~repro.core.sharding.canonical_marks`) exactly as the sequential
+epoch-synchronized loop sorts its own journal, and spec-tasks are plain
+:func:`~repro.analysis.scenarios.run_scenario` calls.  A joint
+``workers=N, shards_per_scenario=M`` sweep is therefore
+pickle-byte-identical to running every spec sequentially
+(differential-tested in ``tests/integration/test_sweep_scheduler.py``).
+
+Backpressure is structural: at most ``workers`` tasks are in flight at
+any moment (a task is enqueued only against an idle worker slot, and a
+shard group is enqueued only when a full gang of slots is free, which is
+also what makes the epoch-barrier rendezvous deadlock-free).  Journal
+exchange that used to ride per-scenario ad-hoc ``Pipe`` pairs is routed
+through the scheduler's shared result queue as messages keyed by
+``(scenario, epoch)``; merged journals return on a per-worker pipe.
+
+Per-sweep :class:`SchedulerStats` (tasks run / stolen, worker spawns,
+barrier-idle seconds, worker CPU) surface through ``repro sweep
+--profile`` so scheduling regressions are observable from the CLI.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro import perf
+from repro.core.accounting import RunResult
+from repro.core.sharding import canonical_ingests, canonical_marks
+from repro.errors import ConfigError, ScenarioError
+
+__all__ = ["SchedulerStats", "SweepScheduler"]
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One unit of worker-pool work (a whole scenario or one shard of one).
+
+    Attributes:
+        task_id: Unique id within one scheduler run.
+        kind: ``"spec"`` (run the whole scenario) or ``"shard"``.
+        spec_index: Position of the scenario in the sweep's spec list.
+        spec: The scenario description (picklable by contract).
+        shard_index: This task's shard slot (shard tasks only).
+        shard_count: Total shards of this scenario (shard tasks only).
+        satellite_ids: The shard's satellite bucket (shard tasks only).
+        profile: Whether the worker should run with the phase profiler on
+            and return its rows with the result.
+    """
+
+    task_id: int
+    kind: str
+    spec_index: int
+    spec: object
+    shard_index: int = 0
+    shard_count: int = 1
+    satellite_ids: tuple[int, ...] = ()
+    profile: bool = False
+
+
+@dataclass
+class SchedulerStats:
+    """Per-sweep scheduling observability (``repro sweep --profile``).
+
+    Attributes:
+        workers: Pool size the sweep ran with.
+        spawns: Worker processes spawned — once per sweep by design
+            (the legacy sharded path spawned ``n_specs x shards``).
+        tasks_run: Tasks executed (spec tasks + shard tasks).
+        spec_tasks: Whole-scenario tasks among them.
+        shard_tasks: Shard tasks among them.
+        tasks_stolen: Tasks that started on a worker other than the one
+            that last ran the same dataset — i.e. work pulled away from
+            its warm-cache affinity because that worker was busy.
+        barrier_idle_s: Total seconds shard tasks spent blocked at epoch
+            barriers waiting for merged journals (summed across workers;
+            the scheduler fills this time with other scenarios' tasks
+            when the pool is larger than one shard group).
+        worker_cpu_s: Total task CPU seconds across all workers.
+        wall_s: Driver wall time for the whole sweep.
+    """
+
+    workers: int = 0
+    spawns: int = 0
+    tasks_run: int = 0
+    spec_tasks: int = 0
+    shard_tasks: int = 0
+    tasks_stolen: int = 0
+    barrier_idle_s: float = 0.0
+    worker_cpu_s: float = 0.0
+    wall_s: float = 0.0
+
+    def rows(self) -> list[dict]:
+        """Stat/value rows for the CLI ``--profile`` table."""
+        return [
+            {"stat": "workers", "value": self.workers},
+            {"stat": "worker_spawns", "value": self.spawns},
+            {"stat": "tasks_run", "value": self.tasks_run},
+            {"stat": "spec_tasks", "value": self.spec_tasks},
+            {"stat": "shard_tasks", "value": self.shard_tasks},
+            {"stat": "tasks_stolen", "value": self.tasks_stolen},
+            {
+                "stat": "barrier_idle_s",
+                "value": round(self.barrier_idle_s, 6),
+            },
+            {"stat": "worker_cpu_s", "value": round(self.worker_cpu_s, 6)},
+            {"stat": "wall_s", "value": round(self.wall_s, 6)},
+        ]
+
+
+def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
+    """One long-lived pool worker: pull tasks until the ``None`` sentinel.
+
+    Protocol (worker side), all on the shared ``result_queue``:
+
+    * ``("start", worker_id, task_id)`` on dequeue (lets the driver
+      attribute a later worker death to the task it was running);
+    * per epoch of a shard task,
+      ``("epoch", worker_id, task_id, epoch, ingests, marks)`` — then
+      block on ``reply_conn`` for the merged ``(ingests, marks)``;
+    * ``("done", worker_id, task_id, result, profile_rows,
+      barrier_idle_s, cpu_seconds)`` or
+      ``("error", worker_id, task_id, traceback_text)``.
+
+    Warm per-process caches (datasets, captures, noise geometry) persist
+    across tasks — that is the point of the pool — and never change
+    results (the determinism contract of :mod:`repro.analysis.scenarios`).
+    """
+    # Workers import lazily so a spawn-context platform re-imports
+    # cleanly; under fork this resolves to the already-loaded module
+    # (including any monkeypatching the driver process carries).
+    from repro.analysis import scenarios
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        result_queue.put(("start", worker_id, task.task_id))
+        try:
+            if task.profile:
+                perf.enable_profiler()
+            barrier_idle = 0.0
+            if task.kind == "shard":
+                simulator = scenarios.build_simulator(task.spec)
+
+                def exchange(epoch, ingests, marks, _tid=task.task_id):
+                    nonlocal barrier_idle
+                    result_queue.put(
+                        ("epoch", worker_id, _tid, epoch, ingests, marks)
+                    )
+                    waited = time.perf_counter()
+                    merged = reply_conn.recv()
+                    barrier_idle += time.perf_counter() - waited
+                    return merged
+
+                # CPU is measured around the run only (not simulator
+                # construction), matching the legacy shard workers so
+                # critical-path projections stay comparable.
+                cpu_started = time.process_time()
+                result = simulator.run(
+                    satellite_ids=task.satellite_ids, epoch_sync=exchange
+                )
+                cpu_seconds = time.process_time() - cpu_started
+            else:
+                cpu_started = time.process_time()
+                result = scenarios.run_scenario(task.spec)
+                cpu_seconds = time.process_time() - cpu_started
+            rows = None
+            profiler = perf.active_profiler()
+            if profiler is not None:
+                rows = list(profiler.rows())
+                rows.append(
+                    {
+                        "section": "cpu_total",
+                        "seconds": cpu_seconds,
+                        "calls": 1,
+                    }
+                )
+            result_queue.put(
+                (
+                    "done",
+                    worker_id,
+                    task.task_id,
+                    result,
+                    rows,
+                    barrier_idle,
+                    cpu_seconds,
+                )
+            )
+        except Exception:
+            result_queue.put(
+                ("error", worker_id, task.task_id, traceback.format_exc())
+            )
+        finally:
+            perf.disable_profiler()
+    reply_conn.close()
+
+
+@dataclass
+class _Unit:
+    """One schedulable unit: a single spec task or a gang of shard tasks."""
+
+    tasks: list
+
+    @property
+    def size(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class _GroupState:
+    """Driver-side progress of one sharded scenario."""
+
+    size: int
+    #: epoch -> shard_index -> (worker_id, ingests, marks)
+    epoch_buffer: dict = field(default_factory=dict)
+    #: shard_index -> RunResult partial
+    partials: dict = field(default_factory=dict)
+
+
+class SweepScheduler:
+    """Execute a sweep as spec/shard tasks over one warm worker pool.
+
+    Args:
+        workers: Pool size (worker processes spawned once per sweep).
+        shards_per_scenario: Shard each eligible scenario (one whose
+            config sets ``ground_sync_days > 0``) across this many
+            shard tasks, clamped to the pool size.  ``1`` runs every
+            scenario as a single spec task.
+        profile: Run every task with the phase profiler enabled and hand
+            its rows to ``task_sink``.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        shards_per_scenario: int = 1,
+        profile: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if shards_per_scenario < 1:
+            raise ConfigError(
+                f"shards_per_scenario must be >= 1, got {shards_per_scenario}"
+            )
+        self.workers = workers
+        self.shards_per_scenario = shards_per_scenario
+        self.profile = profile
+
+    # -- planning ------------------------------------------------------
+    def _plan(self, specs: Sequence) -> tuple[list[_Unit], dict[int, object]]:
+        """Turn specs into schedulable units (shard gangs first).
+
+        Shard gangs are ordered ahead of spec tasks so gangs claim whole
+        worker blocks early and single-spec tasks backfill the leftover
+        slots (including workers idled by another gang's epoch barrier);
+        dispatch is first-fit over this order.  Ordering is pure
+        scheduling policy — results are position-keyed and
+        byte-invariant to it.
+
+        Returns:
+            The unit list and a ``spec_index -> dataset affinity key``
+            map (for the ``tasks_stolen`` statistic).
+        """
+        from repro.analysis.scenarios import (
+            DatasetSpec,
+            _batch_error,
+            _shardable_buckets,
+        )
+
+        groups: list[_Unit] = []
+        singles: list[_Unit] = []
+        affinity_keys: dict[int, object] = {}
+        task_id = 0
+        for index, spec in enumerate(specs):
+            affinity_keys[index] = (
+                spec.dataset
+                if isinstance(spec.dataset, DatasetSpec)
+                else id(spec.dataset)
+            )
+            buckets = None
+            if self.shards_per_scenario > 1:
+                try:
+                    _, buckets = _shardable_buckets(
+                        spec, min(self.shards_per_scenario, self.workers)
+                    )
+                except ConfigError:
+                    # Spec semantics (e.g. sharding without an epoch
+                    # cadence) — not a batch execution failure.
+                    raise
+                except Exception as exc:
+                    raise _batch_error(spec, index, exc) from exc
+            if buckets is not None:
+                tasks = [
+                    _Task(
+                        task_id=task_id + shard_index,
+                        kind="shard",
+                        spec_index=index,
+                        spec=spec,
+                        shard_index=shard_index,
+                        shard_count=len(buckets),
+                        satellite_ids=tuple(bucket),
+                        profile=self.profile,
+                    )
+                    for shard_index, bucket in enumerate(buckets)
+                ]
+                task_id += len(buckets)
+                groups.append(_Unit(tasks=tasks))
+            else:
+                singles.append(
+                    _Unit(
+                        tasks=[
+                            _Task(
+                                task_id=task_id,
+                                kind="spec",
+                                spec_index=index,
+                                spec=spec,
+                                profile=self.profile,
+                            )
+                        ]
+                    )
+                )
+                task_id += 1
+        return groups + singles, affinity_keys
+
+    # -- failure wrapping ----------------------------------------------
+    @staticmethod
+    def _task_failure(task: _Task, detail: str) -> ScenarioError:
+        from repro.analysis.scenarios import _shard_failure
+
+        if task.kind == "shard":
+            return _shard_failure(
+                task.spec, task.shard_index, task.shard_count, detail
+            )
+        return ScenarioError(
+            f"scenario {task.spec.resolved_label()!r} "
+            f"(spec {task.spec_index + 1} of a batch) failed: {detail}"
+        )
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        specs: Sequence,
+        on_result: Callable | None = None,
+        task_sink: Callable | None = None,
+    ) -> tuple[list[RunResult], SchedulerStats]:
+        """Run the sweep; results in spec order, byte-identical to sequential.
+
+        Args:
+            specs: The scenarios to run.
+            on_result: Streaming hook ``(spec_index, spec, result)``,
+                called as each *scenario* completes (completion order).
+            task_sink: Per-task hook ``(task, profile_rows, cpu_seconds)``
+                called as each task completes (rows are None unless the
+                scheduler was built with ``profile=True``).
+
+        Returns:
+            ``(results, stats)``.
+
+        Raises:
+            ConfigError: ``shards_per_scenario > 1`` against a spec
+                without ``ground_sync_days`` (sharding is engine-only
+                and must never change semantics, so the epoch journal is
+                required, exactly as in the per-scenario sharded runner).
+            ScenarioError: A task failed or its worker died; the message
+                names the scenario label (and shard index for shard
+                tasks) with the worker's traceback inline.
+        """
+        specs = list(specs)
+        stats = SchedulerStats(workers=self.workers)
+        started_wall = time.perf_counter()
+        results: list[RunResult | None] = [None] * len(specs)
+        if not specs:
+            stats.wall_s = time.perf_counter() - started_wall
+            return [], stats
+        units, affinity_keys = self._plan(specs)
+        if self.workers == 1:
+            self._run_inline(specs, units, results, on_result, task_sink, stats)
+            stats.wall_s = time.perf_counter() - started_wall
+            return results, stats  # type: ignore[return-value]
+        self._run_pooled(
+            specs, units, affinity_keys, results, on_result, task_sink, stats
+        )
+        stats.wall_s = time.perf_counter() - started_wall
+        return results, stats  # type: ignore[return-value]
+
+    def _run_inline(
+        self, specs, units, results, on_result, task_sink, stats
+    ) -> None:
+        """Single-worker degenerate case: run in-process, no pool.
+
+        A one-worker pool could never gang-schedule a shard group, and
+        in-process execution is the byte-identity reference anyway.
+        """
+        from repro.analysis import scenarios
+
+        for unit in units:
+            for task in unit.tasks:
+                assert task.kind == "spec", "1-worker plans have no gangs"
+                try:
+                    if self.profile:
+                        perf.enable_profiler()
+                    cpu_started = time.process_time()
+                    result = scenarios.run_scenario(task.spec)
+                    cpu_seconds = time.process_time() - cpu_started
+                    rows = None
+                    profiler = perf.active_profiler()
+                    if profiler is not None:
+                        rows = list(profiler.rows())
+                        rows.append(
+                            {
+                                "section": "cpu_total",
+                                "seconds": cpu_seconds,
+                                "calls": 1,
+                            }
+                        )
+                except ScenarioError:
+                    raise
+                except Exception as exc:
+                    raise self._task_failure(task, str(exc)) from exc
+                finally:
+                    perf.disable_profiler()
+                stats.tasks_run += 1
+                stats.spec_tasks += 1
+                stats.worker_cpu_s += cpu_seconds
+                results[task.spec_index] = result
+                if task_sink is not None:
+                    task_sink(task, rows, cpu_seconds)
+                if on_result is not None:
+                    on_result(task.spec_index, task.spec, result)
+
+    def _run_pooled(
+        self, specs, units, affinity_keys, results, on_result, task_sink, stats
+    ) -> None:
+        """The driver event loop over one persistent worker pool."""
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        workers: list[tuple] = []
+        for worker_id in range(self.workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_pool_worker,
+                args=(worker_id, task_queue, result_queue, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append((process, parent_conn))
+        stats.spawns = self.workers
+
+        tasks_by_id = {
+            task.task_id: task for unit in units for task in unit.tasks
+        }
+        pending_units = list(units)
+        groups: dict[int, _GroupState] = {
+            unit.tasks[0].spec_index: _GroupState(size=unit.size)
+            for unit in units
+            if unit.tasks[0].kind == "shard"
+        }
+        idle = self.workers
+        running: dict[int, int] = {}  # worker_id -> task_id (post-"start")
+        affinity: dict[object, int] = {}  # dataset key -> last worker
+        completed = 0
+        failed = False
+
+        def dispatch() -> None:
+            # First-fit over the pending units: a gang goes out only
+            # when a full block of idle slots exists (in-flight tasks
+            # never exceed the pool — the backpressure bound — and every
+            # gang member is guaranteed a worker, which makes the epoch
+            # rendezvous deadlock-free); single spec tasks backfill any
+            # remaining slots.
+            nonlocal idle
+            index = 0
+            while index < len(pending_units):
+                unit = pending_units[index]
+                if unit.size <= idle:
+                    for task in unit.tasks:
+                        task_queue.put(task)
+                    idle -= unit.size
+                    del pending_units[index]
+                else:
+                    index += 1
+
+        def deliver(spec_index: int, result: RunResult) -> None:
+            nonlocal completed
+            results[spec_index] = result
+            completed += 1
+            if on_result is not None:
+                on_result(spec_index, specs[spec_index], result)
+
+        try:
+            dispatch()
+            while completed < len(specs):
+                try:
+                    message = result_queue.get(timeout=0.5)
+                except queue_mod.Empty:
+                    for worker_id, (process, _) in enumerate(workers):
+                        if process.is_alive():
+                            continue
+                        detail = (
+                            f"worker died without a result "
+                            f"(exit code {process.exitcode})"
+                        )
+                        task_id = running.get(worker_id)
+                        failed = True
+                        if task_id is not None:
+                            raise self._task_failure(
+                                tasks_by_id[task_id], detail
+                            )
+                        raise ScenarioError(
+                            f"sweep worker {worker_id} {detail}"
+                        )
+                    continue
+                kind = message[0]
+                if kind == "start":
+                    _, worker_id, task_id = message
+                    running[worker_id] = task_id
+                    task = tasks_by_id[task_id]
+                    stats.tasks_run += 1
+                    if task.kind == "shard":
+                        stats.shard_tasks += 1
+                    else:
+                        stats.spec_tasks += 1
+                    key = affinity_keys[task.spec_index]
+                    last = affinity.get(key)
+                    if last is not None and last != worker_id:
+                        stats.tasks_stolen += 1
+                    affinity[key] = worker_id
+                elif kind == "epoch":
+                    _, worker_id, task_id, epoch, ingests, marks = message
+                    task = tasks_by_id[task_id]
+                    group = groups[task.spec_index]
+                    buffer = group.epoch_buffer.setdefault(epoch, {})
+                    buffer[task.shard_index] = (worker_id, ingests, marks)
+                    if len(buffer) == group.size:
+                        # Concatenate in ascending shard order before the
+                        # canonical sort — the exact accumulation order
+                        # of the per-scenario sharded runner, so merged
+                        # journals (and every downstream byte) match it.
+                        all_ingests: list = []
+                        all_marks: list = []
+                        for shard_index in sorted(buffer):
+                            _, shard_ingests, shard_marks = buffer[shard_index]
+                            all_ingests.extend(shard_ingests)
+                            all_marks.extend(shard_marks)
+                        merged = (
+                            canonical_ingests(all_ingests),
+                            canonical_marks(all_marks),
+                        )
+                        for shard_index in sorted(buffer):
+                            shard_worker = buffer[shard_index][0]
+                            workers[shard_worker][1].send(merged)
+                        del group.epoch_buffer[epoch]
+                elif kind == "done":
+                    (
+                        _,
+                        worker_id,
+                        task_id,
+                        result,
+                        rows,
+                        barrier_idle,
+                        cpu_seconds,
+                    ) = message
+                    task = tasks_by_id[task_id]
+                    running.pop(worker_id, None)
+                    idle += 1
+                    stats.barrier_idle_s += barrier_idle
+                    stats.worker_cpu_s += cpu_seconds
+                    if task_sink is not None:
+                        task_sink(task, rows, cpu_seconds)
+                    if task.kind == "spec":
+                        deliver(task.spec_index, result)
+                    else:
+                        group = groups[task.spec_index]
+                        group.partials[task.shard_index] = result
+                        if len(group.partials) == group.size:
+                            merged_result = RunResult.identity()
+                            for shard_index in sorted(group.partials):
+                                merged_result = merged_result.merge(
+                                    group.partials[shard_index]
+                                )
+                            deliver(task.spec_index, merged_result)
+                    dispatch()
+                elif kind == "error":
+                    _, worker_id, task_id, detail = message
+                    failed = True
+                    raise self._task_failure(tasks_by_id[task_id], detail)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            if failed:
+                # Workers may be blocked at an epoch barrier that will
+                # never resolve; a clean drain is impossible.
+                for process, parent_conn in workers:
+                    parent_conn.close()
+                    process.terminate()
+                for process, _ in workers:
+                    process.join(timeout=5.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join()
+            else:
+                for _ in workers:
+                    task_queue.put(None)
+                for process, parent_conn in workers:
+                    process.join(timeout=10.0)
+                    parent_conn.close()
+                    if process.is_alive():
+                        process.terminate()
+                        process.join()
+            task_queue.close()
+            result_queue.close()
+            task_queue.cancel_join_thread()
+            result_queue.cancel_join_thread()

@@ -5,6 +5,7 @@ Usage::
     python -m repro simulate --dataset sentinel2 --policy earthplus --gamma 0.3
     python -m repro sweep --policies earthplus,kodan --seeds 0,1 --workers 4
     python -m repro sweep --seeds 0,1,2,3 --workers 4 --resume
+    python -m repro sweep --workers 4 --shards-per-scenario 2 --sync-days 1
     python -m repro query --policy earthplus --format csv
     python -m repro query --aggregate policy,gamma
     python -m repro run --dataset sentinel2 --policy earthplus --gamma 0.3
@@ -13,8 +14,10 @@ Usage::
     python -m repro specs
 
 ``simulate`` and ``sweep`` are the scenario-layer interface: every run is a
-declarative :class:`~repro.analysis.scenarios.ScenarioSpec`, sweeps fan the
-cross-product out over worker processes, and results print as an aligned
+declarative :class:`~repro.analysis.scenarios.ScenarioSpec`, sweeps execute
+over one persistent worker pool (``--workers`` sizes it; add
+``--shards-per-scenario`` to also split each epoch-synchronized scenario
+across shard tasks on the same pool), and results print as an aligned
 table, csv, or json (``--format``).  All options have small laptop-friendly
 defaults.
 
@@ -112,10 +115,12 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_shard_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--shards", type=int, default=None,
-        help="shard each scenario's satellites across N worker processes "
+        "--shards", "--shards-per-scenario", dest="shards",
+        type=int, default=None,
+        help="shard each scenario's satellites across N shard tasks "
         "(default: REPRO_SIM_SHARDS or 1). Requires --sync-days > 0; "
-        "results are byte-identical to a sequential run",
+        "results are byte-identical to a sequential run. Composes with "
+        "--workers: both axes share one worker pool",
     )
     parser.add_argument(
         "--sync-days", type=float, default=0.0,
@@ -371,14 +376,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown policy {policy!r}; expected one of {POLICY_NAMES}"
             )
-    if args.workers is not None and args.workers < 1:
-        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    workers = args.workers if args.workers is not None else perf.sim_workers()
+    if workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {workers}")
     shards = _resolve_shards(args)
-    if shards > 1 and args.workers is not None and args.workers > 1:
-        raise SystemExit(
-            "choose one parallelism axis: --shards (within a scenario) "
-            "or --workers (across scenarios), not both"
-        )
     try:
         seeds = [int(s) for s in args.seeds.split(",")]
     except ValueError:
@@ -407,12 +408,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         downlink_severity=args.downlink_severity,
     )
     store = _resolve_store(args)
+    scheduler_stats: list = []
     sweep = run_scenarios_cached(
         specs,
-        max_workers=args.workers,
+        max_workers=workers,
         store=store,
         refresh=args.refresh,
         shards=shards,
+        stats_sink=scheduler_stats.append if args.profile else None,
     )
     print(
         format_rows(
@@ -428,6 +431,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     if store is not None and args.format == "table":
         print(f"store: {sweep.summary()} ({store.root})")
+    if args.profile:
+        print()
+        if scheduler_stats:
+            print(
+                format_rows(
+                    ["stat", "value"],
+                    scheduler_stats[-1].rows(),
+                    fmt=args.format,
+                    title="sweep scheduler (one persistent worker pool)",
+                )
+            )
+        else:
+            print(
+                "scheduler: sweep ran in-process "
+                "(no worker pool; nothing simulated in parallel)"
+            )
     return 0
 
 
@@ -655,7 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes (default: run in-process)",
+        help="worker-pool size (default: REPRO_SIM_WORKERS or 1, i.e. "
+        "in-process). Workers spawn once per sweep and run both whole "
+        "scenarios and scenario shards (--shards-per-scenario)",
     )
     sweep_parser.add_argument(
         "--uplink-bytes", type=int, default=None,
@@ -672,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--format", choices=("table", "csv", "json"), default="table",
         help="output format",
+    )
+    sweep_parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-sweep scheduler statistics (tasks run/stolen, "
+        "worker spawns, barrier-idle seconds) after the results",
     )
     _add_shard_args(sweep_parser)
     _add_store_args(sweep_parser, resumable=True)

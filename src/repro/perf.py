@@ -133,6 +133,35 @@ def sim_shards() -> int:
     return shards
 
 
+def sim_workers() -> int:
+    """Default sweep worker-pool size (``REPRO_SIM_WORKERS``).
+
+    Read at call time (not import time), matching :func:`sim_shards`.
+    The pool size is pure scheduling topology — the sweep scheduler
+    (see :mod:`repro.analysis.scheduler`) produces byte-identical
+    results at any value — so callers that omit an explicit
+    ``max_workers=`` pick this up transparently.
+
+    Returns:
+        The configured worker count (>= 1); 1 (sequential) when unset.
+
+    Raises:
+        ValueError: For a set value that is not a positive integer.
+    """
+    raw = os.environ.get("REPRO_SIM_WORKERS")
+    if raw is None or raw.strip() == "":
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SIM_WORKERS={raw!r} is not an integer worker count"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"REPRO_SIM_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
 def simulation_fastpath() -> bool:
     """Whether the vectorized/batched/cached simulation paths are active.
 

@@ -330,20 +330,14 @@ class ExperimentStore:
         ).fetchone()
         return row is not None
 
-    def get(self, spec_or_key: ScenarioSpec | str) -> RunResult | None:
-        """Load a cached result, or None on a miss.
+    def _load(self, key: str) -> RunResult | None:
+        """Load one *indexed* key's payload, healing on corruption.
 
-        A hit refreshes the entry's LRU stamp.  Entries whose payload is
-        missing, corrupt, or of an unexpected payload version are dropped
-        and reported as misses — the caller re-simulates and overwrites.
+        The caller has already established index presence; entries whose
+        payload is missing, corrupt, or of an unexpected payload version
+        are dropped and reported as misses.  A successful load refreshes
+        the entry's LRU stamp.
         """
-        key = (
-            spec_or_key
-            if isinstance(spec_or_key, str)
-            else self.key_for(spec_or_key)
-        )
-        if not self.contains(key):
-            return None
         payload = self._payload_dir(key)
         try:
             with open(payload / "result.json", "r", encoding="utf-8") as fh:
@@ -363,6 +357,58 @@ class ExperimentStore:
             (time.time(), key),
         )
         return result
+
+    def get(self, spec_or_key: ScenarioSpec | str) -> RunResult | None:
+        """Load a cached result, or None on a miss.
+
+        A hit refreshes the entry's LRU stamp.  Entries whose payload is
+        missing, corrupt, or of an unexpected payload version are dropped
+        and reported as misses — the caller re-simulates and overwrites.
+        """
+        key = (
+            spec_or_key
+            if isinstance(spec_or_key, str)
+            else self.key_for(spec_or_key)
+        )
+        if not self.contains(key):
+            return None
+        return self._load(key)
+
+    #: SQLite's default variable limit is 999; chunk IN-lists well below.
+    _IN_CHUNK = 500
+
+    def get_many(self, keys) -> dict[str, RunResult | None]:
+        """Load many cached results with one presence query per chunk.
+
+        The batch analog of :meth:`get` for sweep hit-scans: presence of
+        all ``keys`` resolves through ``SELECT ... WHERE key IN (...)``
+        (one round-trip per :data:`_IN_CHUNK` keys instead of one per
+        key), then only the present keys touch payload files.  Semantics
+        per key match :meth:`get` exactly — corrupt entries heal to
+        misses, hits refresh their LRU stamp.
+
+        Args:
+            keys: Content keys to resolve (duplicates collapse).
+
+        Returns:
+            ``{key: RunResult | None}`` covering every requested key.
+        """
+        unique = list(dict.fromkeys(keys))
+        results: dict[str, RunResult | None] = {key: None for key in unique}
+        present: list[str] = []
+        for start in range(0, len(unique), self._IN_CHUNK):
+            chunk = unique[start : start + self._IN_CHUNK]
+            placeholders = ",".join("?" * len(chunk))
+            present.extend(
+                row[0]
+                for row in self._conn.execute(
+                    f"SELECT key FROM runs WHERE key IN ({placeholders})",
+                    chunk,
+                )
+            )
+        for key in present:
+            results[key] = self._load(key)
+        return results
 
     # -- writes --------------------------------------------------------
     def put(

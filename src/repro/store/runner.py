@@ -85,6 +85,7 @@ def run_scenarios_cached(
     store: ExperimentStore | None = ENV_DEFAULT,  # type: ignore[assignment]
     refresh: bool = False,
     shards: int | None = None,
+    stats_sink=None,
 ) -> CachedSweep:
     """Execute a batch through the experiment store.
 
@@ -95,7 +96,9 @@ def run_scenarios_cached(
 
     Args:
         specs: The scenarios to run.
-        max_workers: Worker processes for the specs that must simulate.
+        max_workers: Worker-pool size for the specs that must simulate
+            (composes with ``shards`` over one pool; see
+            :func:`~repro.analysis.scenarios.run_scenarios`).
         store: An :class:`ExperimentStore`, None to bypass caching, or
             :data:`ENV_DEFAULT` to resolve from ``REPRO_STORE``.
         refresh: Ignore existing entries and re-simulate everything
@@ -105,6 +108,9 @@ def run_scenarios_cached(
             :func:`~repro.analysis.scenarios.run_scenario_sharded`).
             The shard count never enters content keys — a sharded run
             hits, and is hit by, sequential entries.
+        stats_sink: Optional hook receiving the scheduler's per-sweep
+            :class:`~repro.analysis.scheduler.SchedulerStats` when the
+            simulated remainder ran on a worker pool.
 
     Returns:
         The :class:`CachedSweep` (``.results`` is the per-spec list).
@@ -127,13 +133,11 @@ def run_scenarios_cached(
     results: list[RunResult | None] = [None] * len(specs)
     cached: list[int] = []
     if store is not None and not refresh:
-        loaded: dict[str, RunResult | None] = {}
+        # One batched presence query for the whole sweep (the hit-scan
+        # used to issue a sequential store.get round-trip per spec).
+        loaded = store.get_many(key for key in keys if key is not None)
         for index, key in enumerate(keys):
-            if key is None:
-                continue
-            if key not in loaded:
-                loaded[key] = store.get(key)
-            if loaded[key] is not None:
+            if key is not None and loaded[key] is not None:
                 results[index] = loaded[key]
                 cached.append(index)
     # One representative spec per missing content key (duplicates share
@@ -169,6 +173,7 @@ def run_scenarios_cached(
         max_workers=max_workers,
         on_result=persist,
         shards=shards,
+        stats_sink=stats_sink,
     )
     # Fan shared-key results out to duplicate specs.
     by_key = {

@@ -102,6 +102,28 @@ class TestFastpathCallTimeEnv:
         assert perf.simulation_fastpath() is False  # now the env decides
 
 
+class TestSimWorkersEnv:
+    """REPRO_SIM_WORKERS is read at call time, exactly like REPRO_SIM_SHARDS."""
+
+    def test_unset_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_WORKERS", raising=False)
+        assert perf.sim_workers() == 1
+
+    def test_set_after_import_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "4")
+        assert perf.sim_workers() == 4
+
+    @pytest.mark.parametrize("value", ["zero", "1.5", "-2", "0"])
+    def test_garbage_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SIM_WORKERS", value)
+        with pytest.raises(ValueError, match="REPRO_SIM_WORKERS"):
+            perf.sim_workers()
+
+    def test_blank_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "  ")
+        assert perf.sim_workers() == 1
+
+
 class TestStorePathResolution:
     """REPRO_STORE is path-or-flag, parsed through the same words."""
 

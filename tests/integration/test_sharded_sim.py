@@ -116,9 +116,15 @@ class TestShardingGuards:
             run_scenario_sharded(FIG13_SPEC, shards=1)
         ) == pickle.dumps(run_scenario(FIG13_SPEC))
 
-    def test_rejects_both_parallelism_axes(self):
-        with pytest.raises(ConfigError, match="parallelism axis"):
-            run_scenarios([FIG13_SPEC], max_workers=2, shards=2)
+    def test_joint_axes_compose(self):
+        # The axes used to be mutually exclusive; the sweep scheduler
+        # runs both over one pool, byte-identically to sequential.
+        sequential = run_scenarios([FIG13_SPEC, FIG20_SPEC])
+        joint = run_scenarios(
+            [FIG13_SPEC, FIG20_SPEC], max_workers=2, shards=2
+        )
+        for a, b in zip(sequential, joint):
+            assert pickle.dumps(a) == pickle.dumps(b)
 
     def test_worker_failure_names_the_shard(self):
         broken = ScenarioSpec(
@@ -137,7 +143,11 @@ class TestShardingGuards:
             seed=1,
             label="broken-uplink",
         )
-        with pytest.raises(ScenarioError, match=r"'broken-uplink'.*shard 0 of 2"):
+        # Which shard's failure lands first is racy under the shared
+        # result queue; attribution must name the label and *a* shard.
+        with pytest.raises(
+            ScenarioError, match=r"'broken-uplink'.*shard \d+ of 2"
+        ):
             run_scenario_sharded(broken, shards=2)
 
 

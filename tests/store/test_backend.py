@@ -145,6 +145,44 @@ class TestQueryAndStats:
         assert stats["payload_mb"] > 0
 
 
+class TestGetMany:
+    """The batched hit-scan must be get() applied per key, one SQL trip."""
+
+    def test_hits_misses_and_duplicates(self, store, tiny_spec, result_factory):
+        specs = [tiny_spec(seed=seed) for seed in range(3)]
+        results = [result_factory(n_records=seed + 1) for seed in range(3)]
+        keys = [
+            store.put(spec, result)
+            for spec, result in zip(specs[:2], results[:2])
+        ]
+        missing = store.key_for(specs[2])
+        loaded = store.get_many([keys[0], keys[1], missing, keys[0]])
+        assert set(loaded) == {keys[0], keys[1], missing}
+        assert pickle.dumps(loaded[keys[0]]) == pickle.dumps(results[0])
+        assert pickle.dumps(loaded[keys[1]]) == pickle.dumps(results[1])
+        assert loaded[missing] is None
+
+    def test_empty_request(self, store):
+        assert store.get_many([]) == {}
+
+    def test_corrupt_entry_heals_to_miss(self, store, tiny_spec, result_factory):
+        spec, result = _spec_and_result(tiny_spec, result_factory)
+        key = store.put(spec, result)
+        shutil.rmtree(store._payload_dir(key))
+        assert store.get_many([key]) == {key: None}
+        assert not store.contains(key)
+
+    def test_spans_presence_query_chunks(self, store, tiny_spec, result_factory):
+        store._IN_CHUNK = 2  # force several IN(...) round-trips
+        keys = [
+            store.put(tiny_spec(seed=seed), result_factory(n_records=1))
+            for seed in range(5)
+        ]
+        loaded = store.get_many(keys + ["0" * 64])
+        assert all(loaded[key] is not None for key in keys)
+        assert loaded["0" * 64] is None
+
+
 class TestConcurrency:
     def test_concurrent_writers_share_one_store(self, tmp_path, tiny_spec, result_factory):
         """Two stores on one root (as two sweep processes would open)
