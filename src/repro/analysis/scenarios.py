@@ -30,10 +30,12 @@ they only remove redundant recomputation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro import perf
+from repro.obs import trace
 from repro.baselines.kodan import KodanPolicy
 from repro.baselines.naive import NaivePolicy
 from repro.baselines.satroi import SatRoIPolicy
@@ -441,6 +443,8 @@ def run_scenarios(
     on_result: Callable[[int, ScenarioSpec, RunResult], None] | None = None,
     shards: int | None = None,
     stats_sink: Callable[..., None] | None = None,
+    profile_sink: Callable[[list], None] | None = None,
+    progress=None,
 ) -> list[RunResult]:
     """Execute a batch of scenarios, optionally process-parallel.
 
@@ -481,6 +485,15 @@ def run_scenarios(
         stats_sink: Optional hook receiving the pool's
             :class:`~repro.analysis.scheduler.SchedulerStats` after a
             pooled sweep (never called for in-process runs).
+        profile_sink: Optional hook receiving each completed task's
+            profiler rows (``[{"section", "seconds", "calls"}]``,
+            including a synthetic ``cpu_total`` row).  When set, every
+            task runs with the phase profiler enabled; fold the rows
+            with :meth:`~repro.perf.SimProfiler.merge` for one
+            sweep-wide table.
+        progress: Optional :class:`~repro.obs.progress.SweepProgress`
+            (or duck-type) receiving task/spec completion callbacks.
+            Display-only; results are byte-invariant to it.
 
     Returns:
         One :class:`RunResult` per spec, in order.
@@ -507,18 +520,57 @@ def run_scenarios(
     pool_size = max(workers, shards)
     if pool_size <= 1 or (shards <= 1 and len(specs) <= 1) or not specs:
         for index, spec in enumerate(specs):
+            if progress is not None:
+                progress.task_started()
             try:
-                result = run_scenario(spec)
+                if profile_sink is not None:
+                    perf.enable_profiler()
+                with trace.trace_context(scenario=spec.resolved_label()):
+                    cpu_started = time.process_time()
+                    with trace.span("spec_task"):
+                        result = run_scenario(spec)
+                    cpu_seconds = time.process_time() - cpu_started
+                if profile_sink is not None:
+                    profiler = perf.active_profiler()
+                    if profiler is not None:
+                        rows = list(profiler.rows())
+                        rows.append(
+                            {
+                                "section": "cpu_total",
+                                "seconds": cpu_seconds,
+                                "calls": 1,
+                            }
+                        )
+                        profile_sink(rows)
             except Exception as exc:
                 raise _batch_error(spec, index, exc) from exc
+            finally:
+                if profile_sink is not None:
+                    perf.disable_profiler()
             results[index] = result
+            if progress is not None:
+                progress.task_finished()
+                progress.spec_done()
             if on_result is not None:
                 on_result(index, spec, result)
         return results
     from repro.analysis.scheduler import SweepScheduler
 
-    scheduler = SweepScheduler(workers=pool_size, shards_per_scenario=shards)
-    results, stats = scheduler.run(specs, on_result=on_result)
+    scheduler = SweepScheduler(
+        workers=pool_size,
+        shards_per_scenario=shards,
+        profile=profile_sink is not None,
+    )
+    task_sink = None
+    if profile_sink is not None:
+
+        def task_sink(task, rows, cpu_seconds):
+            if rows is not None:
+                profile_sink(rows)
+
+    results, stats = scheduler.run(
+        specs, on_result=on_result, task_sink=task_sink, progress=progress
+    )
     if stats_sink is not None:
         stats_sink(stats)
     return results

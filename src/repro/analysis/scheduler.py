@@ -57,6 +57,7 @@ from repro import perf
 from repro.core.accounting import RunResult
 from repro.core.sharding import canonical_ingests, canonical_marks
 from repro.errors import ConfigError, ScenarioError
+from repro.obs import metrics, trace
 
 __all__ = ["SchedulerStats", "SweepScheduler"]
 
@@ -75,6 +76,9 @@ class _Task:
         satellite_ids: The shard's satellite bucket (shard tasks only).
         profile: Whether the worker should run with the phase profiler on
             and return its rows with the result.
+        trace: Whether the worker should run with a span tracer on and
+            ship its span buffer (plus counter deltas) with the result.
+            Set automatically when the driver has an active tracer.
     """
 
     task_id: int
@@ -85,6 +89,7 @@ class _Task:
     shard_count: int = 1
     satellite_ids: tuple[int, ...] = ()
     profile: bool = False
+    trace: bool = False
 
 
 @dataclass
@@ -148,8 +153,14 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
       ``("epoch", worker_id, task_id, epoch, ingests, marks)`` — then
       block on ``reply_conn`` for the merged ``(ingests, marks)``;
     * ``("done", worker_id, task_id, result, profile_rows,
-      barrier_idle_s, cpu_seconds)`` or
+      barrier_idle_s, cpu_seconds, spans, spans_dropped,
+      counter_delta)`` or
       ``("error", worker_id, task_id, traceback_text)``.
+
+    ``spans``/``spans_dropped`` carry the task's trace ring buffer
+    (None/0 for untraced tasks) and ``counter_delta`` the task's global
+    counter increments as a plain dict — both telemetry-only payloads
+    the driver folds into its own tracer/counters, never into results.
 
     Warm per-process caches (datasets, captures, noise geometry) persist
     across tasks — that is the point of the pool — and never change
@@ -168,6 +179,20 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
         try:
             if task.profile:
                 perf.enable_profiler()
+            if task.trace:
+                # Fork inherits the driver's tracer object; install a
+                # fresh buffer and attribution so each task ships only
+                # its own spans, stamped with where it actually ran.
+                trace.enable_tracer()
+                trace.reset_context()
+                trace.set_context(
+                    worker=worker_id,
+                    scenario=task.spec.resolved_label(),
+                    shard=(
+                        task.shard_index if task.kind == "shard" else None
+                    ),
+                )
+            counter_base = metrics.counters().snapshot()
             barrier_idle = 0.0
             if task.kind == "shard":
                 simulator = scenarios.build_simulator(task.spec)
@@ -178,7 +203,8 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
                         ("epoch", worker_id, _tid, epoch, ingests, marks)
                     )
                     waited = time.perf_counter()
-                    merged = reply_conn.recv()
+                    with trace.span("barrier_wait", epoch=epoch):
+                        merged = reply_conn.recv()
                     barrier_idle += time.perf_counter() - waited
                     return merged
 
@@ -186,13 +212,16 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
                 # construction), matching the legacy shard workers so
                 # critical-path projections stay comparable.
                 cpu_started = time.process_time()
-                result = simulator.run(
-                    satellite_ids=task.satellite_ids, epoch_sync=exchange
-                )
+                with trace.span("shard_task"):
+                    result = simulator.run(
+                        satellite_ids=task.satellite_ids,
+                        epoch_sync=exchange,
+                    )
                 cpu_seconds = time.process_time() - cpu_started
             else:
                 cpu_started = time.process_time()
-                result = scenarios.run_scenario(task.spec)
+                with trace.span("spec_task"):
+                    result = scenarios.run_scenario(task.spec)
                 cpu_seconds = time.process_time() - cpu_started
             rows = None
             profiler = perf.active_profiler()
@@ -205,6 +234,13 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
                         "calls": 1,
                     }
                 )
+            spans = None
+            spans_dropped = 0
+            tracer = trace.active_tracer()
+            if task.trace and tracer is not None:
+                spans = tracer.spans()
+                spans_dropped = tracer.dropped
+            counter_delta = metrics.counters().diff(counter_base).values
             result_queue.put(
                 (
                     "done",
@@ -214,6 +250,9 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
                     rows,
                     barrier_idle,
                     cpu_seconds,
+                    spans,
+                    spans_dropped,
+                    counter_delta,
                 )
             )
         except Exception:
@@ -222,6 +261,8 @@ def _pool_worker(worker_id: int, task_queue, result_queue, reply_conn) -> None:
             )
         finally:
             perf.disable_profiler()
+            trace.disable_tracer()
+            trace.reset_context()
     reply_conn.close()
 
 
@@ -300,6 +341,10 @@ class SweepScheduler:
         groups: list[_Unit] = []
         singles: list[_Unit] = []
         affinity_keys: dict[int, object] = {}
+        # Tracing follows the ambient tracer: when the driver has one
+        # (``--trace``), every task records and ships spans — no
+        # parameter threading through the runner layers required.
+        traced = trace.active_tracer() is not None
         task_id = 0
         for index, spec in enumerate(specs):
             affinity_keys[index] = (
@@ -330,6 +375,7 @@ class SweepScheduler:
                         shard_count=len(buckets),
                         satellite_ids=tuple(bucket),
                         profile=self.profile,
+                        trace=traced,
                     )
                     for shard_index, bucket in enumerate(buckets)
                 ]
@@ -345,6 +391,7 @@ class SweepScheduler:
                                 spec_index=index,
                                 spec=spec,
                                 profile=self.profile,
+                                trace=traced,
                             )
                         ]
                     )
@@ -372,6 +419,7 @@ class SweepScheduler:
         specs: Sequence,
         on_result: Callable | None = None,
         task_sink: Callable | None = None,
+        progress=None,
     ) -> tuple[list[RunResult], SchedulerStats]:
         """Run the sweep; results in spec order, byte-identical to sequential.
 
@@ -382,6 +430,10 @@ class SweepScheduler:
             task_sink: Per-task hook ``(task, profile_rows, cpu_seconds)``
                 called as each task completes (rows are None unless the
                 scheduler was built with ``profile=True``).
+            progress: Optional :class:`~repro.obs.progress.SweepProgress`
+                (or duck-type) receiving ``task_started``/``task_finished``
+                per task and ``spec_done`` per delivered scenario.
+                Display-only; never fed back into scheduling.
 
         Returns:
             ``(results, stats)``.
@@ -404,34 +456,60 @@ class SweepScheduler:
             return [], stats
         units, affinity_keys = self._plan(specs)
         if self.workers == 1:
-            self._run_inline(specs, units, results, on_result, task_sink, stats)
-            stats.wall_s = time.perf_counter() - started_wall
-            return results, stats  # type: ignore[return-value]
-        self._run_pooled(
-            specs, units, affinity_keys, results, on_result, task_sink, stats
-        )
+            self._run_inline(
+                specs, units, results, on_result, task_sink, stats, progress
+            )
+        else:
+            self._run_pooled(
+                specs,
+                units,
+                affinity_keys,
+                results,
+                on_result,
+                task_sink,
+                stats,
+                progress,
+            )
         stats.wall_s = time.perf_counter() - started_wall
+        self._count_stats(stats)
         return results, stats  # type: ignore[return-value]
 
+    @staticmethod
+    def _count_stats(stats: SchedulerStats) -> None:
+        """Fold the sweep's scheduling stats into the global counters."""
+        bag = metrics.counters()
+        bag.inc("sched.spawns", stats.spawns)
+        bag.inc("sched.tasks_run", stats.tasks_run)
+        bag.inc("sched.tasks_stolen", stats.tasks_stolen)
+        bag.inc("sched.barrier_idle_s", stats.barrier_idle_s)
+
     def _run_inline(
-        self, specs, units, results, on_result, task_sink, stats
+        self, specs, units, results, on_result, task_sink, stats, progress
     ) -> None:
         """Single-worker degenerate case: run in-process, no pool.
 
         A one-worker pool could never gang-schedule a shard group, and
         in-process execution is the byte-identity reference anyway.
+        Spans record straight into the driver's own tracer here, so only
+        attribution (no buffer shipping) is needed.
         """
         from repro.analysis import scenarios
 
         for unit in units:
             for task in unit.tasks:
                 assert task.kind == "spec", "1-worker plans have no gangs"
+                if progress is not None:
+                    progress.task_started()
                 try:
                     if self.profile:
                         perf.enable_profiler()
-                    cpu_started = time.process_time()
-                    result = scenarios.run_scenario(task.spec)
-                    cpu_seconds = time.process_time() - cpu_started
+                    with trace.trace_context(
+                        scenario=task.spec.resolved_label()
+                    ):
+                        cpu_started = time.process_time()
+                        with trace.span("spec_task"):
+                            result = scenarios.run_scenario(task.spec)
+                        cpu_seconds = time.process_time() - cpu_started
                     rows = None
                     profiler = perf.active_profiler()
                     if profiler is not None:
@@ -455,11 +533,22 @@ class SweepScheduler:
                 results[task.spec_index] = result
                 if task_sink is not None:
                     task_sink(task, rows, cpu_seconds)
+                if progress is not None:
+                    progress.task_finished()
+                    progress.spec_done()
                 if on_result is not None:
                     on_result(task.spec_index, task.spec, result)
 
     def _run_pooled(
-        self, specs, units, affinity_keys, results, on_result, task_sink, stats
+        self,
+        specs,
+        units,
+        affinity_keys,
+        results,
+        on_result,
+        task_sink,
+        stats,
+        progress=None,
     ) -> None:
         """The driver event loop over one persistent worker pool."""
         context = multiprocessing.get_context(
@@ -520,6 +609,8 @@ class SweepScheduler:
             nonlocal completed
             results[spec_index] = result
             completed += 1
+            if progress is not None:
+                progress.spec_done()
             if on_result is not None:
                 on_result(spec_index, specs[spec_index], result)
 
@@ -551,6 +642,8 @@ class SweepScheduler:
                     _, worker_id, task_id = message
                     running[worker_id] = task_id
                     task = tasks_by_id[task_id]
+                    if progress is not None:
+                        progress.task_started()
                     stats.tasks_run += 1
                     if task.kind == "shard":
                         stats.shard_tasks += 1
@@ -572,19 +665,28 @@ class SweepScheduler:
                         # canonical sort — the exact accumulation order
                         # of the per-scenario sharded runner, so merged
                         # journals (and every downstream byte) match it.
-                        all_ingests: list = []
-                        all_marks: list = []
-                        for shard_index in sorted(buffer):
-                            _, shard_ingests, shard_marks = buffer[shard_index]
-                            all_ingests.extend(shard_ingests)
-                            all_marks.extend(shard_marks)
-                        merged = (
-                            canonical_ingests(all_ingests),
-                            canonical_marks(all_marks),
-                        )
-                        for shard_index in sorted(buffer):
-                            shard_worker = buffer[shard_index][0]
-                            workers[shard_worker][1].send(merged)
+                        with trace.span(
+                            "epoch_merge",
+                            scenario=task.spec.resolved_label(),
+                            epoch=epoch,
+                        ):
+                            all_ingests: list = []
+                            all_marks: list = []
+                            for shard_index in sorted(buffer):
+                                (
+                                    _,
+                                    shard_ingests,
+                                    shard_marks,
+                                ) = buffer[shard_index]
+                                all_ingests.extend(shard_ingests)
+                                all_marks.extend(shard_marks)
+                            merged = (
+                                canonical_ingests(all_ingests),
+                                canonical_marks(all_marks),
+                            )
+                            for shard_index in sorted(buffer):
+                                shard_worker = buffer[shard_index][0]
+                                workers[shard_worker][1].send(merged)
                         del group.epoch_buffer[epoch]
                 elif kind == "done":
                     (
@@ -595,12 +697,25 @@ class SweepScheduler:
                         rows,
                         barrier_idle,
                         cpu_seconds,
+                        spans,
+                        spans_dropped,
+                        counter_delta,
                     ) = message
                     task = tasks_by_id[task_id]
                     running.pop(worker_id, None)
                     idle += 1
+                    if progress is not None:
+                        progress.task_finished()
                     stats.barrier_idle_s += barrier_idle
                     stats.worker_cpu_s += cpu_seconds
+                    if spans:
+                        driver_tracer = trace.active_tracer()
+                        if driver_tracer is not None:
+                            driver_tracer.extend(spans, spans_dropped)
+                    if counter_delta:
+                        metrics.counters().merge_in(
+                            metrics.Counters(counter_delta)
+                        )
                     if task_sink is not None:
                         task_sink(task, rows, cpu_seconds)
                     if task.kind == "spec":

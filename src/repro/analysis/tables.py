@@ -104,6 +104,19 @@ def _json_safe(value: Any) -> Any:
     return value
 
 
+def rows_payload(
+    columns: Sequence[str], rows: Sequence[dict[str, Any]]
+) -> list[dict]:
+    """Row dicts restricted to ``columns``, with json-safe values.
+
+    The building block for structured multi-section json output (the
+    CLI's ``--profile --format json``): each section goes through the
+    same column selection and non-finite scrubbing as
+    :func:`format_rows`'s json mode, then nests under its section key.
+    """
+    return [{c: _json_safe(row.get(c)) for c in columns} for row in rows]
+
+
 def format_series(
     xs: Sequence[object],
     ys: Sequence[object],

@@ -6,6 +6,9 @@ Usage::
     python -m repro sweep --policies earthplus,kodan --seeds 0,1 --workers 4
     python -m repro sweep --seeds 0,1,2,3 --workers 4 --resume
     python -m repro sweep --workers 4 --shards-per-scenario 2 --sync-days 1
+    python -m repro sweep --workers 4 --shards-per-scenario 2 --sync-days 1 \\
+        --trace sweep.json
+    python -m repro trace summary sweep.json
     python -m repro query --policy earthplus --format csv
     python -m repro query --aggregate policy,gamma
     python -m repro run --dataset sentinel2 --policy earthplus --gamma 0.3
@@ -27,12 +30,20 @@ disable with ``--no-store``/``REPRO_STORE=off``): scenarios already in
 the store are pure cache reads, new results persist as they land, and an
 interrupted sweep re-run with ``--resume`` simulates only the missing
 specs.  ``query`` inspects the store without simulating anything.
+
+``--trace FILE`` on ``simulate``/``sweep`` records a span timeline —
+merged across every worker and shard — as a Chrome trace-event file
+(loadable in Perfetto or ``chrome://tracing``); ``repro trace``
+summarizes, ranks, or converts a saved trace without re-running
+anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 
 from repro import perf
 from repro.analysis.experiments import POLICY_NAMES, run_policy
@@ -43,10 +54,13 @@ from repro.analysis.scenarios import (
     run_scenario_sharded,
     sweep_specs,
 )
-from repro.analysis.tables import format_rows, format_table
+from repro.analysis.tables import format_rows, format_table, rows_payload
 from repro.core.config import EarthPlusConfig
 from repro.datasets.planet import planet_dataset
 from repro.datasets.sentinel2 import SENTINEL2_LOCATIONS, sentinel2_dataset
+from repro.obs import metrics, trace
+from repro.obs import export as trace_export
+from repro.obs.progress import SweepProgress
 from repro.store.backend import QUERY_COLUMNS, default_store, open_store
 from repro.store.runner import run_scenario_cached, run_scenarios_cached
 
@@ -189,6 +203,92 @@ def _resolve_store(args: argparse.Namespace):
     return store
 
 
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span timeline and write it to FILE as Chrome "
+        "trace-event JSON, loadable in Perfetto / chrome://tracing (a "
+        "FILE ending in .jsonl writes a plain span log instead). "
+        "Composes with --workers/--shards-per-scenario: per-worker "
+        "spans merge into one timeline, one track per worker. Results "
+        "stay byte-identical with tracing on",
+    )
+
+
+@contextmanager
+def _tracing(path: "str | None", command: str):
+    """Record a span timeline around a command body and write it out.
+
+    A no-op without ``--trace``.  The trace file lands even when the
+    command fails partway — a truncated timeline is exactly what you
+    want for diagnosing the failure — and the confirmation line goes to
+    stderr so stdout stays machine-readable.
+    """
+    if path is None:
+        yield
+        return
+    tracer = trace.enable_tracer()
+    try:
+        with trace.span(command):
+            yield
+    finally:
+        trace.disable_tracer()
+        spans = tracer.spans()
+        if path.endswith(".jsonl"):
+            count = trace_export.write_jsonl(path, spans)
+        else:
+            count = trace_export.write_chrome_trace(
+                path,
+                spans,
+                dropped=tracer.dropped,
+                counters=dict(metrics.counters().values) or None,
+            )
+        message = f"trace: {count} spans -> {path}"
+        if tracer.dropped:
+            message += f" ({tracer.dropped} dropped: ring buffer full)"
+        print(message, file=sys.stderr)
+
+
+#: Columns of every ``--profile`` timing table.
+_PROFILE_COLUMNS = ["kind", "section", "seconds", "calls"]
+
+
+def _emit_report(fmt: str, results, sections) -> None:
+    """Print the results plus named extra sections in one format.
+
+    Args:
+        fmt: ``table``/``csv``/``json``.
+        results: ``(columns, rows, title)`` for the main results.
+        sections: ``[(name, columns, rows, title), ...]`` extras
+            (profile rows, scheduler stats).
+
+    Without sections the output is exactly the historical single
+    :func:`format_rows` document — in particular ``--format json`` stays
+    a top-level list, which scripts (and CI) parse.  With sections, json
+    emits one structured object (``{"results": [...], "profile": [...],
+    "scheduler": [...]}``) instead of concatenated documents, csv
+    separates sections with a ``# name`` comment line, and table keeps
+    the blank-line-separated tables.
+    """
+    columns, rows, title = results
+    if fmt == "json" and sections:
+        payload = {"results": rows_payload(columns, rows)}
+        for name, section_columns, section_rows, _title in sections:
+            payload[name] = rows_payload(section_columns, section_rows)
+        print(json.dumps(payload, indent=2))
+        return
+    print(format_rows(columns, rows, fmt=fmt, title=title))
+    for name, section_columns, section_rows, section_title in sections:
+        print()
+        if fmt == "csv":
+            print(f"# {name}")
+        print(
+            format_rows(
+                section_columns, section_rows, fmt=fmt, title=section_title
+            )
+        )
+
+
 def _build_dataset_spec(args: argparse.Namespace) -> DatasetSpec:
     """The declarative twin of :func:`_build_dataset` (picklable)."""
     if args.dataset == "sentinel2":
@@ -309,62 +409,67 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     shard_profiles: list[tuple[int, tuple[int, ...], list]] = []
     profiler = None
-    if args.profile:
-        # Serving a profile run from the store would time nothing;
-        # profiling always simulates (and does not persist).
-        if shards > 1:
-            result = run_scenario_sharded(
-                spec,
-                shards=shards,
-                profile_sink=lambda index, sats, rows: shard_profiles.append(
-                    (index, sats, rows)
-                ),
-            )
+    with _tracing(args.trace, "simulate"):
+        if args.profile:
+            # Serving a profile run from the store would time nothing;
+            # profiling always simulates (and does not persist).
+            if shards > 1:
+                result = run_scenario_sharded(
+                    spec,
+                    shards=shards,
+                    profile_sink=(
+                        lambda index, sats, rows: shard_profiles.append(
+                            (index, sats, rows)
+                        )
+                    ),
+                )
+            else:
+                profiler = perf.enable_profiler()
+                try:
+                    result = run_scenario(spec)
+                finally:
+                    perf.disable_profiler()
         else:
-            profiler = perf.enable_profiler()
-            try:
-                result = run_scenario(spec)
-            finally:
-                perf.disable_profiler()
-    else:
-        result = run_scenario_cached(
-            spec,
-            store=_resolve_store(args),
-            refresh=args.refresh,
-            shards=shards,
+            result = run_scenario_cached(
+                spec,
+                store=_resolve_store(args),
+                refresh=args.refresh,
+                shards=shards,
+            )
+    sections = []
+    if profiler is not None:
+        sections.append(
+            (
+                "profile",
+                _PROFILE_COLUMNS,
+                _profile_rows(profiler),
+                "per-phase timing breakdown (kernels run inside phases)",
+            )
         )
-    print(
-        format_rows(
+    if shard_profiles:
+        # One merged table across the shard gang (profilers are a
+        # monoid), not N disjoint per-shard tables.
+        merged = perf.SimProfiler.identity()
+        for _index, _satellites, rows in shard_profiles:
+            merged = merged.merge(perf.SimProfiler.from_rows(rows))
+        sections.append(
+            (
+                "profile",
+                _PROFILE_COLUMNS,
+                _classify_profile_rows(merged.rows()),
+                f"merged timing breakdown across {len(shard_profiles)} "
+                "shards (kernels run inside phases)",
+            )
+        )
+    _emit_report(
+        args.format,
+        (
             _SCENARIO_COLUMNS,
             [_scenario_dict(spec, result)],
-            fmt=args.format,
-            title=f"{args.policy} on {args.dataset} ({args.days:.0f} days)",
-        )
+            f"{args.policy} on {args.dataset} ({args.days:.0f} days)",
+        ),
+        sections,
     )
-    if profiler is not None:
-        print()
-        print(
-            format_rows(
-                ["kind", "section", "seconds", "calls"],
-                _profile_rows(profiler),
-                fmt=args.format,
-                title="per-phase timing breakdown "
-                "(kernels run inside phases)",
-            )
-        )
-    for index, satellites, rows in sorted(shard_profiles):
-        print()
-        print(
-            format_rows(
-                ["kind", "section", "seconds", "calls"],
-                _classify_profile_rows(rows),
-                fmt=args.format,
-                title=(
-                    f"shard {index} timing breakdown (satellites "
-                    f"{','.join(str(s) for s in satellites)})"
-                ),
-            )
-        )
     return 0
 
 
@@ -409,44 +514,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     store = _resolve_store(args)
     scheduler_stats: list = []
-    sweep = run_scenarios_cached(
-        specs,
-        max_workers=workers,
-        store=store,
-        refresh=args.refresh,
-        shards=shards,
-        stats_sink=scheduler_stats.append if args.profile else None,
-    )
-    print(
-        format_rows(
+    profile_sink = None
+    merged_profile = [perf.SimProfiler.identity()]
+    if args.profile:
+
+        def profile_sink(rows):
+            # Fold per-task (per-shard, per-worker) rows as they land.
+            merged_profile[0] = merged_profile[0].merge(
+                perf.SimProfiler.from_rows(rows)
+            )
+
+    progress = SweepProgress(total=len(specs))
+    try:
+        with _tracing(args.trace, "sweep"):
+            sweep = run_scenarios_cached(
+                specs,
+                max_workers=workers,
+                store=store,
+                refresh=args.refresh,
+                shards=shards,
+                stats_sink=scheduler_stats.append if args.profile else None,
+                profile_sink=profile_sink,
+                progress=progress,
+            )
+    finally:
+        progress.close()
+    sections = []
+    if args.profile:
+        executed = len(sweep.executed) or len(specs)
+        sections.append(
+            (
+                "profile",
+                _PROFILE_COLUMNS,
+                _classify_profile_rows(merged_profile[0].rows()),
+                f"merged timing breakdown across {executed} simulated "
+                "scenario(s) (kernels run inside phases)",
+            )
+        )
+        if scheduler_stats:
+            sections.append(
+                (
+                    "scheduler",
+                    ["stat", "value"],
+                    scheduler_stats[-1].rows(),
+                    "sweep scheduler (one persistent worker pool)",
+                )
+            )
+    _emit_report(
+        args.format,
+        (
             _SCENARIO_COLUMNS,
             [_scenario_dict(s, r) for s, r in zip(specs, sweep.results)],
-            fmt=args.format,
-            title=(
+            (
                 f"sweep on {args.dataset}: {len(specs)} scenarios "
                 f"({len(policies)} policies x {len(seeds)} seeds x "
                 f"{len(gammas)} gammas)"
             ),
-        )
+        ),
+        sections,
     )
     if store is not None and args.format == "table":
         print(f"store: {sweep.summary()} ({store.root})")
-    if args.profile:
-        print()
-        if scheduler_stats:
-            print(
-                format_rows(
-                    ["stat", "value"],
-                    scheduler_stats[-1].rows(),
-                    fmt=args.format,
-                    title="sweep scheduler (one persistent worker pool)",
-                )
-            )
-        else:
-            print(
-                "scheduler: sweep ran in-process "
-                "(no worker pool; nothing simulated in parallel)"
-            )
+    if args.profile and not scheduler_stats and args.format == "table":
+        print(
+            "scheduler: sweep ran in-process "
+            "(no worker pool; nothing simulated in parallel)"
+        )
     return 0
 
 
@@ -526,6 +659,64 @@ def cmd_query(args: argparse.Namespace) -> int:
         columns = list(QUERY_COLUMNS)
         title = f"{len(rows)} stored run(s) ({store.root})"
     print(format_rows(columns, rows, fmt=args.format, title=title))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect or convert a trace file saved by ``--trace``."""
+    spans, meta = trace_export.read_trace(args.file)
+    if args.action == "summary":
+        title = f"{len(spans)} spans ({args.file})"
+        dropped = meta.get("dropped", 0)
+        if dropped:
+            title += f" — {dropped} dropped at the ring buffer"
+        print(
+            format_rows(
+                ["section", "seconds", "calls"],
+                trace_export.summarize(spans),
+                fmt=args.format,
+                title=title,
+            )
+        )
+        counter_values = meta.get("counters")
+        if counter_values and args.format == "table":
+            print()
+            print(
+                format_rows(
+                    ["counter", "value"],
+                    metrics.Counters(dict(counter_values)).rows(),
+                    fmt="table",
+                    title="counters (merged across workers)",
+                )
+            )
+        return 0
+    if args.action == "slowest":
+        rows = trace_export.slowest(spans, limit=args.limit)
+        print(
+            format_rows(
+                ["span", "seconds", "worker", "scenario", "shard", "epoch"],
+                rows,
+                fmt=args.format,
+                title=(
+                    f"slowest {len(rows)} of {len(spans)} spans "
+                    f"({args.file})"
+                ),
+            )
+        )
+        return 0
+    # export: rewrite into the format the output extension selects.
+    if args.output is None:
+        raise SystemExit("trace export needs --output FILE")
+    if args.output.endswith(".jsonl"):
+        count = trace_export.write_jsonl(args.output, spans)
+    else:
+        count = trace_export.write_chrome_trace(
+            args.output,
+            spans,
+            dropped=meta.get("dropped", 0),
+            counters=meta.get("counters"),
+        )
+    print(f"wrote {count} spans -> {args.output}")
     return 0
 
 
@@ -655,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shard_args(simulate_parser)
     _add_store_args(simulate_parser)
+    _add_trace_arg(simulate_parser)
     simulate_parser.set_defaults(func=cmd_simulate)
 
     sweep_parser = sub.add_parser(
@@ -701,7 +893,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shard_args(sweep_parser)
     _add_store_args(sweep_parser, resumable=True)
+    _add_trace_arg(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="inspect or convert a trace file saved by --trace",
+    )
+    trace_parser.add_argument(
+        "action", choices=("summary", "slowest", "export"),
+        help="summary: per-section totals (matches the merged --profile "
+        "table); slowest: longest individual spans with attribution; "
+        "export: rewrite into another trace format",
+    )
+    trace_parser.add_argument(
+        "file", help="a trace written by --trace (Chrome JSON or .jsonl)"
+    )
+    trace_parser.add_argument(
+        "--limit", type=int, default=10,
+        help="rows to show for 'slowest' (default: 10)",
+    )
+    trace_parser.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="output file for 'export': .jsonl writes a span log, "
+        "anything else Chrome trace-event JSON",
+    )
+    trace_parser.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format (summary/slowest)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     query_parser = sub.add_parser(
         "query",

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import CodecError
+from repro.obs.metrics import counters
 
 #: Environment variable naming the default engine (read at call time, so
 #: exporting it after import works — unlike the old import-time reads).
@@ -150,10 +151,13 @@ def resolve(
     """
     requested = explicit or config_backend or _env_backend() or default
     if requested == REAL_ALIAS:
-        return _best_available()
+        backend = _best_available()
+        counters().inc(f"codec.resolve.{backend.name}")
+        return backend
     backend = get(requested)
     reason = backend.availability()
     if reason is None:
+        counters().inc(f"codec.resolve.{backend.name}")
         return backend
     if backend.name not in _warned_fallback:
         _warned_fallback.add(backend.name)
@@ -163,6 +167,8 @@ def resolve(
             RuntimeWarning,
             stacklevel=2,
         )
+    counters().inc("codec.fallback")
+    counters().inc(f"codec.resolve.{FALLBACK_BACKEND}")
     return get(FALLBACK_BACKEND)
 
 

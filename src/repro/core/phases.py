@@ -37,6 +37,7 @@ from repro.core.ground_segment import GroundSegment, ScoreRecord, UplinkPlan
 from repro.core.reference import OnboardReferenceCache
 from repro.errors import PipelineError
 from repro.imagery.sensor import Capture, SatelliteSensor
+from repro.obs.metrics import counters
 from repro.orbit.links import DOWNLINK_STREAM, FluctuationModel
 from repro.orbit.schedule import Visit
 
@@ -373,6 +374,8 @@ class DownlinkPhase:
             raise PipelineError(
                 "DownlinkPhase requires a completed capture phase"
             )
+        bag = counters()
+        bag.inc("downlink.visits")
         state = event.state
         gap = min(
             event.visit.t_days - state.last_downlink_days,
@@ -398,6 +401,7 @@ class DownlinkPhase:
             return
         offered = result.total_bytes
         if offered <= capacity:
+            bag.inc("downlink.delivered_bytes", offered)
             event.downlink = DownlinkReport(
                 capacity_bytes=capacity,
                 offered_bytes=offered,
@@ -406,6 +410,8 @@ class DownlinkPhase:
             return
         shed_result, layers_shed = self._shed_layers(result, capacity)
         if shed_result is not None:
+            bag.inc("downlink.layers_shed", layers_shed)
+            bag.inc("downlink.delivered_bytes", shed_result.total_bytes)
             event.result = shed_result
             event.downlink = DownlinkReport(
                 capacity_bytes=capacity,
@@ -421,6 +427,7 @@ class DownlinkPhase:
         deferred = result.guaranteed
         if deferred:
             state.last_guaranteed.pop(event.visit.location, None)
+        bag.inc("downlink.deferred" if deferred else "downlink.dropped")
         event.result = replace(
             result, dropped=True, guaranteed=False, bands=[]
         )

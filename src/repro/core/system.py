@@ -43,6 +43,7 @@ from repro.core.reference import OnboardReferenceCache
 from repro.errors import ConfigError
 from repro.imagery.bands import Band
 from repro.imagery.sensor import Capture, SatelliteSensor
+from repro.obs import trace
 from repro.orbit.links import FluctuationModel
 from repro.orbit.schedule import VisitSchedule
 
@@ -279,6 +280,7 @@ class ConstellationSimulator:
         )
         try:
             for epoch, visits in epochs:
+                trace.set_context(epoch=epoch)
                 for visit in visits:
                     if own is not None and visit.satellite_id not in own:
                         continue
@@ -293,6 +295,7 @@ class ConstellationSimulator:
                     self.ground.apply_ingests(ingests)
                     apply_marks(state._last_guaranteed, marks)
         finally:
+            trace.clear_context("epoch")
             state.close()
         return self._finalize(metrics)
 

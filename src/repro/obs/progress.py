@@ -1,0 +1,122 @@
+"""Live single-line sweep progress meter on stderr.
+
+One ``\\r``-rewritten line — ``sweep 7/12 specs · 3 in-flight · 2 cached
+· ETA 41s`` — active only when the stream is a TTY (piped/CI runs stay
+byte-clean; results always go to stdout, the meter to stderr).  The
+meter is pure display: it observes scheduler/runner callbacks and never
+feeds anything back, so it cannot perturb results.
+
+ETA extrapolates from *executed* spec completions only — cache hits
+land in milliseconds and would otherwise make the estimate absurdly
+optimistic for the specs still to simulate.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["SweepProgress"]
+
+#: Minimum seconds between unforced redraws (task churn is bursty).
+_REDRAW_S = 0.1
+
+
+class SweepProgress:
+    """Sweep progress state plus its one-line TTY rendering.
+
+    The scheduler/runner call the update methods unconditionally; every
+    method is a cheap counter bump plus (when enabled and due) a redraw,
+    so a disabled meter costs almost nothing.
+
+    Args:
+        total: Number of specs in the sweep.
+        stream: Output stream (defaults to ``sys.stderr``).
+        enabled: Force the meter on/off; default follows
+            ``stream.isatty()``.
+    """
+
+    def __init__(self, total: int, stream=None, enabled: bool | None = None):
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.inflight = 0
+        self._started = time.perf_counter()
+        self._last_draw = 0.0
+        self._width = 0
+
+    # -- update hooks ---------------------------------------------------
+    def add_cached(self, count: int = 1) -> None:
+        """Specs served from the experiment store (no simulation)."""
+        self.cached += count
+        self.done += count
+        self._draw(force=True)
+
+    def task_started(self) -> None:
+        """A spec/shard task was dequeued by a worker."""
+        self.inflight += 1
+        self._draw()
+
+    def task_finished(self) -> None:
+        """A spec/shard task completed."""
+        self.inflight = max(0, self.inflight - 1)
+        self._draw()
+
+    def spec_done(self) -> None:
+        """A whole scenario's result was delivered (merged, if sharded)."""
+        self.done += 1
+        self._draw(force=True)
+
+    # -- rendering ------------------------------------------------------
+    def _eta_s(self) -> float | None:
+        executed = self.done - self.cached
+        remaining = self.total - self.done
+        if executed <= 0 or remaining <= 0:
+            return None
+        elapsed = time.perf_counter() - self._started
+        return remaining * elapsed / executed
+
+    def render(self) -> str:
+        """The current meter line (exposed for tests)."""
+        parts = [f"sweep {self.done}/{self.total} specs"]
+        if self.inflight:
+            parts.append(f"{self.inflight} in-flight")
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        eta = self._eta_s()
+        if eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        return " · ".join(parts)
+
+    def _draw(self, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_draw < _REDRAW_S:
+            return
+        self._last_draw = now
+        line = self.render()
+        pad = " " * max(0, self._width - len(line))
+        self._width = len(line)
+        self.stream.write("\r" + line + pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Erase the meter line (call before printing final output)."""
+        if not self.enabled:
+            return
+        self.stream.write("\r" + " " * self._width + "\r")
+        self.stream.flush()
+        self.enabled = False
+
+    def __enter__(self) -> "SweepProgress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -21,13 +21,14 @@ Two small, dependency-free facilities the whole simulation stack shares:
   codec/rate model, change-detection scoring, imagery synthesis) record
   wall time into it via :func:`profiled`.  When no profiler is installed
   the instrumentation is a near-zero-cost fast return, so hot kernels can
-  stay instrumented unconditionally.
+  stay instrumented unconditionally.  :func:`profiled` is a compatibility
+  shim over :func:`repro.obs.trace.span`, so the same call sites feed the
+  trace timeline (``--trace``) when a tracer is enabled.
 """
 
 from __future__ import annotations
 
 import os
-import time
 import warnings
 from contextlib import contextmanager
 
@@ -238,6 +239,40 @@ class SimProfiler:
         self.seconds: dict[str, float] = {}
         self.calls: dict[str, int] = {}
 
+    @classmethod
+    def identity(cls) -> "SimProfiler":
+        """The merge unit: an empty profiler."""
+        return cls()
+
+    @classmethod
+    def from_rows(cls, rows) -> "SimProfiler":
+        """Rebuild a profiler from :meth:`rows` output (worker partials)."""
+        profiler = cls()
+        for row in rows:
+            name = row["section"]
+            profiler.seconds[name] = (
+                profiler.seconds.get(name, 0.0) + row["seconds"]
+            )
+            profiler.calls[name] = profiler.calls.get(name, 0) + row["calls"]
+        return profiler
+
+    def merge(self, other: "SimProfiler") -> "SimProfiler":
+        """Pointwise sum of section times and call counts.
+
+        Associative with :meth:`identity` as the unit (section times are
+        float sums, so associativity is approximate, like
+        ``RunResult.merge``): per-shard/per-worker profiles fold into
+        one sweep-wide table in any grouping.
+        """
+        merged = SimProfiler()
+        merged.seconds = dict(self.seconds)
+        merged.calls = dict(self.calls)
+        for name, seconds in other.seconds.items():
+            merged.seconds[name] = merged.seconds.get(name, 0.0) + seconds
+        for name, calls in other.calls.items():
+            merged.calls[name] = merged.calls.get(name, 0) + calls
+        return merged
+
     def add(self, name: str, seconds: float) -> None:
         """Record one span of ``seconds`` against section ``name``."""
         self.seconds[name] = self.seconds.get(name, 0.0) + seconds
@@ -278,15 +313,21 @@ def active_profiler() -> SimProfiler | None:
     return _PROFILER
 
 
-@contextmanager
+# Lazily-bound repro.obs.trace.span: perf must stay importable by obs
+# (obs.trace reads _PROFILER directly), so the import runs on first use,
+# not at module load — there is no cycle at import time.
+_SPAN = None
+
+
 def profiled(name: str):
-    """Time a block against section ``name`` when a profiler is installed."""
-    profiler = _PROFILER
-    if profiler is None:
-        yield
-        return
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        profiler.add(name, time.perf_counter() - start)
+    """Time a block against section ``name`` when a profiler is installed.
+
+    Compatibility shim over :func:`repro.obs.trace.span`: every
+    pre-existing ``profiled(...)`` call site now also emits a trace span
+    when a tracer is enabled, while keeping the historical near-zero-cost
+    fast return when neither facility is installed.
+    """
+    global _SPAN
+    if _SPAN is None:
+        from repro.obs.trace import span as _SPAN  # noqa: PLW0603
+    return _SPAN(name)

@@ -41,6 +41,8 @@ from repro.analysis.scenarios import ScenarioSpec
 from repro.core.accounting import CaptureRecord, RunResult
 from repro.core.config import EarthPlusConfig
 from repro.errors import StoreError
+from repro.obs.metrics import counters
+from repro.obs.trace import span
 from repro.store import specs as spec_hashing
 
 #: Where the store lives when neither ``--store`` nor ``REPRO_STORE``
@@ -98,6 +100,10 @@ CREATE TABLE IF NOT EXISTS runs (
 CREATE INDEX IF NOT EXISTS runs_policy ON runs (policy);
 CREATE INDEX IF NOT EXISTS runs_dataset ON runs (dataset_kind);
 CREATE INDEX IF NOT EXISTS runs_lru ON runs (last_used_at);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value REAL NOT NULL DEFAULT 0
+);
 """
 
 #: Summary columns added after the index first shipped; opening an older
@@ -310,6 +316,39 @@ class ExperimentStore:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- telemetry -----------------------------------------------------
+    def _count(self, deltas: dict) -> None:
+        """Bump cache-health counters, in-process and persistently.
+
+        The in-process bump feeds the sweep's merged counter view; the
+        SQLite ``counters`` table accumulates across processes and
+        sessions so ``repro query --stats`` reports cache health without
+        running anything.  Persistence is best-effort: a locked or
+        read-only index must never fail the get/put it decorates.
+        """
+        bag = counters()
+        for name, amount in deltas.items():
+            bag.inc(name, amount)
+        try:
+            self._conn.executemany(
+                "INSERT INTO counters (name, value) VALUES (?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET "
+                "value = value + excluded.value",
+                list(deltas.items()),
+            )
+        except sqlite3.Error:
+            pass
+
+    def counter_values(self) -> dict:
+        """The persistent cache-health counters (``store.*`` names)."""
+        try:
+            rows = self._conn.execute(
+                "SELECT name, value FROM counters"
+            ).fetchall()
+        except sqlite3.Error:
+            return {}
+        return {name: value for name, value in rows}
+
     # -- addressing ----------------------------------------------------
     def key_for(self, spec: ScenarioSpec) -> str:
         """The spec's content key (see :func:`repro.store.specs.spec_key`).
@@ -365,14 +404,17 @@ class ExperimentStore:
         missing, corrupt, or of an unexpected payload version are dropped
         and reported as misses — the caller re-simulates and overwrites.
         """
-        key = (
-            spec_or_key
-            if isinstance(spec_or_key, str)
-            else self.key_for(spec_or_key)
+        with span("store.get"):
+            key = (
+                spec_or_key
+                if isinstance(spec_or_key, str)
+                else self.key_for(spec_or_key)
+            )
+            result = self._load(key) if self.contains(key) else None
+        self._count(
+            {"store.hit" if result is not None else "store.miss": 1}
         )
-        if not self.contains(key):
-            return None
-        return self._load(key)
+        return result
 
     #: SQLite's default variable limit is 999; chunk IN-lists well below.
     _IN_CHUNK = 500
@@ -393,21 +435,32 @@ class ExperimentStore:
         Returns:
             ``{key: RunResult | None}`` covering every requested key.
         """
-        unique = list(dict.fromkeys(keys))
-        results: dict[str, RunResult | None] = {key: None for key in unique}
-        present: list[str] = []
-        for start in range(0, len(unique), self._IN_CHUNK):
-            chunk = unique[start : start + self._IN_CHUNK]
-            placeholders = ",".join("?" * len(chunk))
-            present.extend(
-                row[0]
-                for row in self._conn.execute(
-                    f"SELECT key FROM runs WHERE key IN ({placeholders})",
-                    chunk,
+        with span("store.get_many"):
+            unique = list(dict.fromkeys(keys))
+            results: dict[str, RunResult | None] = {
+                key: None for key in unique
+            }
+            present: list[str] = []
+            for start in range(0, len(unique), self._IN_CHUNK):
+                chunk = unique[start : start + self._IN_CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                present.extend(
+                    row[0]
+                    for row in self._conn.execute(
+                        f"SELECT key FROM runs WHERE key IN ({placeholders})",
+                        chunk,
+                    )
                 )
-            )
-        for key in present:
-            results[key] = self._load(key)
+            for key in present:
+                results[key] = self._load(key)
+        hits = sum(1 for value in results.values() if value is not None)
+        deltas = {}
+        if hits:
+            deltas["store.hit"] = hits
+        if len(results) - hits:
+            deltas["store.miss"] = len(results) - hits
+        if deltas:
+            self._count(deltas)
         return results
 
     # -- writes --------------------------------------------------------
@@ -425,6 +478,12 @@ class ExperimentStore:
             UncacheableSpecError: When the spec cannot be hashed.
             StoreError: When the payload cannot be serialized.
         """
+        with span("store.put"):
+            return self._put(spec, result, key)
+
+    def _put(
+        self, spec: ScenarioSpec, result: RunResult, key: str | None
+    ) -> str:
         key = key if key is not None else self.key_for(spec)
         document = _result_document(result)
         arrays = _record_arrays(result)
@@ -501,6 +560,7 @@ class ExperimentStore:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        self._count({"store.put": 1, "store.put_bytes": payload_bytes})
         self.evict()
         return key
 
@@ -537,6 +597,8 @@ class ExperimentStore:
             self.delete(key)
             total -= payload_bytes
             evicted += 1
+        if evicted:
+            self._count({"store.evict": evicted})
         return evicted
 
     # -- inspection ----------------------------------------------------
@@ -624,10 +686,19 @@ class ExperimentStore:
         return rows
 
     def stats(self) -> dict:
-        """Store totals: entry count, payload bytes, root, budget."""
+        """Store totals plus lifetime cache health.
+
+        Entry count / payload size / budget describe the store's current
+        contents; hits / misses / hit_rate / evictions / written_mb come
+        from the persistent ``counters`` table and accumulate over the
+        store's whole life across processes (``repro query --stats``).
+        """
         entries, payload_bytes = self._conn.execute(
             "SELECT COUNT(*), COALESCE(SUM(payload_bytes), 0) FROM runs"
         ).fetchone()
+        lifetime = self.counter_values()
+        hits = int(lifetime.get("store.hit", 0))
+        misses = int(lifetime.get("store.miss", 0))
         return {
             "root": str(self.root),
             "entries": entries,
@@ -638,6 +709,15 @@ class ExperimentStore:
                 else None
             ),
             "schema_version": spec_hashing.SCHEMA_VERSION,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (
+                round(hits / (hits + misses), 4) if hits + misses else None
+            ),
+            "evictions": int(lifetime.get("store.evict", 0)),
+            "written_mb": round(
+                lifetime.get("store.put_bytes", 0) / 1e6, 3
+            ),
         }
 
 

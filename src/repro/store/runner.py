@@ -86,6 +86,8 @@ def run_scenarios_cached(
     refresh: bool = False,
     shards: int | None = None,
     stats_sink=None,
+    profile_sink=None,
+    progress=None,
 ) -> CachedSweep:
     """Execute a batch through the experiment store.
 
@@ -111,6 +113,12 @@ def run_scenarios_cached(
         stats_sink: Optional hook receiving the scheduler's per-sweep
             :class:`~repro.analysis.scheduler.SchedulerStats` when the
             simulated remainder ran on a worker pool.
+        profile_sink: Optional per-task profiler-rows hook (see
+            :func:`~repro.analysis.scenarios.run_scenarios`); cache hits
+            produce no rows — nothing simulated, nothing timed.
+        progress: Optional :class:`~repro.obs.progress.SweepProgress`
+            (or duck-type); cache hits report through ``add_cached``,
+            simulated specs through the scheduler's task callbacks.
 
     Returns:
         The :class:`CachedSweep` (``.results`` is the per-spec list).
@@ -140,6 +148,8 @@ def run_scenarios_cached(
             if key is not None and loaded[key] is not None:
                 results[index] = loaded[key]
                 cached.append(index)
+        if progress is not None and cached:
+            progress.add_cached(len(cached))
     # One representative spec per missing content key (duplicates share
     # its result); every uncacheable spec runs individually.
     pending: list[int] = []
@@ -174,6 +184,8 @@ def run_scenarios_cached(
         on_result=persist,
         shards=shards,
         stats_sink=stats_sink,
+        profile_sink=profile_sink,
+        progress=progress,
     )
     # Fan shared-key results out to duplicate specs.
     by_key = {
@@ -186,6 +198,9 @@ def run_scenarios_cached(
         if results[index] is None and key is not None:
             results[index] = by_key[key]
             deduplicated.append(index)
+    if progress is not None and deduplicated:
+        # Duplicates land like cache hits: complete without simulating.
+        progress.add_cached(len(deduplicated))
     return CachedSweep(
         results=results,  # type: ignore[arg-type]
         keys=keys,

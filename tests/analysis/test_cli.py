@@ -104,12 +104,13 @@ class TestScenarioCommands:
              "--format", "json"]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        # Two JSON documents: scenario rows, then the timing breakdown.
-        decoder = json.JSONDecoder()
-        rows, end = decoder.raw_decode(out.strip())
-        profile = json.loads(out.strip()[end:])
-        assert rows[0]["policy"] == "earthplus"
+        # One structured JSON document: results plus a profile section
+        # (historically two concatenated documents, which json.loads on
+        # the whole output rejected).
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"results", "profile"}
+        assert doc["results"][0]["policy"] == "earthplus"
+        profile = doc["profile"]
         sections = {row["section"] for row in profile}
         assert {"uplink", "capture", "ingest"} <= sections
         phase_rows = [r for r in profile if r["kind"] == "phase"]

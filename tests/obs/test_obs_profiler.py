@@ -1,0 +1,98 @@
+"""SimProfiler: monoid laws, row round-trips, and the profiled shim."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import perf
+from repro.perf import SimProfiler
+
+
+@pytest.fixture(autouse=True)
+def no_installed_profiler():
+    yield
+    perf.disable_profiler()
+
+
+def _profiler(sections: dict) -> SimProfiler:
+    profiler = SimProfiler()
+    for name, (seconds, calls) in sections.items():
+        profiler.seconds[name] = float(seconds)
+        profiler.calls[name] = calls
+    return profiler
+
+
+# Integer-valued seconds keep merge exactly associative; real profiles
+# are float sums where associativity is approximate (like RunResult).
+profilers = st.dictionaries(
+    st.sampled_from(["uplink", "capture", "dwt", "codec"]),
+    st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    ),
+    max_size=4,
+).map(_profiler)
+
+
+def _as_dicts(profiler: SimProfiler) -> tuple:
+    return (profiler.seconds, profiler.calls)
+
+
+class TestMonoid:
+    @given(profilers, profilers, profilers)
+    def test_merge_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert _as_dicts(left) == _as_dicts(right)
+
+    @given(profilers)
+    def test_identity_is_two_sided_unit(self, a):
+        assert _as_dicts(SimProfiler.identity().merge(a)) == _as_dicts(a)
+        assert _as_dicts(a.merge(SimProfiler.identity())) == _as_dicts(a)
+
+    @given(profilers, profilers)
+    def test_merge_commutative(self, a, b):
+        assert _as_dicts(a.merge(b)) == _as_dicts(b.merge(a))
+
+    @given(profilers)
+    def test_from_rows_inverts_rows(self, a):
+        rebuilt = SimProfiler.from_rows(a.rows())
+        # rows() rounds seconds to 6 decimals; integer-valued times
+        # survive exactly.
+        assert _as_dicts(rebuilt) == _as_dicts(a)
+
+    def test_merge_does_not_mutate_operands(self):
+        a = _profiler({"x": (1, 1)})
+        b = _profiler({"x": (2, 3)})
+        merged = a.merge(b)
+        assert merged.seconds == {"x": 3.0}
+        assert merged.calls == {"x": 4}
+        assert a.seconds == {"x": 1.0}
+        assert b.calls == {"x": 3}
+
+
+class TestProfiled:
+    def test_disabled_fast_return_is_shared_noop(self):
+        assert perf.active_profiler() is None
+        assert perf.profiled("a") is perf.profiled("b")
+
+    def test_records_when_enabled(self):
+        profiler = perf.enable_profiler()
+        with perf.profiled("k"):
+            pass
+        with perf.profiled("k"):
+            pass
+        assert profiler.calls == {"k": 2}
+        assert profiler.seconds["k"] >= 0.0
+
+    def test_nested_sections_both_recorded(self):
+        profiler = perf.enable_profiler()
+        with perf.profiled("outer"):
+            with perf.profiled("inner"):
+                pass
+        assert profiler.calls == {"outer": 1, "inner": 1}
+        # Sections are flat: the outer span contains the inner one.
+        assert profiler.seconds["outer"] >= profiler.seconds["inner"]
+
+    def test_rows_sorted_longest_first(self):
+        profiler = _profiler({"fast": (1, 1), "slow": (5, 2)})
+        assert [r["section"] for r in profiler.rows()] == ["slow", "fast"]

@@ -1,0 +1,78 @@
+"""Sweep progress meter: TTY gating, counts, rendering, ETA."""
+
+import io
+
+import pytest
+
+from repro.obs.progress import SweepProgress
+
+
+class _Tty(io.StringIO):
+    def isatty(self) -> bool:
+        return True
+
+
+class TestGating:
+    def test_disabled_on_non_tty(self):
+        stream = io.StringIO()
+        meter = SweepProgress(total=3, stream=stream)
+        assert not meter.enabled
+        meter.task_started()
+        meter.spec_done()
+        meter.close()
+        assert stream.getvalue() == ""
+
+    def test_enabled_on_tty(self):
+        stream = _Tty()
+        with SweepProgress(total=2, stream=stream) as meter:
+            meter.spec_done()
+        output = stream.getvalue()
+        assert "sweep 1/2 specs" in output
+        # close() erased the line.
+        assert output.endswith("\r")
+
+
+class TestCounts:
+    def test_render_tracks_state(self):
+        meter = SweepProgress(total=8, stream=io.StringIO(), enabled=False)
+        meter.add_cached(3)
+        meter.task_started()
+        meter.task_started()
+        meter.task_finished()
+        meter.spec_done()
+        assert meter.done == 4
+        assert meter.cached == 3
+        assert meter.inflight == 1
+        line = meter.render()
+        assert "sweep 4/8 specs" in line
+        assert "1 in-flight" in line
+        assert "3 cached" in line
+
+    def test_inflight_never_negative(self):
+        meter = SweepProgress(total=1, stream=io.StringIO(), enabled=False)
+        meter.task_finished()
+        assert meter.inflight == 0
+
+
+class TestEta:
+    def test_no_eta_before_an_executed_spec(self):
+        meter = SweepProgress(total=4, stream=io.StringIO(), enabled=False)
+        assert meter._eta_s() is None
+        # Cache hits alone never produce an ETA: they complete in
+        # milliseconds and say nothing about simulation speed.
+        meter.add_cached(2)
+        assert meter._eta_s() is None
+
+    def test_eta_extrapolates_from_executed_specs(self):
+        meter = SweepProgress(total=4, stream=io.StringIO(), enabled=False)
+        meter._started -= 10.0  # pretend 10s have elapsed
+        meter.spec_done()
+        meter.spec_done()
+        # 2 executed in ~10s, 2 remaining -> ~10s.
+        assert meter._eta_s() == pytest.approx(10.0, rel=0.1)
+        assert "ETA" in meter.render()
+
+    def test_no_eta_when_done(self):
+        meter = SweepProgress(total=1, stream=io.StringIO(), enabled=False)
+        meter.spec_done()
+        assert meter._eta_s() is None
