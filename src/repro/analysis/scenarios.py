@@ -73,6 +73,7 @@ DATASET_BUILDERS = {
 #: Built datasets memoized per process, keyed by canonical spec.  Bounded:
 #: sweeps over many distinct specs (e.g. constellation sizes) would
 #: otherwise grow resident memory without limit in long-lived processes.
+# repro: allow(RPR005): per-process memo of deterministically-built datasets — a key rebuilds to a bit-identical dataset in any process, so worker copies can never disagree with the driver
 _DATASET_CACHE: dict[tuple, SyntheticDataset] = {}
 _DATASET_CACHE_MAX = 8
 

@@ -791,6 +791,44 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: enforce the repo's repro contracts (see repro.lint).
+
+    Exit codes are CI-friendly: 0 clean, 1 active findings, 2 internal
+    error (unknown rule, missing path, unreadable file).
+    """
+    import repro.lint as lint
+    from repro.errors import LintError
+    from repro.lint.rules import storekey
+
+    try:
+        if args.update_golden:
+            from pathlib import Path
+
+            from repro.lint.engine import find_project_root
+
+            root = find_project_root(
+                [Path(p) for p in args.paths] or [Path.cwd()]
+            )
+            written = storekey.update_golden(root)
+            print(f"wrote {written}")
+            return 0
+        select = args.select.split(",") if args.select else None
+        ignore = args.ignore.split(",") if args.ignore else None
+        result = lint.run_lint(args.paths, select=select, ignore=ignore)
+    except (LintError, ValueError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    rules = lint.resolve_rules(select=select, ignore=ignore)
+    if args.format == "json":
+        print(lint.render_json(result, rules))
+    else:
+        print(
+            lint.render_table(result, show_suppressed=args.show_suppressed)
+        )
+    return result.exit_code
+
+
 def cmd_specs(args: argparse.Namespace) -> int:
     from repro.analysis.figures import tab01_specs
 
@@ -991,6 +1029,37 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate_parser.add_argument("--days", type=float, default=180.0)
     calibrate_parser.add_argument("--size", type=int, default=192)
     calibrate_parser.set_defaults(func=cmd_calibrate)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static analysis: enforce determinism/env-flag/monoid/"
+        "store-key/fork-safety contracts",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=["table", "json"], default="table"
+    )
+    lint_parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule codes/names to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule codes/names to skip",
+    )
+    lint_parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list findings silenced by `# repro: allow(...)`",
+    )
+    lint_parser.add_argument(
+        "--update-golden", action="store_true",
+        help="re-snapshot the RPR004 store-key golden from the current "
+        "tree and exit",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     specs_parser = sub.add_parser("specs", help="print the Table-1 spec")
     specs_parser.set_defaults(func=cmd_specs)

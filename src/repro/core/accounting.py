@@ -477,6 +477,30 @@ class MetricsAccumulator:
         self.downlink = DownlinkStats()
         self._saw_downlink = False
 
+    @classmethod
+    def identity(cls) -> "MetricsAccumulator":
+        """The merge unit: an accumulator that observed nothing.
+
+        Contact geometry is zero-valued sentinel state, exactly like
+        :meth:`RunResult.identity`: :meth:`merge` adopts the other
+        operand's values, so folding per-shard accumulators from
+        ``identity()`` yields the pairwise merge of the shards.
+        """
+        return cls(contacts_per_day=0, contact_duration_s=0.0)
+
+    def _is_identity(self) -> bool:
+        return (
+            not self.records
+            and not self.collectors
+            and not self.policy_name
+            and self.contacts_per_day == 0
+            and self.contact_duration_s == 0.0
+            and self.downlink_bytes == 0
+            and self.peak_reference_bytes == 0
+            and self.peak_captured_bytes == 0
+            and not self._saw_downlink
+        )
+
     def merge(self, other: "MetricsAccumulator") -> "MetricsAccumulator":
         """Combine two partial accumulators over disjoint visit sets.
 
@@ -486,6 +510,10 @@ class MetricsAccumulator:
         Accumulators carrying pluggable collectors refuse to merge —
         collector state is opaque.
         """
+        if self._is_identity():
+            return other
+        if other._is_identity():
+            return self
         if self.collectors or other.collectors:
             raise ValueError(
                 "MetricsAccumulator.merge cannot combine collectors; "

@@ -359,6 +359,7 @@ def _training_captures(
     return out
 
 
+# repro: allow(RPR005): per-process memo of deterministically-trained detectors — training is a pure function of the key, so independently-warmed worker copies are bit-identical
 _DETECTOR_CACHE: dict[tuple, CloudDetector] = {}
 
 

@@ -77,6 +77,16 @@ class UncacheableSpecError(StoreError):
     """
 
 
+class LintError(ReproError):
+    """The static-analysis engine itself failed (not a lint finding).
+
+    Raised for unusable invocations — an unknown rule passed to
+    ``--select``/``--ignore``, a path that does not exist — and for
+    internal faults.  The CLI maps it to exit code 2, distinct from
+    "findings were reported" (1) and "clean" (0).
+    """
+
+
 class ReferenceError_(ReproError):
     """Reference-store failures (missing reference, shape mismatch, stale delta).
 

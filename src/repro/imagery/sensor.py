@@ -27,25 +27,69 @@ from repro.imagery.earth_model import EarthModel
 from repro.imagery.illumination import IlluminationModel, IlluminationSample
 from repro.imagery.noise import stable_hash
 
-#: Byte budget per sensor for the warm-state capture cache (fast path).
-#: A capture is deterministic in (satellite, time), so repeated scenario
-#: runs over one dataset — e.g. comparing three policies on the same
-#: schedule — re-observe identical captures; caching them removes the
-#: dominant imagery-synthesis cost from every run after the first.
-_CAPTURE_CACHE_BYTES = int(
-    float(os.environ.get("REPRO_CAPTURE_CACHE_MB", "64")) * 1e6
-)
+# (raw env string -> parsed bytes) per variable: re-parse only when the
+# variable changes, keeping the per-capture cost at one dict lookup
+# (the same pattern as perf._FASTPATH_ENV_CACHE).
+# repro: allow(RPR005): pure parse memo — the value is a deterministic function of the key, so independently-warmed worker copies can never disagree
+_BUDGET_MEMO: dict[tuple[str, str | None], int] = {}
 
-#: Process-wide ceiling across all live sensors, so many-location datasets
-#: cannot multiply the per-sensor budget without bound.
-_CAPTURE_CACHE_TOTAL_BYTES = int(
-    float(os.environ.get("REPRO_CAPTURE_CACHE_TOTAL_MB", "512")) * 1e6
-)
+
+def _mb_budget(name: str, default: float) -> int:
+    """Read a ``REPRO_*_MB`` byte budget at call time.
+
+    Historically these were read once at import, which silently ignored
+    variables exported after ``import repro`` — the same class of bug
+    :func:`repro.perf.simulation_fastpath` had (sensor.py is a
+    registered accessor module for its two cache budgets; see
+    ``repro.lint.rules.envflags``).
+
+    Raises:
+        ValueError: For a set value that is not a number.
+    """
+    raw = os.environ.get(name)
+    memo_key = (name, raw)
+    cached = _BUDGET_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    if raw is None or raw.strip() == "":
+        value = int(default * 1e6)
+    else:
+        try:
+            value = int(float(raw) * 1e6)
+        except ValueError:
+            raise ValueError(
+                f"{name}={raw!r} is not a megabyte count"
+            ) from None
+    _BUDGET_MEMO[memo_key] = value
+    return value
+
+
+def capture_cache_bytes() -> int:
+    """Byte budget per sensor for the warm-state capture cache (fast path).
+
+    A capture is deterministic in (satellite, time), so repeated scenario
+    runs over one dataset — e.g. comparing three policies on the same
+    schedule — re-observe identical captures; caching them removes the
+    dominant imagery-synthesis cost from every run after the first.
+    ``REPRO_CAPTURE_CACHE_MB`` (default 64) sizes it, read at call time.
+    """
+    return _mb_budget("REPRO_CAPTURE_CACHE_MB", 64.0)
+
+
+def capture_cache_total_bytes() -> int:
+    """Process-wide capture-cache ceiling across all live sensors.
+
+    Bounds many-location datasets that would otherwise multiply the
+    per-sensor budget without bound.  ``REPRO_CAPTURE_CACHE_TOTAL_MB``
+    (default 512) sizes it, read at call time.
+    """
+    return _mb_budget("REPRO_CAPTURE_CACHE_TOTAL_MB", 512.0)
 
 #: Live sensors with non-empty caches, keyed by id (weak values: garbage-
 #: collected datasets drop out, releasing their share of the global budget
 #: automatically; a WeakValueDictionary is used because the dataclass'
 #: generated __eq__ makes instances unhashable, ruling out a WeakSet).
+# repro: allow(RPR005): per-process cache bookkeeping by design — caches are excluded from pickling (__getstate__), so worker copies start empty and only ever track that worker's own sensors
 _CACHING_SENSORS: "weakref.WeakValueDictionary[int, SatelliteSensor]" = (
     weakref.WeakValueDictionary()
 )
@@ -66,7 +110,8 @@ def _enforce_global_capture_budget() -> None:
     sensor that happens to be inserting.
     """
     total = _global_capture_cache_bytes()
-    while total > _CAPTURE_CACHE_TOTAL_BYTES:
+    ceiling = capture_cache_total_bytes()
+    while total > ceiling:
         victim = max(
             _CACHING_SENSORS.values(),
             key=lambda sensor: sensor._capture_cache_bytes,
@@ -193,7 +238,8 @@ class SatelliteSensor:
         """
         if t_days < 0:
             raise ImageryError(f"t_days must be >= 0, got {t_days}")
-        use_cache = perf.simulation_fastpath() and _CAPTURE_CACHE_BYTES > 0
+        cache_budget = capture_cache_bytes()
+        use_cache = perf.simulation_fastpath() and cache_budget > 0
         # Raw-float key: replayed schedules pass bit-identical times, and
         # quantizing would let two nearby-but-distinct capture times
         # silently collide onto one rendered capture.
@@ -214,7 +260,7 @@ class SatelliteSensor:
             # Per-sensor budget first, then the process-wide ceiling so
             # datasets with many locations stay bounded.
             while (
-                self._capture_cache_bytes > _CAPTURE_CACHE_BYTES
+                self._capture_cache_bytes > cache_budget
                 and len(self._capture_cache) > 1
             ):
                 _, evicted = self._capture_cache.popitem(last=False)

@@ -1,0 +1,48 @@
+"""``repro lint``: AST-based enforcement of the repo's repro contracts.
+
+Every invariant this package checks is one the codebase has already been
+burned by (see each rule module's docstring for the incident):
+
+=======  =============  ====================================================
+Code     Name           Contract
+=======  =============  ====================================================
+RPR001   determinism    no ambient entropy / set-order iteration in
+                        result-bearing packages (core, codec, orbit,
+                        analysis)
+RPR002   envflags       no import-time environment reads; ``REPRO_*`` only
+                        through ``repro.perf.env_flag`` / registered
+                        accessors
+RPR003   monoid         ``identity()``/``merge()`` pairs; ``merge()`` covers
+                        every declared field
+RPR004   storekey       spec-canonicalization surface matches the committed
+                        golden; changes require a ``SCHEMA_VERSION`` bump
+RPR005   forksafety     runtime-mutated module globals carry fork-safety
+                        justifications; ``__getstate__`` covers every field
+=======  =============  ====================================================
+
+Violations are suppressed inline, with a reviewable justification::
+
+    # repro: allow(RPR005): populated only at import time
+
+Entry points: the ``repro lint`` CLI (``repro.cli``) and
+:func:`run_lint` for tests/tooling.
+"""
+
+from repro.lint import rules  # noqa: F401  (imports register the rules)
+from repro.lint.engine import ModuleInfo, ProjectInfo, run_lint
+from repro.lint.model import Finding, LintResult, Rule
+from repro.lint.registry import all_rules, resolve_rules
+from repro.lint.report import render_json, render_table
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "ProjectInfo",
+    "Rule",
+    "all_rules",
+    "render_json",
+    "render_table",
+    "resolve_rules",
+    "run_lint",
+]

@@ -1,0 +1,166 @@
+"""Small AST helpers shared by the ``repro lint`` rule checkers."""
+
+from __future__ import annotations
+
+import ast
+
+#: Node types that introduce a new (non-module) execution scope.  Class
+#: bodies deliberately do NOT appear: they execute at import time, so for
+#: the import-time-vs-call-time distinction a class body is module scope.
+FUNCTION_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """The dotted name of a Name/Attribute chain, or None.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``;
+    anything rooted in a call or subscript (``foo().bar``) yields None.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee (``time.time(...)`` -> ``time.time``)."""
+    return dotted_name(node.func)
+
+
+def string_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings.
+
+    Used to resolve indirected environment-variable names
+    (``_ENV_CC = "REPRO_CODEC_CC"; os.environ.get(_ENV_CC)``) so a rule
+    cannot be dodged by hoisting the string into a constant.
+    """
+    constants: dict[str, str] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if (
+            value is not None
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = value.value
+    return constants
+
+
+def decorator_names(node: ast.ClassDef | ast.FunctionDef) -> set[str]:
+    """Dotted names of a definition's decorators (calls unwrapped)."""
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+def is_dataclass(node: ast.ClassDef) -> bool:
+    """Whether the class is decorated with ``@dataclass`` (any spelling)."""
+    return any(
+        name == "dataclass" or name.endswith(".dataclass")
+        for name in decorator_names(node)
+    )
+
+
+def dataclass_fields(node: ast.ClassDef) -> list[str]:
+    """Declared dataclass field names (annotated class-body assignments).
+
+    ``ClassVar`` annotations are excluded — they are class state, not
+    per-instance fields, so merge/pickle coverage does not apply.
+    """
+    fields: list[str] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append(stmt.target.id)
+    return fields
+
+
+def slots_fields(node: ast.ClassDef) -> list[str] | None:
+    """``__slots__`` entries when declared as a literal, else None."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    value = stmt.value
+                    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                        names = [
+                            e.value
+                            for e in value.elts
+                            if isinstance(e, ast.Constant)
+                            and isinstance(e.value, str)
+                        ]
+                        return names
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, str
+                    ):
+                        return [value.value]
+                    return None
+    return None
+
+
+def identifiers_in(node: ast.AST) -> set[str]:
+    """Every identifier-ish token under ``node``.
+
+    Collects bare names, attribute names, call keyword arguments, and
+    string constants (dict keys / ``getattr`` names), which is exactly
+    the set a field can be "referenced" through in a merge or
+    ``__getstate__`` body.
+    """
+    found: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            found.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            found.add(child.attr)
+        elif isinstance(child, ast.keyword) and child.arg is not None:
+            found.add(child.arg)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            found.add(child.value)
+    return found
+
+
+def field_wildcard_aliases(tree: ast.Module) -> set[str]:
+    """Local names that mean "every dataclass field" when called.
+
+    ``from dataclasses import fields as dataclass_fields`` must count as
+    the future-proof all-fields spelling just like a plain ``fields``
+    reference, so coverage checks collect the aliases actually bound in
+    the module.
+    """
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "dataclasses":
+            for alias in node.names:
+                if alias.name in ("fields", "asdict", "astuple"):
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def in_package_dir(relparts: tuple[str, ...], dirnames: set[str]) -> bool:
+    """Whether a file lives under any of the named package directories.
+
+    Matches on path components, so it works both for real tree paths
+    (``src/repro/core/phases.py``) and for test fixture trees
+    (``<tmp>/core/bad.py``).
+    """
+    return bool(set(relparts[:-1]) & dirnames)

@@ -1,0 +1,227 @@
+"""The lint engine: file collection, parsing, rule dispatch, suppression.
+
+:func:`run_lint` is the one entry point the CLI and the tests share.  It
+expands the given paths into a deterministic, sorted list of python
+files, parses each once, runs every enabled file rule per module and
+every project rule once, then resolves inline
+``# repro: allow(<rule>)`` comments (:mod:`repro.lint.suppress`) into
+the ``suppressed`` flag on each finding.  Unparseable files become
+``RPR000`` findings instead of crashing the run, so one syntax error
+cannot hide every other violation in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint import registry
+from repro.lint.model import Finding, LintResult, Rule
+from repro.lint.suppress import (
+    Suppression,
+    scan_suppressions,
+    suppression_for,
+)
+
+#: Directory names never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed python file handed to file-level rules.
+
+    Attributes:
+        path: Filesystem path of the file.
+        display: Normalized posix-style path used in findings.
+        relparts: Path components relative to the lint root (for rules
+            that scope themselves to package directories).
+        source: Raw file text.
+        tree: Parsed module AST.
+    """
+
+    path: Path
+    display: str
+    relparts: tuple[str, ...]
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+
+@dataclass
+class ProjectInfo:
+    """Repository-level context handed to project rules (RPR004).
+
+    Attributes:
+        root: The project root — the nearest ancestor of the linted
+            paths containing ``pyproject.toml``, else the common parent.
+        modules: Every module parsed this run (project rules may
+            cross-reference them).
+    """
+
+    root: Path
+    modules: list[ModuleInfo]
+
+    def module_named(self, *suffix: str) -> ModuleInfo | None:
+        """The parsed module whose path ends with ``suffix``, if present."""
+        for module in self.modules:
+            if module.path.parts[-len(suffix):] == suffix:
+                return module
+        return None
+
+
+def _iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    files: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"lint path does not exist: {path}")
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS:
+                    continue
+                files.add(candidate)
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def find_project_root(paths: Sequence[Path]) -> Path:
+    """Nearest ancestor with ``pyproject.toml``; falls back to cwd."""
+    for start in list(paths) + [Path.cwd()]:
+        probe = start.resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for candidate in (probe, *probe.parents):
+            if (candidate / "pyproject.toml").is_file():
+                return candidate
+    return Path.cwd()
+
+
+def _relparts(path: Path, roots: Sequence[Path]) -> tuple[str, ...]:
+    resolved = path.resolve()
+    for root in roots:
+        base = root.resolve()
+        if base.is_file():
+            base = base.parent
+        try:
+            return resolved.relative_to(base).parts
+        except ValueError:
+            continue
+    return resolved.parts
+
+
+def _parse_modules(
+    files: Iterable[Path], roots: Sequence[Path]
+) -> tuple[list[ModuleInfo], list[Finding]]:
+    modules: list[ModuleInfo] = []
+    parse_failures: list[Finding] = []
+    for path in files:
+        display = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot read {display}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    rule="RPR000",
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            ModuleInfo(
+                path=path,
+                display=display,
+                relparts=_relparts(path, roots),
+                source=source,
+                tree=tree,
+                suppressions=scan_suppressions(source),
+            )
+        )
+    return modules, parse_failures
+
+
+def _apply_suppressions(
+    finding: Finding, rule: Rule, modules_by_display: dict[str, ModuleInfo]
+) -> Finding:
+    module = modules_by_display.get(finding.path)
+    if module is None:
+        return finding
+    comment = suppression_for(
+        module.suppressions, finding.line, rule.code, rule.name
+    )
+    if comment is None:
+        return finding
+    return Finding(
+        rule=finding.rule,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        message=finding.message,
+        suppressed=True,
+        justification=comment.justification,
+    )
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    project_root: Path | None = None,
+) -> LintResult:
+    """Lint ``paths`` with the selected rules.
+
+    Args:
+        paths: Files and/or directories to lint (directories recurse).
+        select: Rule codes/names to run (default: all registered).
+        ignore: Rule codes/names to drop from the selection.
+        project_root: Override for project-rule file discovery (tests);
+            autodetected from ``pyproject.toml`` otherwise.
+
+    Returns:
+        The :class:`~repro.lint.model.LintResult` with every finding
+        (suppressed ones flagged, not removed).
+
+    Raises:
+        LintError: Unknown rule identifiers, missing paths, unreadable
+            files — the CLI's exit-2 class of failures.
+    """
+    given = [Path(p) for p in paths]
+    if not given:
+        raise LintError("no paths to lint")
+    rules = registry.resolve_rules(select=select, ignore=ignore)
+    files = _iter_python_files(given)
+    modules, findings = _parse_modules(files, given)
+    modules_by_display = {m.display: m for m in modules}
+
+    root = project_root if project_root is not None else find_project_root(given)
+    project = ProjectInfo(root=root, modules=modules)
+
+    for rule in rules:
+        raw: list[Finding] = []
+        if rule.project_level:
+            raw.extend(rule.check(project))
+        else:
+            for module in modules:
+                raw.extend(rule.check(module))
+        for finding in raw:
+            findings.append(
+                _apply_suppressions(finding, rule, modules_by_display)
+            )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=findings,
+        files_checked=len(modules),
+        rules_run=[rule.code for rule in rules],
+    )

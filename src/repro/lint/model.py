@@ -1,0 +1,111 @@
+"""Finding and rule data model for ``repro lint``.
+
+A :class:`Finding` is one violation of one :class:`Rule` at one source
+location.  Findings are plain frozen data so reporters, the CLI, and CI
+artifact uploads all consume the same objects; ``suppressed`` marks
+findings that matched an inline ``# repro: allow(<rule>)`` comment and
+therefore do not affect the exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule code (``RPR001`` ... ``RPR005``, or ``RPR000`` for a
+            file the linter could not parse).
+        path: Display path of the offending file (as given on the
+            command line, normalized to posix separators).
+        line: 1-based source line of the violation.
+        col: 0-based column of the violation.
+        message: Human-readable description of what is wrong and how to
+            fix it.
+        suppressed: True when an inline ``# repro: allow(...)`` comment
+            on the finding line (or the line above it) covers this rule.
+        justification: The free text after ``allow(rule):`` on the
+            matching suppression comment, when one was given.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready rendering (the ``--format json`` row schema)."""
+        return {
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule.
+
+    Attributes:
+        code: Stable identifier (``RPR001``); suppression comments and
+            ``--select``/``--ignore`` accept it case-insensitively.
+        name: Short mnemonic alias (``determinism``), equally accepted
+            by suppressions and selection flags.
+        summary: One-line description for ``--format json`` metadata and
+            the docs rule catalog.
+        check: The checker callable.  File rules receive one
+            :class:`~repro.lint.engine.ModuleInfo`; project rules
+            receive one :class:`~repro.lint.engine.ProjectInfo`.
+        project_level: True for rules that run once per lint invocation
+            against the repository (RPR004) instead of once per file.
+    """
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[..., Iterable[Finding]]
+    project_level: bool = False
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: All findings in (path, line, col, rule) order,
+            suppressed ones included and flagged.
+        files_checked: Number of python files parsed.
+        rules_run: Codes of the rules that were enabled for the run.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that count against the exit code."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings silenced by an inline allow comment."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """CI contract: 0 clean, 1 active findings (2 = internal error,
+        raised as :class:`~repro.errors.LintError` before a result
+        exists)."""
+        return 1 if self.active else 0

@@ -1,0 +1,72 @@
+"""Rule registration and ``--select``/``--ignore`` resolution.
+
+Rule modules register themselves at import via :func:`register`;
+:mod:`repro.lint.rules` imports every built-in rule module so
+:func:`all_rules` is complete after ``import repro.lint``.  Selection
+accepts codes (``RPR003``), mnemonic names (``monoid``), or ``all``,
+case-insensitively; unknown identifiers raise
+:class:`~repro.errors.LintError` (CLI exit 2) rather than silently
+linting with fewer rules than the caller asked for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import LintError
+from repro.lint.model import Rule
+
+_RULES: dict[str, Rule] = {}  # repro: allow(RPR005): populated only by module-level register() calls at import time, so every process (parent or forked worker) builds the identical registry
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule to the registry (idempotent for identical re-imports)."""
+    existing = _RULES.get(rule.code)
+    if existing is not None and existing is not rule:
+        raise LintError(f"duplicate lint rule code {rule.code!r}")
+    _RULES[rule.code] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order."""
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def _resolve_one(identifier: str) -> list[Rule]:
+    word = identifier.strip().lower()
+    if not word:
+        return []
+    if word == "all":
+        return all_rules()
+    for rule in _RULES.values():
+        if word in (rule.code.lower(), rule.name.lower()):
+            return [rule]
+    known = ", ".join(
+        f"{r.code}/{r.name}" for r in all_rules()
+    )
+    raise LintError(f"unknown lint rule {identifier!r}; known rules: {known}")
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """The rule set a lint run should execute.
+
+    ``select`` narrows from the full registry (default: everything);
+    ``ignore`` then removes rules.  Both accept codes, names, or
+    ``all``.
+    """
+    if select:
+        chosen: dict[str, Rule] = {}
+        for identifier in select:
+            for rule in _resolve_one(identifier):
+                chosen[rule.code] = rule
+    else:
+        chosen = {rule.code: rule for rule in all_rules()}
+    if ignore:
+        for identifier in ignore:
+            for rule in _resolve_one(identifier):
+                chosen.pop(rule.code, None)
+    return [chosen[code] for code in sorted(chosen)]

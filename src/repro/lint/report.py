@@ -1,0 +1,73 @@
+"""Reporters: render a :class:`~repro.lint.model.LintResult` for humans/CI.
+
+Two formats, mirroring the rest of the CLI:
+
+* ``table`` — one ``path:line:col CODE message`` row per active finding
+  plus a summary line; suppressed findings appear only with
+  ``--show-suppressed``.
+* ``json`` — a single document with a stable schema CI can upload as an
+  artifact and scripts can consume::
+
+      {
+        "version": 1,
+        "clean": bool,
+        "files_checked": int,
+        "rules": [{"code", "name", "summary"}],
+        "counts": {"active": int, "suppressed": int},
+        "findings": [{"file", "line", "col", "rule", "message",
+                      "suppressed", "justification"}]
+      }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.model import LintResult, Rule
+
+
+def render_table(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable findings table plus a one-line summary."""
+    lines: list[str] = []
+    shown = result.findings if show_suppressed else result.active
+    for finding in shown:
+        mark = " [suppressed]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1} "
+            f"{finding.rule} {finding.message}{mark}"
+        )
+        if finding.suppressed and finding.justification:
+            lines.append(f"    allow: {finding.justification}")
+    active = len(result.active)
+    suppressed = len(result.suppressed)
+    summary = (
+        f"{active} finding{'s' if active != 1 else ''} "
+        f"({suppressed} suppressed) across {result.files_checked} files "
+        f"[rules: {', '.join(result.rules_run)}]"
+    )
+    lines.append(summary if lines else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, rules: list[Rule]) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    by_code = {rule.code: rule for rule in rules}
+    document = {
+        "version": 1,
+        "clean": not result.active,
+        "files_checked": result.files_checked,
+        "rules": [
+            {
+                "code": code,
+                "name": by_code[code].name if code in by_code else code,
+                "summary": by_code[code].summary if code in by_code else "",
+            }
+            for code in result.rules_run
+        ],
+        "counts": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [finding.as_dict() for finding in result.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,11 @@
+"""Built-in lint rules; importing this package registers all of them."""
+
+from repro.lint.rules import (  # noqa: F401  (import-for-registration)
+    determinism,
+    envflags,
+    forksafety,
+    monoid,
+    storekey,
+)
+
+__all__ = ["determinism", "envflags", "forksafety", "monoid", "storekey"]

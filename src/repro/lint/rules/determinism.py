@@ -1,0 +1,211 @@
+"""RPR001 — determinism: no ambient entropy in result-bearing packages.
+
+The scenario layer's contract is that a spec determines its
+``RunResult`` byte-for-byte (it is what makes the experiment store's
+content addressing and the sharded runner's "merged == sequential"
+guarantee sound).  This rule statically bans the two ways that contract
+has historically been threatened:
+
+* **Ambient entropy** — wall-clock reads (``time.time``,
+  ``datetime.now``), the process-seeded ``random`` module, numpy's
+  legacy global generator (``np.random.rand``/``np.random.seed``), and
+  *unseeded* ``np.random.default_rng()``.  Monotonic clocks
+  (``time.perf_counter``/``time.monotonic``) stay allowed: they feed
+  profiling, never results.
+
+* **Set-order iteration** — iterating a ``set``/``frozenset`` (or
+  materializing one with ``list``/``tuple``/``join``) yields a
+  hash-randomized order that differs across processes, which is exactly
+  the class of bug the canonical-visit-order merge discipline exists to
+  prevent.  Wrap in ``sorted(...)`` instead.
+
+Scope: files under ``core/``, ``codec/``, ``orbit/``, and
+``analysis/`` — the packages whose outputs are content-addressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import astutil
+from repro.lint.engine import ModuleInfo
+from repro.lint.model import Finding, Rule
+from repro.lint.registry import register
+
+CODE = "RPR001"
+NAME = "determinism"
+
+#: Packages whose results are content-addressed (spec -> bytes).
+SCOPED_DIRS = {"core", "codec", "orbit", "analysis"}
+
+#: Calls that read ambient entropy, by dotted callee name.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "date.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "uuid.uuid1": "host/time-derived identifier",
+    "uuid.uuid4": "process-entropy identifier",
+}
+
+#: numpy.random attributes that are fine to call (seedable constructors).
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+#: Builtins that materialize an iterable in iteration order.
+_ORDER_MATERIALIZERS = {"list", "tuple", "iter", "enumerate"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = astutil.call_name(node)
+        return name in ("set", "frozenset")
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.findings: list[Finding] = []
+        self.random_imports: set[str] = set()
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=CODE,
+                path=self.module.display,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self.random_imports.add(alias.asname or alias.name)
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_OK:
+                    self._flag(
+                        node,
+                        f"import of numpy.random.{alias.name} uses the "
+                        "process-global generator; construct a seeded "
+                        "np.random.default_rng(seed) instead",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = astutil.call_name(node)
+        if name is not None:
+            self._check_call(node, name)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, name: str) -> None:
+        reason = _BANNED_CALLS.get(name)
+        if reason is not None:
+            self._flag(
+                node,
+                f"{name}() is a {reason}; results must be a pure function "
+                "of the spec — derive values from the seed instead",
+            )
+            return
+        head, _, attr = name.rpartition(".")
+        if head in ("np.random", "numpy.random"):
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass a seed derived from the spec",
+                    )
+            elif attr not in _NP_RANDOM_OK:
+                self._flag(
+                    node,
+                    f"{name}() uses numpy's process-global generator; "
+                    "construct a seeded np.random.default_rng(seed) instead",
+                )
+            return
+        if head == "random" or (not head and name in self.random_imports):
+            if attr == "Random" or name == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        "random.Random() without a seed is process-seeded; "
+                        "pass a seed derived from the spec",
+                    )
+            else:
+                self._flag(
+                    node,
+                    f"{name}() uses the process-seeded random module; use a "
+                    "seeded np.random.default_rng(seed) or random.Random(seed)",
+                )
+            return
+        if name == "default_rng" and not node.args and not node.keywords:
+            self._flag(
+                node,
+                "default_rng() without a seed draws OS entropy; pass a "
+                "seed derived from the spec",
+            )
+            return
+        if name in _ORDER_MATERIALIZERS and node.args:
+            if _is_set_expr(node.args[0]):
+                self._flag(
+                    node,
+                    f"{name}() over a set materializes hash-randomized "
+                    "order; wrap the set in sorted(...)",
+                )
+        if name.endswith(".join") and node.args and _is_set_expr(node.args[0]):
+            self._flag(
+                node,
+                "str.join over a set serializes hash-randomized order; "
+                "wrap the set in sorted(...)",
+            )
+
+    def _check_iter(self, node: ast.expr) -> None:
+        if _is_set_expr(node):
+            self._flag(
+                node,
+                "iterating a set yields hash-randomized order that differs "
+                "across processes; wrap it in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def check(module: ModuleInfo) -> Iterator[Finding]:
+    """Run the determinism checks over one module (if it is in scope)."""
+    if not astutil.in_package_dir(module.relparts, SCOPED_DIRS):
+        return iter(())
+    visitor = _Visitor(module)
+    visitor.visit(module.tree)
+    return iter(visitor.findings)
+
+
+register(
+    Rule(
+        code=CODE,
+        name=NAME,
+        summary=(
+            "no wall-clock/process-entropy reads or set-order iteration in "
+            "result-bearing packages (core/, codec/, orbit/, analysis/)"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,298 @@
+"""RPR005 — fork/pickle safety: worker-divergent state must be explicit.
+
+The sweep scheduler forks long-lived workers and ships results back by
+pickle; two structural patterns have historically threatened the
+"parallel == sequential" byte-identity contract:
+
+* **Module-level mutable state mutated at runtime.**  A module-scope
+  dict/list/set that functions mutate after import diverges between the
+  driver and each forked worker (every process mutates its own copy).
+  Sometimes that is exactly the design — per-process caches, import-time
+  registries — but then it must be *declared*: the rule flags every such
+  name once (at its definition) and the accepted sites carry a
+  ``# repro: allow(RPR005): <why fork-safe>`` justification, turning
+  implicit fork behavior into reviewed documentation.
+
+* **Pickle state that omits declared fields.**  ``__getstate__``
+  implementations that enumerate state by hand drift when fields are
+  added (the PR 5 tuple-state work exists because dict-state string
+  interning broke byte-identity).  When a class declares its fields
+  (``@dataclass``/``__slots__``) and ``__getstate__`` builds state from
+  explicit attribute reads, every declared field must appear; copying
+  ``self.__dict__`` or iterating ``dataclasses.fields`` is future-proof
+  and accepted as covering everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import astutil
+from repro.lint.engine import ModuleInfo
+from repro.lint.model import Finding, Rule
+from repro.lint.registry import register
+
+CODE = "RPR005"
+NAME = "forksafety"
+
+#: Constructors whose results are module-level mutable containers.
+_CONTAINER_CALLS = {
+    "dict",
+    "list",
+    "set",
+    "collections.OrderedDict",
+    "OrderedDict",
+    "collections.defaultdict",
+    "defaultdict",
+    "collections.deque",
+    "deque",
+    "collections.Counter",
+    "weakref.WeakValueDictionary",
+    "WeakValueDictionary",
+    "weakref.WeakKeyDictionary",
+    "WeakKeyDictionary",
+    "weakref.WeakSet",
+    "WeakSet",
+}
+
+#: Method calls that mutate a container in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "popleft",
+    "clear",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+}
+
+#: Inside __getstate__, any of these means "all fields included".
+_STATE_WILDCARDS = {"fields", "asdict", "astuple", "__dict__", "vars"}
+
+
+def _is_container_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        return astutil.call_name(node) in _CONTAINER_CALLS
+    return False
+
+
+def _module_containers(tree: ast.Module) -> dict[str, int]:
+    """Module-scope names bound to mutable containers -> definition line."""
+    containers: dict[str, int] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_container_value(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                containers[target.id] = stmt.lineno
+    return containers
+
+
+class _MutationFinder(ast.NodeVisitor):
+    """Collects runtime mutations of module-level containers.
+
+    Tracks function nesting and per-function local bindings so a local
+    variable shadowing a module-level name is never miscounted.
+    """
+
+    def __init__(self, containers: dict[str, int]) -> None:
+        self.containers = containers
+        self.mutations: dict[str, list[int]] = {}
+        self._locals_stack: list[set[str]] = []
+
+    def _function_locals(self, node: ast.AST) -> set[str]:
+        bound: set[str] = set()
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                bound.add(arg.arg)
+        declared_global: set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                declared_global.update(child.names)
+            elif isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                bound.add(child.target.id)
+            elif isinstance(child, (ast.For, ast.AsyncFor)) and isinstance(
+                child.target, ast.Name
+            ):
+                bound.add(child.target.id)
+            elif isinstance(child, ast.withitem) and isinstance(
+                child.optional_vars, ast.Name
+            ):
+                bound.add(child.optional_vars.id)
+        return bound - declared_global
+
+    def _enter_function(self, node: ast.AST) -> None:
+        self._locals_stack.append(self._function_locals(node))
+        self.generic_visit(node)
+        self._locals_stack.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+    visit_Lambda = _enter_function
+
+    def _is_module_container(self, name: str) -> bool:
+        if name not in self.containers:
+            return False
+        return not any(name in scope for scope in self._locals_stack)
+
+    def _record(self, name: str, line: int) -> None:
+        self.mutations.setdefault(name, []).append(line)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._locals_stack and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS and isinstance(
+                node.func.value, ast.Name
+            ):
+                name = node.func.value.id
+                if self._is_module_container(name):
+                    self._record(name, node.lineno)
+        self.generic_visit(node)
+
+    def _check_subscript_target(self, target: ast.expr, line: int) -> None:
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            name = target.value.id
+            if self._is_module_container(name):
+                self._record(name, line)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._locals_stack:
+            for target in node.targets:
+                self._check_subscript_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._locals_stack:
+            self._check_subscript_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if self._locals_stack:
+            for target in node.targets:
+                self._check_subscript_target(target, node.lineno)
+        self.generic_visit(node)
+
+
+def _check_globals(module: ModuleInfo) -> list[Finding]:
+    containers = _module_containers(module.tree)
+    if not containers:
+        return []
+    finder = _MutationFinder(containers)
+    finder.visit(module.tree)
+    findings: list[Finding] = []
+    for name in sorted(finder.mutations):
+        lines = sorted(set(finder.mutations[name]))
+        sites = ", ".join(str(line) for line in lines[:6])
+        more = "" if len(lines) <= 6 else f" (+{len(lines) - 6} more)"
+        findings.append(
+            Finding(
+                rule=CODE,
+                path=module.display,
+                line=containers[name],
+                col=0,
+                message=(
+                    f"module-level mutable {name!r} is mutated at runtime "
+                    f"(line {sites}{more}); forked workers each mutate "
+                    "their own copy and silently diverge from the driver — "
+                    "make it per-instance state, or document why "
+                    "per-process divergence is safe with "
+                    "`# repro: allow(RPR005): <reason>` on this line"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_getstate(module: ModuleInfo) -> list[Finding]:
+    findings: list[Finding] = []
+    wildcards = _STATE_WILDCARDS | astutil.field_wildcard_aliases(
+        module.tree
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        getstate = next(
+            (
+                stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__getstate__"
+            ),
+            None,
+        )
+        if getstate is None:
+            continue
+        declared = astutil.slots_fields(node)
+        if declared is None and astutil.is_dataclass(node):
+            declared = astutil.dataclass_fields(node)
+        if not declared:
+            continue
+        referenced = astutil.identifiers_in(getstate)
+        if referenced & wildcards:
+            continue
+        missing = [name for name in declared if name not in referenced]
+        if missing:
+            findings.append(
+                Finding(
+                    rule=CODE,
+                    path=module.display,
+                    line=getstate.lineno,
+                    col=getstate.col_offset,
+                    message=(
+                        f"{node.name}.__getstate__ omits declared field(s) "
+                        f"{', '.join(missing)}; workers would unpickle "
+                        "instances missing state — include them, or build "
+                        "the state from dataclasses.fields/self.__dict__ "
+                        "so new fields ride along automatically"
+                    ),
+                )
+            )
+    return findings
+
+
+def check(module: ModuleInfo) -> Iterator[Finding]:
+    """Run the fork/pickle-safety checks over one module."""
+    return iter(_check_globals(module) + _check_getstate(module))
+
+
+register(
+    Rule(
+        code=CODE,
+        name=NAME,
+        summary=(
+            "runtime-mutated module-level state carries an explicit "
+            "fork-safety justification; __getstate__ covers every declared "
+            "field"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,346 @@
+"""RPR004 — store-key hygiene: keyed spec surface vs ``SCHEMA_VERSION``.
+
+The experiment store content-addresses results by hashing a canonical
+document of the scenario spec (``repro.store.specs``).  Every
+``EarthPlusConfig`` field enters that document (via ``asdict``), as do
+the top-level ``spec_document`` keys and the fluctuation-model fields —
+so *changing that surface without bumping* ``SCHEMA_VERSION`` silently
+re-keys (or worse, fails to re-key) existing cache entries.  That
+footgun is called out in specs.py's docstring; this rule makes it
+machine-checked.
+
+Mechanism: a committed golden snapshot
+(``tests/store/golden_spec_fields.json``) records the keyed field
+surface and the ``SCHEMA_VERSION`` it was taken at.  On every lint run
+the rule re-extracts the surface from the AST of
+``src/repro/core/config.py`` and ``src/repro/store/specs.py`` and
+compares:
+
+* surface changed, version unchanged  -> **violation** ("bump
+  SCHEMA_VERSION");
+* surface changed, version bumped     -> re-snapshot reminder (run
+  ``repro lint --update-golden``) so the golden stays in lockstep;
+* surface unchanged, version changed  -> re-snapshot reminder (a pure
+  numerics/wire-format bump still re-anchors the snapshot).
+
+The golden therefore always equals the current extraction on a green
+tree, and the only way to change the keyed surface is a commit that
+visibly touches both ``SCHEMA_VERSION`` and the golden.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint import astutil
+from repro.lint.engine import ProjectInfo
+from repro.lint.model import Finding, Rule
+from repro.lint.registry import register
+
+CODE = "RPR004"
+NAME = "storekey"
+
+#: Project-relative location of the committed snapshot.
+GOLDEN_RELPATH = Path("tests") / "store" / "golden_spec_fields.json"
+#: Project-relative sources the keyed surface is extracted from.
+CONFIG_RELPATH = Path("src") / "repro" / "core" / "config.py"
+SPECS_RELPATH = Path("src") / "repro" / "store" / "specs.py"
+
+
+@dataclass(frozen=True)
+class KeyedSurface:
+    """The statically-extracted spec-canonicalization surface.
+
+    Attributes:
+        schema_version: Value of ``specs.SCHEMA_VERSION``.
+        config_fields: ``EarthPlusConfig`` dataclass fields (all enter
+            the canonical document through ``asdict``).
+        spec_document_keys: Top-level keys of the dict
+            ``spec_document`` returns.
+        fluctuation_fields: Keys of the dict
+            ``_fluctuation_document`` returns.
+        version_line: Source line of the ``SCHEMA_VERSION`` assignment
+            (for finding locations).
+        config_line: Source line of the ``EarthPlusConfig`` class.
+    """
+
+    schema_version: int
+    config_fields: tuple[str, ...]
+    spec_document_keys: tuple[str, ...]
+    fluctuation_fields: tuple[str, ...]
+    version_line: int = 1
+    config_line: int = 1
+
+    def as_golden(self) -> dict[str, object]:
+        """The JSON document committed as the golden snapshot."""
+        return {
+            "schema_version": self.schema_version,
+            "config_fields": sorted(self.config_fields),
+            "spec_document_keys": sorted(self.spec_document_keys),
+            "fluctuation_fields": sorted(self.fluctuation_fields),
+        }
+
+
+def _return_dict_keys(func: ast.FunctionDef) -> tuple[str, ...]:
+    """Constant keys of dict literals returned by ``func``."""
+    keys: list[str] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    if key.value not in keys:
+                        keys.append(key.value)
+    return tuple(keys)
+
+
+def extract_surface(config_source: str, specs_source: str) -> KeyedSurface:
+    """Extract the keyed surface from the two source files' ASTs.
+
+    Raises:
+        ValueError: When an expected definition (``EarthPlusConfig``,
+            ``SCHEMA_VERSION``, ``spec_document``) is missing — the
+            contract anchor itself moved, which must fail loudly.
+    """
+    config_tree = ast.parse(config_source)
+    specs_tree = ast.parse(specs_source)
+
+    config_fields: tuple[str, ...] | None = None
+    config_line = 1
+    for node in ast.walk(config_tree):
+        if isinstance(node, ast.ClassDef) and node.name == "EarthPlusConfig":
+            config_fields = tuple(astutil.dataclass_fields(node))
+            config_line = node.lineno
+            break
+    if config_fields is None:
+        raise ValueError("EarthPlusConfig class not found in config source")
+
+    schema_version: int | None = None
+    version_line = 1
+    for stmt in specs_tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "SCHEMA_VERSION"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                ):
+                    schema_version = stmt.value.value
+                    version_line = stmt.lineno
+    if schema_version is None:
+        raise ValueError("SCHEMA_VERSION assignment not found in specs source")
+
+    spec_keys: tuple[str, ...] = ()
+    fluct_keys: tuple[str, ...] = ()
+    for node in ast.walk(specs_tree):
+        if isinstance(node, ast.FunctionDef):
+            if node.name == "spec_document":
+                spec_keys = _return_dict_keys(node)
+            elif node.name == "_fluctuation_document":
+                fluct_keys = _return_dict_keys(node)
+    if not spec_keys:
+        raise ValueError("spec_document return keys not found in specs source")
+
+    return KeyedSurface(
+        schema_version=schema_version,
+        config_fields=config_fields,
+        spec_document_keys=spec_keys,
+        fluctuation_fields=fluct_keys,
+        version_line=version_line,
+        config_line=config_line,
+    )
+
+
+def _diff(current: list[str], golden: list[str]) -> str:
+    added = sorted(set(current) - set(golden))
+    removed = sorted(set(golden) - set(current))
+    parts = []
+    if added:
+        parts.append("added " + ", ".join(added))
+    if removed:
+        parts.append("removed " + ", ".join(removed))
+    return "; ".join(parts)
+
+
+def check_surface(
+    surface: KeyedSurface,
+    golden: dict[str, object],
+    specs_path: str,
+    config_path: str,
+    golden_path: str,
+) -> list[Finding]:
+    """Compare the extracted surface against the committed golden."""
+    current = surface.as_golden()
+    field_groups = (
+        ("config_fields", config_path, surface.config_line),
+        ("spec_document_keys", specs_path, 1),
+        ("fluctuation_fields", specs_path, 1),
+    )
+    changes: list[tuple[str, str, int, str]] = []
+    for group, path, line in field_groups:
+        mine = list(current[group])  # type: ignore[arg-type]
+        theirs = list(golden.get(group, []))  # type: ignore[arg-type]
+        if sorted(mine) != sorted(theirs):
+            changes.append((group, path, line, _diff(mine, theirs)))
+
+    golden_version = golden.get("schema_version")
+    findings: list[Finding] = []
+    if changes:
+        if surface.schema_version == golden_version:
+            for group, path, line, delta in changes:
+                findings.append(
+                    Finding(
+                        rule=CODE,
+                        path=path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"store-keyed surface changed ({group}: {delta}) "
+                            "but SCHEMA_VERSION is still "
+                            f"{surface.schema_version}; bump SCHEMA_VERSION "
+                            "in src/repro/store/specs.py (stale cache "
+                            "entries must stop matching) and re-snapshot "
+                            "with `repro lint --update-golden`"
+                        ),
+                    )
+                )
+        else:
+            summary = "; ".join(
+                f"{group}: {delta}" for group, _, _, delta in changes
+            )
+            findings.append(
+                Finding(
+                    rule=CODE,
+                    path=golden_path,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"SCHEMA_VERSION was bumped to "
+                        f"{surface.schema_version} for a keyed-surface "
+                        f"change ({summary}) — re-snapshot the golden with "
+                        "`repro lint --update-golden`"
+                    ),
+                )
+            )
+    elif surface.schema_version != golden_version:
+        findings.append(
+            Finding(
+                rule=CODE,
+                path=golden_path,
+                line=1,
+                col=0,
+                message=(
+                    f"SCHEMA_VERSION is {surface.schema_version} but the "
+                    f"golden snapshot records {golden_version}; re-anchor "
+                    "with `repro lint --update-golden`"
+                ),
+            )
+        )
+    return findings
+
+
+def _project_surface(project_root: Path) -> KeyedSurface | None:
+    config_path = project_root / CONFIG_RELPATH
+    specs_path = project_root / SPECS_RELPATH
+    if not config_path.is_file() or not specs_path.is_file():
+        return None
+    return extract_surface(
+        config_path.read_text(encoding="utf-8"),
+        specs_path.read_text(encoding="utf-8"),
+    )
+
+
+def update_golden(project_root: Path) -> Path:
+    """Re-snapshot the golden from the current tree (``--update-golden``).
+
+    Returns the path written.
+
+    Raises:
+        ValueError: When the tree under ``project_root`` does not carry
+            the config/specs sources to snapshot from.
+    """
+    surface = _project_surface(project_root)
+    if surface is None:
+        raise ValueError(
+            f"cannot update golden: {CONFIG_RELPATH} / {SPECS_RELPATH} "
+            f"not found under {project_root}"
+        )
+    golden_path = project_root / GOLDEN_RELPATH
+    golden_path.parent.mkdir(parents=True, exist_ok=True)
+    golden_path.write_text(
+        json.dumps(surface.as_golden(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return golden_path
+
+
+def check(project: ProjectInfo) -> Iterator[Finding]:
+    """Run the store-key hygiene check once per lint invocation.
+
+    Quietly skips trees that do not carry the spec sources (fixture
+    trees for other rules); a missing *golden* on a tree that has them
+    is a finding — the snapshot is part of the contract.
+    """
+    surface = _project_surface(project.root)
+    if surface is None:
+        return iter(())
+    golden_path = project.root / GOLDEN_RELPATH
+    display = (GOLDEN_RELPATH).as_posix()
+    if not golden_path.is_file():
+        return iter(
+            [
+                Finding(
+                    rule=CODE,
+                    path=display,
+                    line=1,
+                    col=0,
+                    message=(
+                        "store-key golden snapshot is missing; create it "
+                        "with `repro lint --update-golden` and commit it"
+                    ),
+                )
+            ]
+        )
+    try:
+        golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return iter(
+            [
+                Finding(
+                    rule=CODE,
+                    path=display,
+                    line=1,
+                    col=0,
+                    message=f"store-key golden snapshot is unreadable: {exc}",
+                )
+            ]
+        )
+    return iter(
+        check_surface(
+            surface,
+            golden,
+            specs_path=SPECS_RELPATH.as_posix(),
+            config_path=CONFIG_RELPATH.as_posix(),
+            golden_path=display,
+        )
+    )
+
+
+register(
+    Rule(
+        code=CODE,
+        name=NAME,
+        summary=(
+            "spec-canonicalization field surface matches the committed "
+            "golden; changing it requires a SCHEMA_VERSION bump"
+        ),
+        check=check,
+        project_level=True,
+    )
+)

@@ -1,0 +1,88 @@
+"""Inline suppression comments: ``# repro: allow(<rule>[, <rule>...])``.
+
+A finding is suppressed when the line it is reported on — or the line
+directly above it, for statements too long to share a line with a
+comment — carries an allow comment naming the finding's rule code
+(``RPR005``), its mnemonic name (``forksafety``), or ``all``.  An
+optional justification follows a colon and is carried onto the finding
+(and into the JSON report), so every suppression documents *why* the
+invariant is safe to relax at that site:
+
+    _REGISTRY: dict[str, CodecBackend] = {}  # repro: allow(RPR005): populated only at import time; identical in every process
+
+Suppressions are per-line and per-rule by design: there is no file-wide
+or block-wide escape hatch, so each exempted site stays visible in
+review.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[A-Za-z0-9_,\s-]+?)\s*\)"
+    r"(?:\s*:\s*(?P<why>.*\S))?",
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One allow comment: the rules it names and its justification."""
+
+    rules: frozenset[str]
+    justification: str | None
+
+    def covers(self, code: str, name: str) -> bool:
+        """Whether this comment silences rule ``code`` / alias ``name``."""
+        return bool(
+            self.rules & {code.lower(), name.lower(), "all"}
+        )
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """All allow comments in ``source``, keyed by 1-based line number.
+
+    Tokenizes rather than regex-scanning raw lines so a ``# repro:``
+    inside a string literal never counts as a suppression.  Returns an
+    empty mapping for source the tokenizer cannot process (the parser
+    will report that file anyway).
+    """
+    found: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip().lower()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            if not rules:
+                continue
+            found[token.start[0]] = Suppression(
+                rules=rules, justification=match.group("why")
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return found
+
+
+def suppression_for(
+    suppressions: dict[int, Suppression], line: int, code: str, name: str
+) -> Suppression | None:
+    """The comment covering a finding at ``line``, if any.
+
+    Checks the finding's own line first, then the line directly above.
+    """
+    for candidate in (line, line - 1):
+        comment = suppressions.get(candidate)
+        if comment is not None and comment.covers(code, name):
+            return comment
+    return None

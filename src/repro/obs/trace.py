@@ -129,6 +129,7 @@ class Tracer:
 _TRACER: Tracer | None = None
 
 #: Ambient attribution merged into every recorded span.
+# repro: allow(RPR005): per-process divergence is the feature — each worker sets its own worker/scenario/shard attribution, and span buffers ride the scheduler result protocol back to the driver explicitly
 _CONTEXT: dict = {}
 
 

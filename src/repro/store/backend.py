@@ -723,6 +723,7 @@ class ExperimentStore:
 
 #: Open stores memoized per resolved root, so one process reuses one
 #: SQLite connection per store.
+# repro: allow(RPR005): per-process connection pool by design — SQLite connections cannot cross fork(); cross-process consistency is the WAL database's job, not this dict's
 _OPEN_STORES: dict[str, ExperimentStore] = {}
 
 

@@ -217,3 +217,32 @@ def store(tmp_path):
 
     with ExperimentStore(tmp_path / "store", max_bytes=0x7FFFFFFF) as st:
         yield st
+
+
+# ----------------------------------------------------------------------
+# Lint fixtures (tests/lint/).  Defined here for the same reason as the
+# store fixtures above: no nested conftest.py.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Factory: write ``{relpath: source}`` snippet files, lint the tree.
+
+    Paths are relative to a temp root, so rule scoping by package
+    directory works (``{"core/bad.py": ...}`` lands in RPR001 scope
+    while ``{"obs/ok.py": ...}`` does not).  Returns the
+    :class:`repro.lint.model.LintResult`.
+    """
+    from repro.lint import run_lint
+
+    def _run(files, select=None, ignore=None):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        return run_lint(
+            [tmp_path], select=select, ignore=ignore, project_root=tmp_path
+        )
+
+    return _run

@@ -173,3 +173,60 @@ class TestRunResultMonoid:
     def test_refuses_extra_metrics(self):
         with pytest.raises(ValueError, match="extra_metrics"):
             _result(extra_metrics={"x": 1}).merge(_result())
+
+
+class TestMetricsAccumulatorIdentity:
+    """`MetricsAccumulator.identity()` is a two-sided merge unit.
+
+    The accumulator is the pre-`finalize` fold state; its identity uses
+    zero-valued contact geometry as sentinel state, so the unit laws
+    must hold even against accumulators whose geometry differs — and
+    even against ones carrying collectors, which populated merges
+    refuse.
+    """
+
+    def _populated(self):
+        from repro.core.accounting import MetricsAccumulator
+
+        acc = MetricsAccumulator(contacts_per_day=7, contact_duration_s=600.0)
+        acc.policy_name = "earthplus"
+        acc.downlink_bytes = 12345
+        acc.peak_reference_bytes = 99
+        return acc
+
+    def test_identity_is_left_and_right_unit(self):
+        from repro.core.accounting import MetricsAccumulator
+
+        acc = self._populated()
+        assert MetricsAccumulator.identity().merge(acc) is acc
+        assert acc.merge(MetricsAccumulator.identity()) is acc
+
+    def test_identity_merges_with_identity(self):
+        from repro.core.accounting import MetricsAccumulator
+
+        both = MetricsAccumulator.identity().merge(
+            MetricsAccumulator.identity()
+        )
+        assert both._is_identity()
+
+    def test_identity_unit_skips_collector_refusal(self):
+        # Collectors normally make an accumulator unmergeable; the unit
+        # laws still hold because identity adopts the other operand.
+        from repro.core.accounting import MetricsAccumulator
+
+        class _Collector:
+            name = "probe"
+
+        acc = self._populated()
+        acc.collectors = [_Collector()]
+        assert MetricsAccumulator.identity().merge(acc) is acc
+        assert acc.merge(MetricsAccumulator.identity()) is acc
+
+    def test_populated_merges_still_refuse_collectors(self):
+        class _Collector:
+            name = "probe"
+
+        left = self._populated()
+        left.collectors = [_Collector()]
+        with pytest.raises(ValueError, match="collector"):
+            left.merge(self._populated())

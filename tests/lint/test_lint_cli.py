@@ -1,0 +1,119 @@
+"""``repro lint`` CLI contract: exit codes, formats, selection flags.
+
+Exit codes are the CI interface: 0 clean, 1 active findings, 2 internal
+error (unknown rule, missing path).  Everything here drives the real
+``main()`` entry point, not the engine, so argument wiring is covered.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    """A tree with one deterministic RPR001 violation."""
+    bad = tmp_path / "core" / "clock.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        ).lstrip("\n")
+    )
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_repo_src_is_clean_exit_0(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "1 finding" in out
+
+    def test_unknown_rule_exit_2(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--select", "RPR999"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_exit_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_ignore_silences_the_only_finding(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--ignore", "RPR001"]) == 0
+        assert "RPR001" not in capsys.readouterr().out
+
+    def test_select_by_name(self, dirty_tree, capsys):
+        assert (
+            main(["lint", str(dirty_tree), "--select", "determinism"]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "[rules: RPR001]" in out
+
+    def test_select_accepts_comma_list(self, dirty_tree, capsys):
+        assert (
+            main(
+                ["lint", str(dirty_tree), "--select", "monoid,forksafety"]
+            )
+            == 0
+        )
+        assert "[rules: RPR003, RPR005]" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_output_parses_with_schema(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["clean"] is False
+        [finding] = document["findings"]
+        assert finding["rule"] == "RPR001"
+        assert finding["file"].endswith("core/clock.py")
+        assert finding["suppressed"] is False
+
+    def test_json_clean_run(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["clean"] is True
+
+
+class TestUpdateGolden:
+    def test_update_golden_rewrites_snapshot(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        for rel in (
+            "src/repro/core/config.py",
+            "src/repro/store/specs.py",
+        ):
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text((REPO_ROOT / rel).read_text())
+        (root / "pyproject.toml").write_text("[project]\n")
+        assert main(["lint", str(root / "src"), "--update-golden"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        golden = root / "tests" / "store" / "golden_spec_fields.json"
+        written = json.loads(golden.read_text())
+        committed = json.loads(
+            (
+                REPO_ROOT / "tests" / "store" / "golden_spec_fields.json"
+            ).read_text()
+        )
+        assert written == committed

@@ -1,0 +1,101 @@
+"""Reporter contracts: the JSON artifact schema and the human table."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import render_json, render_table, resolve_rules
+
+
+FILES = {
+    "core/clock.py": textwrap.dedent(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    ).lstrip("\n"),
+    "pkg/cache.py": textwrap.dedent(
+        """
+        _CACHE = {}  # repro: allow(RPR005): per-process by design
+
+        def put(key, value):
+            _CACHE[key] = value
+        """
+    ).lstrip("\n"),
+}
+
+
+class TestJsonReporter:
+    def test_document_schema(self, lint_tree):
+        result = lint_tree(FILES)
+        document = json.loads(render_json(result, resolve_rules()))
+        assert document["version"] == 1
+        assert document["clean"] is False
+        assert document["files_checked"] == 2
+        assert document["counts"] == {"active": 1, "suppressed": 1}
+        assert [r["code"] for r in document["rules"]] == [
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+        ]
+        for rule in document["rules"]:
+            assert set(rule) == {"code", "name", "summary"}
+            assert rule["summary"]
+
+    def test_finding_row_schema(self, lint_tree):
+        result = lint_tree(FILES)
+        document = json.loads(render_json(result, resolve_rules()))
+        assert len(document["findings"]) == 2
+        for row in document["findings"]:
+            assert set(row) == {
+                "file",
+                "line",
+                "col",
+                "rule",
+                "message",
+                "suppressed",
+                "justification",
+            }
+        suppressed = [r for r in document["findings"] if r["suppressed"]]
+        assert len(suppressed) == 1
+        assert suppressed[0]["rule"] == "RPR005"
+        assert suppressed[0]["justification"] == "per-process by design"
+        active = [r for r in document["findings"] if not r["suppressed"]]
+        assert active[0]["rule"] == "RPR001"
+        assert active[0]["line"] >= 1
+        assert active[0]["justification"] is None
+
+    def test_clean_document(self, lint_tree):
+        result = lint_tree({"pkg/ok.py": "X = 1\n"})
+        document = json.loads(render_json(result, resolve_rules()))
+        assert document["clean"] is True
+        assert document["findings"] == []
+        assert document["counts"] == {"active": 0, "suppressed": 0}
+
+
+class TestTableReporter:
+    def test_rows_and_summary(self, lint_tree):
+        result = lint_tree(FILES)
+        text = render_table(result)
+        lines = text.splitlines()
+        assert len(lines) == 2  # one active finding + summary
+        assert "RPR001" in lines[0]
+        assert "clock.py:" in lines[0]  # path:line:col prefix
+        assert "1 finding (1 suppressed) across 2 files" in lines[-1]
+
+    def test_show_suppressed_lists_justification(self, lint_tree):
+        result = lint_tree(FILES)
+        text = render_table(result, show_suppressed=True)
+        assert "[suppressed]" in text
+        assert "allow: per-process by design" in text
+
+    def test_clean_summary(self, lint_tree):
+        result = lint_tree({"pkg/ok.py": "X = 1\n"})
+        text = render_table(result)
+        assert text.startswith("clean: 0 findings")
+        assert "RPR001" in text  # rules run are named

@@ -1,0 +1,42 @@
+"""The linter's own acceptance gate: this repository lints clean.
+
+This is the same invocation CI runs (``repro lint src``): every rule
+enabled, zero active findings.  Suppressed findings are expected — each
+is a reviewed ``# repro: allow(...)`` with a justification — and their
+presence here proves the suppression path is exercised on real code,
+not just fixtures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_lints_clean_under_all_rules():
+    result = run_lint([REPO_ROOT / "src"], project_root=REPO_ROOT)
+    assert result.rules_run == [
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+    ]
+    assert result.files_checked > 50  # the whole src tree, not a subset
+    offenders = "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in result.active
+    )
+    assert not result.active, f"repo must lint clean:\n{offenders}"
+
+
+def test_repo_suppressions_all_carry_justifications():
+    result = run_lint([REPO_ROOT / "src"], project_root=REPO_ROOT)
+    assert result.suppressed, "the repo documents at least one allow site"
+    for finding in result.suppressed:
+        assert finding.justification, (
+            f"{finding.path}:{finding.line} suppresses {finding.rule} "
+            "without a justification"
+        )
